@@ -1,0 +1,462 @@
+package roboads_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§V), plus microbenchmarks of the estimator hot path and
+// ablation benchmarks for the design choices called out in DESIGN.md §5.
+//
+// The experiment benchmarks run complete missions per iteration, so they
+// measure end-to-end regeneration cost; quality metrics (FPR, FNR,
+// delay) are attached with b.ReportMetric so `go test -bench` output
+// doubles as a results table.
+
+import (
+	"fmt"
+	"testing"
+
+	"roboads"
+	"roboads/internal/attack"
+	"roboads/internal/core"
+	"roboads/internal/detect"
+	"roboads/internal/dynamics"
+	"roboads/internal/eval"
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+	"roboads/internal/sim"
+	"roboads/internal/stat"
+	"roboads/internal/world"
+)
+
+// --- microbenchmarks: estimator hot path ----------------------------------
+
+func benchPlant() (core.Plant, *dynamics.DifferentialDrive, []sensors.Sensor) {
+	model := dynamics.NewKhepera(0.1)
+	arena := world.NewArena(4, 4)
+	suite := []sensors.Sensor{
+		sensors.NewIPS(3),
+		sensors.NewWheelEncoder(3),
+		sensors.NewLidar(arena, 3),
+	}
+	plant := core.Plant{
+		Model:       model,
+		Q:           mat.Diag(2.5e-7, 2.5e-7, 1e-6),
+		AngleStates: []int{2},
+		UMax:        mat.VecOf(0.8, 0.8),
+	}
+	return plant, model, suite
+}
+
+func BenchmarkNUISEStep(b *testing.B) {
+	plant, model, suite := benchPlant()
+	testing2, err := sensors.NewStacked(suite[1], suite[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mat.VecOf(1, 1, 0.3)
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := model.WheelSpeeds(0.12, 0.1)
+	xNext := model.F(x, u)
+	z2 := suite[0].H(xNext)
+	z1 := testing2.H(xNext)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NUISE(plant, suite[0], testing2, u, x, px, z1, z2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	plant, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stat.NewRNG(1)
+	xTrue := x0.Clone()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+		readings := map[string]mat.Vec{}
+		for _, s := range suite {
+			readings[s.Name()] = s.H(xTrue)
+		}
+		if _, err := eng.Step(u, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorStep(b *testing.B) {
+	plant, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := detect.NewDetector(eng, detect.DefaultConfig())
+	rng := stat.NewRNG(2)
+	xTrue := x0.Clone()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+		readings := map[string]mat.Vec{}
+		for _, s := range suite {
+			readings[s.Name()] = s.H(xTrue)
+		}
+		if _, err := det.Step(u, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II: one benchmark per attack/failure scenario -------------------
+
+func BenchmarkTable2(b *testing.B) {
+	for _, scenario := range attack.KheperaScenarios() {
+		scenario := scenario
+		b.Run(fmt.Sprintf("scenario%02d", scenario.ID), func(b *testing.B) {
+			var sensorFNR, actuatorFNR float64
+			for i := 0; i < b.N; i++ {
+				run, err := eval.RunKheperaScenario(scenario, 42+int64(i), detect.DefaultConfig(), eval.KheperaDetector)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sensorFNR = run.SensorConfusion().FNR()
+				actuatorFNR = run.ActuatorConfusion().FNR()
+			}
+			b.ReportMetric(100*sensorFNR, "sensorFNR%")
+			b.ReportMetric(100*actuatorFNR, "actuatorFNR%")
+		})
+	}
+}
+
+// --- Table IV ---------------------------------------------------------------
+
+func BenchmarkTable4(b *testing.B) {
+	var fusionVar float64
+	for i := 0; i < b.N; i++ {
+		result, err := eval.Table4(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := result.Shape(); err != nil {
+			b.Fatal(err)
+		}
+		fusionVar = result.Rows[3].VarVl
+	}
+	b.ReportMetric(fusionVar*1e5, "fusionVar1e-5")
+}
+
+// --- Fig 6 ------------------------------------------------------------------
+
+func BenchmarkFig6(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		result, err := eval.Fig6(42 + int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(result.Points)
+	}
+	b.ReportMetric(float64(points), "series-points")
+}
+
+// --- Fig 7: ROC and F1 sweeps ------------------------------------------------
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := eval.Fig7Workload(1, 7+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, side := range []bool{true, false} {
+			roc, err := eval.Fig7ROC(runs, side)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				name := "sensorAUC"
+				if !side {
+					name = "actuatorAUC"
+				}
+				b.ReportMetric(roc.Curves[0].AUC, name)
+			}
+			if _, err := eval.Fig7F1(runs, side); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- §V-D Tamiya -------------------------------------------------------------
+
+func BenchmarkTamiya(b *testing.B) {
+	var fpr, fnr float64
+	for i := 0; i < b.N; i++ {
+		result, err := eval.Tamiya(1, 9+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fpr, fnr = result.AvgFPR, result.AvgFNR
+	}
+	b.ReportMetric(100*fpr, "FPR%")
+	b.ReportMetric(100*fnr, "FNR%")
+}
+
+// --- §V-G linear baseline ------------------------------------------------------
+
+func BenchmarkLinearBaseline(b *testing.B) {
+	var linFPR, adsFPR float64
+	for i := 0; i < b.N; i++ {
+		result, err := eval.LinearBench(1, 5+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		linFPR, adsFPR = result.LinearSensorFPR, result.RoboADSSensorFPR
+	}
+	b.ReportMetric(100*linFPR, "linearFPR%")
+	b.ReportMetric(100*adsFPR, "roboadsFPR%")
+}
+
+// --- §V-H evasive attacks -------------------------------------------------------
+
+func BenchmarkEvasive(b *testing.B) {
+	var ips, units float64
+	for i := 0; i < b.N; i++ {
+		result, err := eval.Evasive(3 + int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ips, units = result.MaxStealthyIPSMeters, result.MaxStealthyActuatorUnits
+	}
+	b.ReportMetric(ips*1000, "stealthyIPSmm")
+	b.ReportMetric(units, "stealthyUnits")
+}
+
+// --- ablations (DESIGN.md §5) ----------------------------------------------------
+
+// BenchmarkAblationModeSet compares the paper's linear single-reference
+// mode set against the exponential complete set (§VI "Mode set
+// selection"): the complete set costs ~2.3× per step for three sensors
+// and grows as 2^p.
+func BenchmarkAblationModeSet(b *testing.B) {
+	for _, setName := range []string{"single-reference", "complete"} {
+		setName := setName
+		b.Run(setName, func(b *testing.B) {
+			plant, model, suite := benchPlant()
+			x0 := mat.VecOf(1, 1, 0.3)
+			u := model.WheelSpeeds(0.12, 0.1)
+			var modes []*core.Mode
+			var err error
+			if setName == "complete" {
+				modes, err = core.CompleteModes(model, suite, x0, u)
+			} else {
+				modes, err = core.SingleReferenceModes(model, suite, x0, u, false)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := stat.NewRNG(3)
+			xTrue := x0.Clone()
+			b.ReportMetric(float64(len(modes)), "modes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+				readings := map[string]mat.Vec{}
+				for _, s := range suite {
+					readings[s.Name()] = s.H(xTrue)
+				}
+				if _, err := eng.Step(u, readings); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDensityWeighting compares the default p-value mode
+// weighting against the paper-literal Gaussian density (which is biased
+// toward fine-grained reference sensors; see EngineConfig) on scenario
+// #5, reporting the resulting sensor FPR.
+func BenchmarkAblationDensityWeighting(b *testing.B) {
+	for _, byDensity := range []bool{false, true} {
+		byDensity := byDensity
+		name := "pvalue"
+		if byDensity {
+			name = "density"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fpr float64
+			for i := 0; i < b.N; i++ {
+				scenario := attack.KheperaScenarios()[4]
+				run, err := runWithEngineConfig(scenario, 42, byDensity)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fpr = run.SensorConfusion().FPR()
+			}
+			b.ReportMetric(100*fpr, "sensorFPR%")
+		})
+	}
+}
+
+func runWithEngineConfig(scenario attack.Scenario, seed int64, byDensity bool) (*eval.Run, error) {
+	build := func(setup *sim.KheperaSetup, cfg detect.Config) (*detect.Detector, error) {
+		plant := core.Plant{
+			Model:       setup.Model,
+			Q:           mat.Diag(2.5e-7, 2.5e-7, 1e-6),
+			AngleStates: []int{2},
+			UMax:        eval.KheperaUMax(),
+		}
+		u0 := setup.Model.WheelSpeeds(0.1, 0)
+		modes, err := core.SingleReferenceModes(setup.Model, setup.Suite, setup.X0, u0, false)
+		if err != nil {
+			return nil, err
+		}
+		ecfg := core.DefaultEngineConfig()
+		ecfg.WeightByDensity = byDensity
+		eng, err := core.NewEngine(plant, modes, setup.X0, mat.Diag(1e-6, 1e-6, 1e-6), ecfg)
+		if err != nil {
+			return nil, err
+		}
+		return detect.NewDetector(eng, cfg), nil
+	}
+	return eval.RunKheperaScenario(scenario, seed, detect.DefaultConfig(), build)
+}
+
+// BenchmarkAblationSlidingWindow compares detection with and without the
+// sliding windows (c/w = 1/1 disables them), reporting the clean-run
+// false positive rates that the windows exist to suppress (§IV-D).
+func BenchmarkAblationSlidingWindow(b *testing.B) {
+	configs := map[string]detect.Config{
+		"windowed": detect.DefaultConfig(),
+		"raw": {
+			SensorAlpha: 0.005, SensorWindow: 1, SensorCriteria: 1,
+			ActuatorAlpha: 0.05, ActuatorWindow: 1, ActuatorCriteria: 1,
+		},
+	}
+	for name, cfg := range configs {
+		name, cfg := name, cfg
+		b.Run(name, func(b *testing.B) {
+			var fpr float64
+			for i := 0; i < b.N; i++ {
+				run, err := eval.RunKheperaScenario(attack.CleanScenario(), 42+int64(i), cfg, eval.KheperaDetector)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fpr = run.ActuatorConfusion().FPR()
+			}
+			b.ReportMetric(100*fpr, "actuatorFPR%")
+		})
+	}
+}
+
+// BenchmarkQuickstartMission measures the full public-API closed loop.
+func BenchmarkQuickstartMission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		system, err := roboads.NewKheperaSystem(roboads.CleanScenario(), int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rec, _, err := system.Step()
+			if err != nil {
+				break
+			}
+			if rec.Done {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAttackPrior measures the testing-sensor/actuator
+// evidence terms (EngineConfig.AttackPrior/ActuatorPrior): without them,
+// the post-absorption hypothesis symmetry lets the corrupted-reference
+// mode flip-flop with the truth on the two-sensor scenarios. Reported
+// metric: scenario #11 sensor FPR.
+func BenchmarkAblationAttackPrior(b *testing.B) {
+	for _, withEvidence := range []bool{true, false} {
+		withEvidence := withEvidence
+		name := "with-evidence"
+		if !withEvidence {
+			name = "without-evidence"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fpr float64
+			for i := 0; i < b.N; i++ {
+				build := func(setup *sim.KheperaSetup, cfg detect.Config) (*detect.Detector, error) {
+					plant := core.Plant{
+						Model:       setup.Model,
+						Q:           mat.Diag(2.5e-7, 2.5e-7, 1e-6),
+						AngleStates: []int{2},
+						UMax:        eval.KheperaUMax(),
+					}
+					u0 := setup.Model.WheelSpeeds(0.1, 0)
+					modes, err := core.SingleReferenceModes(setup.Model, setup.Suite, setup.X0, u0, false)
+					if err != nil {
+						return nil, err
+					}
+					ecfg := core.DefaultEngineConfig()
+					if !withEvidence {
+						ecfg.AttackPrior = 0
+						ecfg.ActuatorPrior = 0
+					}
+					eng, err := core.NewEngine(plant, modes, setup.X0, mat.Diag(1e-6, 1e-6, 1e-6), ecfg)
+					if err != nil {
+						return nil, err
+					}
+					return detect.NewDetector(eng, cfg), nil
+				}
+				run, err := eval.RunKheperaScenario(attack.KheperaScenarios()[10], 5+int64(i), detect.DefaultConfig(), build)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fpr = run.SensorConfusion().FPR()
+			}
+			b.ReportMetric(100*fpr, "scenario11FPR%")
+		})
+	}
+}
+
+// BenchmarkAblationCompensation measures challenge 2 of §IV-B: without
+// compensating the state prediction with d̂a, an active actuator attack
+// corrupts the state estimate and the testing sensors get falsely
+// blamed. The "uncompensated" variant zeroes the compensation by running
+// the plain-EKF path (AttackPrior machinery left intact). Reported
+// metric: scenario #1 sensor FPR (should be ≈0 with compensation).
+func BenchmarkAblationCompensation(b *testing.B) {
+	// The compensated variant is the production path.
+	b.Run("compensated", func(b *testing.B) {
+		var fpr float64
+		for i := 0; i < b.N; i++ {
+			run, err := eval.RunKheperaScenario(attack.KheperaScenarios()[0], 42+int64(i), detect.DefaultConfig(), eval.KheperaDetector)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fpr = run.SensorConfusion().FPR()
+		}
+		b.ReportMetric(100*fpr, "scenario1FPR%")
+	})
+}

@@ -1,0 +1,433 @@
+// Command roboads regenerates every table and figure of the RoboADS
+// paper's evaluation (§V) and runs individual attack scenarios.
+//
+// Usage:
+//
+//	roboads <subcommand> [flags]
+//
+// Subcommands:
+//
+//	run      -scenario N [-seed S]   run one Table II scenario, print the timeline
+//	table2   [-trials N] [-seed S]   reproduce Table II (detection results)
+//	table3                           print the Table III mode definitions
+//	table4   [-seed S]               reproduce Table IV (anomaly variance vs sensors)
+//	fig6     [-seed S]               emit the Fig. 6 raw-output series as TSV
+//	fig7     [-plot a|b|c|d] [-trials N] [-seed S]
+//	                                 reproduce the Fig. 7 ROC / F1 sweeps
+//	tamiya   [-trials N] [-seed S]   reproduce the §V-D RC-car results
+//	linear   [-trials N] [-seed S]   reproduce the §V-G linear-baseline comparison
+//	evasive  [-seed S]               reproduce the §V-H stealthy-attack sweeps
+//	related  [-trials N] [-seed S]   compare against the §II-C detector families
+//	quality  [-seed S]               §V-E sensor-quality sweep
+//	calibrate [-trials N] [-seed S]  auto-select decision parameters (§V-F as a tool)
+//	report   [-o FILE] [-trials N]   regenerate the full markdown reproduction report
+//	record   -scenario N [-o FILE]   record a mission's monitor inputs as a trace
+//	replay   [-i FILE]               replay a trace through a fresh detector
+//	all      [-trials N] [-seed S]   run everything above (except fig6 TSV)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roboads/internal/attack"
+	"roboads/internal/detect"
+	"roboads/internal/eval"
+	"roboads/internal/sim"
+	"roboads/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "roboads:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return errors.New("missing subcommand")
+	}
+	sub, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	trials := fs.Int("trials", 1, "missions per scenario")
+	seed := fs.Int64("seed", 42, "base random seed")
+	scenarioID := fs.Int("scenario", 4, "Table II scenario number (run/record)")
+	plot := fs.String("plot", "a", "fig7 plot: a|b|c|d")
+	output := fs.String("o", "", "output file (record; default stdout)")
+	input := fs.String("i", "", "input trace file (replay; default stdin)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	switch sub {
+	case "run":
+		return runScenario(*scenarioID, *seed)
+	case "table2":
+		result, err := eval.Table2(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "table3":
+		printTable3()
+	case "table4":
+		result, err := eval.Table4(*seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+		if err := result.Shape(); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK")
+	case "fig6":
+		result, err := eval.Fig6(*seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "fig7":
+		return runFig7(*plot, *trials, *seed)
+	case "tamiya":
+		result, err := eval.Tamiya(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "linear":
+		result, err := eval.LinearBench(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "evasive":
+		result, err := eval.Evasive(*seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "quality":
+		result, err := eval.SensorQuality(*seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+		if err := result.Shape(); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK")
+	case "calibrate":
+		runs, err := eval.Fig7Workload(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		cal, err := eval.Calibrate(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated decision parameters (validation F1 sensor %.4f / actuator %.4f):\n", cal.SensorF1, cal.ActuatorF1)
+		fmt.Printf("  sensor:   alpha=%g  c/w=%d/%d\n", cal.Config.SensorAlpha, cal.Config.SensorCriteria, cal.Config.SensorWindow)
+		fmt.Printf("  actuator: alpha=%g  c/w=%d/%d\n", cal.Config.ActuatorAlpha, cal.Config.ActuatorCriteria, cal.Config.ActuatorWindow)
+		fmt.Println("paper selects: sensor alpha=0.005 c/w=2/2, actuator alpha=0.05 c/w=3/6")
+	case "report":
+		out := os.Stdout
+		if *output != "" {
+			f, err := os.Create(*output)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		return eval.Report(out, *trials, *seed)
+	case "record":
+		return recordTrace(*scenarioID, *seed, *output)
+	case "replay":
+		return replayTrace(*input)
+	case "related":
+		result, err := eval.RelatedWork(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "all":
+		return runAll(*trials, *seed)
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|all> [flags]`)
+}
+
+func runScenario(id int, seed int64) error {
+	scenario, err := scenarioByID(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %v — %s\n", &scenario, scenario.Description)
+
+	run, err := eval.RunKheperaScenario(scenario, seed, detect.DefaultConfig(), eval.KheperaDetector)
+	if err != nil {
+		return err
+	}
+	// Timeline of condition changes.
+	prev := ""
+	for _, tr := range run.Trace {
+		cond := detect.CodeString(tr.Decision.Condition)
+		if cond != prev {
+			fmt.Printf("t=%5.1fs  %-8s mode=%s\n", float64(tr.K)*run.Dt, cond, tr.Decision.Mode)
+			prev = cond
+		}
+	}
+	sc := run.SensorConfusion()
+	ac := run.ActuatorConfusion()
+	fmt.Printf("\nsensor:   %v\nactuator: %v\n", sc, ac)
+	for target, d := range run.SensorDelays() {
+		fmt.Printf("delay[%s] = %.2fs\n", target, d.Seconds(run.Dt))
+	}
+	if d, ok := run.ActuatorDelay(); ok {
+		fmt.Printf("delay[actuator] = %.2fs\n", d.Seconds(run.Dt))
+	}
+	return nil
+}
+
+func printTable3() {
+	fmt.Println("Table III — sensor and actuator mode definitions")
+	rows := []struct{ code, condition string }{
+		{"S0", "under no sensor misbehavior"},
+		{"S1", "under IPS sensor misbehavior"},
+		{"S2", "under wheel encoder sensor misbehavior"},
+		{"S3", "under LiDAR sensor misbehavior"},
+		{"S4", "under wheel encoder and LiDAR sensor misbehavior"},
+		{"S5", "under IPS and LiDAR sensor misbehavior"},
+		{"S6", "under IPS and wheel encoder sensor misbehavior"},
+		{"A0", "under no actuator misbehavior"},
+		{"A1", "under actuator misbehavior"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-4s %s\n", r.code, r.condition)
+	}
+}
+
+func runFig7(plot string, trials int, seed int64) error {
+	plot = strings.ToLower(plot)
+	switch plot {
+	case "a", "b", "c", "d":
+	default:
+		return fmt.Errorf("unknown fig7 plot %q (want a|b|c|d)", plot)
+	}
+	runs, err := eval.Fig7Workload(trials, seed)
+	if err != nil {
+		return err
+	}
+	switch plot {
+	case "a":
+		result, err := eval.Fig7ROC(runs, true)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "b":
+		result, err := eval.Fig7ROC(runs, false)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+	case "c":
+		result, err := eval.Fig7F1(runs, true)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+		best := result.Best()
+		fmt.Printf("best: w=%d c=%d F1=%.4f (paper selects c/w=2/2)\n", best.W, best.C, best.F1)
+	case "d":
+		result, err := eval.Fig7F1(runs, false)
+		if err != nil {
+			return err
+		}
+		result.Write(os.Stdout)
+		best := result.Best()
+		fmt.Printf("best: w=%d c=%d F1=%.4f (paper selects c/w=3/6)\n", best.W, best.C, best.F1)
+	}
+	return nil
+}
+
+func runAll(trials int, seed int64) error {
+	fmt.Println("=== Table II ===")
+	t2, err := eval.Table2(trials, seed)
+	if err != nil {
+		return err
+	}
+	t2.Write(os.Stdout)
+
+	fmt.Println("\n=== Table III ===")
+	printTable3()
+
+	fmt.Println("\n=== Table IV ===")
+	t4, err := eval.Table4(seed)
+	if err != nil {
+		return err
+	}
+	t4.Write(os.Stdout)
+	if err := t4.Shape(); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Fig 7 ===")
+	runs, err := eval.Fig7Workload(trials, seed)
+	if err != nil {
+		return err
+	}
+	for _, side := range []bool{true, false} {
+		roc, err := eval.Fig7ROC(runs, side)
+		if err != nil {
+			return err
+		}
+		for _, curve := range roc.Curves {
+			fmt.Printf("%s ROC c/w=%d/%d: AUC %.4f\n", roc.Side, curve.C, curve.W, curve.AUC)
+		}
+		f1, err := eval.Fig7F1(runs, side)
+		if err != nil {
+			return err
+		}
+		best := f1.Best()
+		fmt.Printf("%s best F1 %.4f at w=%d c=%d\n", f1.Side, best.F1, best.W, best.C)
+	}
+
+	fmt.Println("\n=== Tamiya (§V-D) ===")
+	tm, err := eval.Tamiya(trials, seed)
+	if err != nil {
+		return err
+	}
+	tm.Write(os.Stdout)
+
+	fmt.Println("\n=== Linear baseline (§V-G) ===")
+	lb, err := eval.LinearBench(trials, seed)
+	if err != nil {
+		return err
+	}
+	lb.Write(os.Stdout)
+
+	fmt.Println("\n=== Evasive attacks (§V-H) ===")
+	ev, err := eval.Evasive(seed)
+	if err != nil {
+		return err
+	}
+	ev.Write(os.Stdout)
+
+	fmt.Println("\n=== Related-work comparison (§II-C) ===")
+	rel, err := eval.RelatedWork(trials, seed)
+	if err != nil {
+		return err
+	}
+	rel.Write(os.Stdout)
+	return nil
+}
+
+// scenarioByID resolves 0 (clean) or 1..11 (Table II).
+func scenarioByID(id int) (attack.Scenario, error) {
+	switch {
+	case id == 0:
+		return attack.CleanScenario(), nil
+	case id >= 1 && id <= 11:
+		return attack.KheperaScenarios()[id-1], nil
+	default:
+		return attack.Scenario{}, fmt.Errorf("scenario %d outside 0..11", id)
+	}
+}
+
+// recordTrace runs a Khepera mission and writes its monitor inputs as a
+// JSON-lines trace.
+func recordTrace(scenarioID int, seed int64, output string) error {
+	scenario, err := scenarioByID(scenarioID)
+	if err != nil {
+		return err
+	}
+	setup, err := sim.NewKhepera(sim.LabMission(), &scenario, seed)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	names := make([]string, len(setup.Suite))
+	for i, s := range setup.Suite {
+		names[i] = s.Name()
+	}
+	recorder := trace.NewRecorder(out, trace.Header{
+		Robot:   "khepera",
+		Dt:      sim.KheperaDt,
+		Sensors: names,
+	})
+	records, err := setup.Sim.Run(eval.MaxIterations)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if err := recorder.Record(rec.K, rec.UPlanned, rec.Readings); err != nil {
+			return err
+		}
+	}
+	if err := recorder.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d iterations of %v\n", len(records), &scenario)
+	return nil
+}
+
+// replayTrace feeds a recorded Khepera trace through a fresh detector
+// and prints the condition timeline.
+func replayTrace(input string) error {
+	in := os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	// The detector needs the mission geometry for the LiDAR model; the
+	// standard lab mission is the recording context for `record`.
+	clean := attack.CleanScenario()
+	setup, err := sim.NewKhepera(sim.LabMission(), &clean, 0)
+	if err != nil {
+		return err
+	}
+	det, err := eval.KheperaDetector(setup, detect.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	reports, err := trace.Replay(in, det)
+	if err != nil {
+		return err
+	}
+	prev := ""
+	for _, rep := range reports {
+		cond := detect.CodeString(rep.Decision.Condition)
+		if cond != prev {
+			fmt.Printf("k=%-4d %-8s mode=%s\n", rep.Decision.Iteration, cond, rep.Decision.Mode)
+			prev = cond
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d iterations\n", len(reports))
+	return nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: run a Khepera mission under an IPS spoofing attack and
+// watch RoboADS detect, identify, and quantify the misbehavior.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"roboads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Table II scenario #4: a fake IPS base station overpowers the
+	// authentic signal 6 s into the mission and shifts the reported
+	// position by −0.1 m on the X axis.
+	scenario := roboads.IPSSpoofingScenario()
+	fmt.Printf("scenario: %v\n  %s\n\n", &scenario, scenario.Description)
+
+	system, err := roboads.NewKheperaSystem(scenario, 1)
+	if err != nil {
+		return err
+	}
+
+	firstDetection := -1.0
+	lastCondition := ""
+	for {
+		rec, report, err := system.Step()
+		if errors.Is(err, roboads.ErrMissionOver) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+
+		t := float64(rec.K) * system.Dt()
+		condition := report.Decision.Condition.String()
+		if condition != lastCondition {
+			fmt.Printf("t=%5.1fs  condition %-12s (selected hypothesis: %s)\n",
+				t, condition, report.Decision.Mode)
+			lastCondition = condition
+		}
+		if firstDetection < 0 && report.Decision.SensorAlarm && !report.Decision.Condition.Clean() {
+			firstDetection = t
+			// Quantification (§V-C): the anomaly vector estimate recovers
+			// the injected corruption for forensics.
+			for _, sa := range report.Decision.SensorAnomalies {
+				if sa.Sensor == "ips" {
+					fmt.Printf("         quantified IPS anomaly: d̂s = %v m (injected: -0.1 on x)\n", sa.Ds)
+				}
+			}
+		}
+		if rec.Done {
+			break
+		}
+	}
+
+	if firstDetection < 0 {
+		return errors.New("attack was never detected")
+	}
+	fmt.Printf("\nfirst confirmed detection at t=%.1fs (attack onset t=6.0s)\n", firstDetection)
+	return nil
+}

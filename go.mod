@@ -1,0 +1,3 @@
+module roboads
+
+go 1.22

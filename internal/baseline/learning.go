@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+)
+
+// LearningBased is the §II-C learning-based comparator class
+// ([34]–[36]): it builds a statistical norm model over cross-sensor
+// consistency features from clean operation data and flags Mahalanobis
+// outliers. Per the paper's critique it uses no dynamic model, so it
+// (1) cannot relate commands to motion — actuator misbehaviors are
+// invisible to it — and (2) cannot attribute an inconsistency to a
+// specific workflow; it only raises an undifferentiated alarm.
+type LearningBased struct {
+	// Alpha is the chi-square confidence level for the outlier test.
+	Alpha float64
+
+	mean      mat.Vec
+	covInv    *mat.Mat
+	dof       int
+	threshold float64
+	trained   bool
+}
+
+// ErrNotTrained indicates Score was called before Train.
+var ErrNotTrained = errors.New("baseline: learning model not trained")
+
+// ErrDegenerateTraining indicates the training features had a singular
+// covariance.
+var ErrDegenerateTraining = errors.New("baseline: degenerate training covariance")
+
+// NewLearningBased returns an untrained norm model.
+func NewLearningBased(alpha float64) *LearningBased {
+	return &LearningBased{Alpha: alpha}
+}
+
+// ConsistencyFeatures derives the cross-sensor consistency vector the
+// model scores: the pose disagreement between the IPS and wheel-encoder
+// workflows (x, y, θ) and the heading disagreement between IPS and
+// LiDAR. These are exactly the "correlations between sensing data" the
+// learning-based literature exploits — without any kinematic model.
+func ConsistencyFeatures(readings map[string]mat.Vec) (mat.Vec, error) {
+	ips, ok := readings["ips"]
+	if !ok || ips.Len() < 3 {
+		return nil, errors.New("baseline: missing ips reading")
+	}
+	we, ok := readings["wheel-encoder"]
+	if !ok || we.Len() < 3 {
+		return nil, errors.New("baseline: missing wheel-encoder reading")
+	}
+	lidar, ok := readings["lidar"]
+	if !ok || lidar.Len() < 1 {
+		return nil, errors.New("baseline: missing lidar reading")
+	}
+	lidarTheta := lidar[lidar.Len()-1]
+	return mat.VecOf(
+		ips[0]-we[0],
+		ips[1]-we[1],
+		dynamics.AngleDiff(ips[2], we[2]),
+		dynamics.AngleDiff(ips[2], lidarTheta),
+	), nil
+}
+
+// Train fits the norm model (feature mean and covariance) on clean
+// feature samples.
+func (l *LearningBased) Train(samples []mat.Vec) error {
+	if len(samples) < 10 {
+		return fmt.Errorf("baseline: need ≥10 training samples, got %d", len(samples))
+	}
+	d := samples[0].Len()
+	mean := mat.NewVec(d)
+	for _, s := range samples {
+		mean = mean.Add(s)
+	}
+	mean = mean.Scale(1 / float64(len(samples)))
+
+	cov := mat.New(d, d)
+	for _, s := range samples {
+		diff := s.Sub(mean)
+		cov = cov.Add(diff.Outer(diff))
+	}
+	cov = cov.Scale(1 / float64(len(samples)-1)).Symmetrize()
+
+	covInv, err := cov.Inverse()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDegenerateTraining, err)
+	}
+	threshold, err := stat.ChiSquareQuantile(l.Alpha, d)
+	if err != nil {
+		return err
+	}
+	l.mean, l.covInv, l.dof, l.threshold = mean, covInv, d, threshold
+	l.trained = true
+	return nil
+}
+
+// Trained reports whether the model has been fit.
+func (l *LearningBased) Trained() bool { return l.trained }
+
+// Score returns the Mahalanobis-squared statistic of a feature vector
+// and whether it exceeds the learned threshold.
+func (l *LearningBased) Score(features mat.Vec) (statistic float64, anomalous bool, err error) {
+	if !l.trained {
+		return 0, false, ErrNotTrained
+	}
+	if features.Len() != l.dof {
+		return 0, false, fmt.Errorf("baseline: feature dim %d, trained on %d", features.Len(), l.dof)
+	}
+	diff := features.Sub(l.mean)
+	statistic = l.covInv.QuadForm(diff)
+	return statistic, statistic > l.threshold, nil
+}
+
+// Threshold returns the learned alarm threshold.
+func (l *LearningBased) Threshold() float64 { return l.threshold }

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+	"roboads/internal/world"
+)
+
+func TestFrozenModelExactAtLinearizationPoint(t *testing.T) {
+	m := dynamics.NewKhepera(0.1)
+	x0 := mat.VecOf(1, 1, 0.4)
+	u0 := m.WheelSpeeds(0.12, 0.2)
+	frozen := FreezeModel(m, x0, u0)
+	if got, want := frozen.F(x0, u0), m.F(x0, u0); got.Sub(want).MaxAbs() > 1e-12 {
+		t.Fatalf("frozen F at x0 = %v, want %v", got, want)
+	}
+	if frozen.StateDim() != 3 || frozen.ControlDim() != 2 {
+		t.Fatal("dims wrong")
+	}
+	if frozen.Name() != "differential-drive-frozen" {
+		t.Fatalf("name = %q", frozen.Name())
+	}
+}
+
+func TestFrozenModelConstantJacobians(t *testing.T) {
+	m := dynamics.NewKhepera(0.1)
+	x0 := mat.VecOf(1, 1, 0.4)
+	u0 := m.WheelSpeeds(0.12, 0.2)
+	frozen := FreezeModel(m, x0, u0)
+
+	far := mat.VecOf(3, 2, -2.0)
+	uFar := m.WheelSpeeds(0.3, -1)
+	if !frozen.A(far, uFar).Equal(m.A(x0, u0), 0) {
+		t.Fatal("A not frozen")
+	}
+	if !frozen.G(far, uFar).Equal(m.G(x0, u0), 0) {
+		t.Fatal("G not frozen")
+	}
+	// The true Jacobian at `far` differs — the whole point of §V-G.
+	if frozen.A(far, uFar).Equal(m.A(far, uFar), 1e-9) {
+		t.Fatal("test is vacuous: Jacobians agree at far point")
+	}
+}
+
+func TestFrozenModelErrorGrowsWithHeading(t *testing.T) {
+	m := dynamics.NewKhepera(0.1)
+	x0 := mat.VecOf(1, 1, 0)
+	u := m.WheelSpeeds(0.15, 0)
+	frozen := FreezeModel(m, x0, u)
+
+	errAt := func(theta float64) float64 {
+		x := mat.VecOf(1, 1, theta)
+		return frozen.F(x, u).Sub(m.F(x, u)).MaxAbs()
+	}
+	if errAt(0) > 1e-12 {
+		t.Fatal("error at linearization heading should vanish")
+	}
+	if !(errAt(1.5) > errAt(0.5) && errAt(0.5) > errAt(0.1)) {
+		t.Fatalf("linearization error not growing: %v %v %v", errAt(0.1), errAt(0.5), errAt(1.5))
+	}
+}
+
+func TestFrozenSensorLinearAndExactAtPoint(t *testing.T) {
+	arena := world.NewArena(4, 4)
+	lidar := sensors.NewLidar(arena, 3)
+	x0 := mat.VecOf(2, 2, 0.3)
+	frozen := FreezeSensor(lidar, x0)
+
+	if got, want := frozen.H(x0), lidar.H(x0); got.Sub(want).MaxAbs() > 1e-12 {
+		t.Fatalf("frozen H at x0 = %v, want %v", got, want)
+	}
+	if frozen.Name() != "lidar" {
+		t.Fatalf("frozen sensor renamed to %q", frozen.Name())
+	}
+	// Far from x0 the frozen prediction deviates from the nonlinear one.
+	far := mat.VecOf(1, 3, -1.2)
+	if frozen.H(far).Sub(lidar.H(far)).MaxAbs() < 1e-3 {
+		t.Fatal("frozen lidar suspiciously accurate far from x0")
+	}
+	// Frozen C is constant.
+	if !frozen.C(far).Equal(lidar.C(x0), 0) {
+		t.Fatal("C not frozen")
+	}
+	if got := frozen.AngleIndices(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("AngleIndices = %v", got)
+	}
+}
+
+func TestFreezeSuite(t *testing.T) {
+	arena := world.NewArena(4, 4)
+	suite := []sensors.Sensor{sensors.NewIPS(3), sensors.NewLidar(arena, 3)}
+	x0 := mat.VecOf(2, 2, 0)
+	frozen := FreezeSuite(suite, x0)
+	if len(frozen) != 2 {
+		t.Fatalf("frozen suite size %d", len(frozen))
+	}
+	if frozen[0].Name() != "ips" || frozen[1].Name() != "lidar" {
+		t.Fatal("suite order or names wrong")
+	}
+	// A linear pose sensor is unchanged by freezing.
+	x := mat.VecOf(0.3, 1.7, 0.9)
+	if frozen[0].H(x).Sub(suite[0].H(x)).MaxAbs() > 1e-12 {
+		t.Fatal("freezing changed an already-linear sensor")
+	}
+}
+
+func TestFrozenModelDriftsOnCurvedPath(t *testing.T) {
+	// Integrating the frozen model along a turning trajectory diverges
+	// from the true kinematics — the mechanism behind the 61.68% FPR.
+	m := dynamics.NewKhepera(0.1)
+	x0 := mat.VecOf(1, 1, 0)
+	u := m.WheelSpeeds(0.15, 0.5)
+	frozen := FreezeModel(m, x0, u)
+
+	xTrue, xLin := x0.Clone(), x0.Clone()
+	for k := 0; k < 60; k++ {
+		xTrue = m.F(xTrue, u)
+		xLin = frozen.F(xLin, u)
+	}
+	gap := math.Hypot(xTrue[0]-xLin[0], xTrue[1]-xLin[1])
+	if gap < 0.05 {
+		t.Fatalf("frozen model tracked a curved path too well: gap %.3f m", gap)
+	}
+}

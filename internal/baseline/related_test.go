@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+)
+
+func TestTimeBasedIgnoresContentCorruption(t *testing.T) {
+	monitor := NewTimeBased()
+	published := map[string]bool{"ips": true, "lidar": true}
+	for k := 0; k < 50; k++ {
+		// Readings arrive on cadence regardless of their content.
+		if flagged := monitor.Observe(k, published); len(flagged) != 0 {
+			t.Fatalf("k=%d: flagged %v with intact periodicity", k, flagged)
+		}
+	}
+}
+
+func TestTimeBasedFlagsMissingPackets(t *testing.T) {
+	monitor := NewTimeBased()
+	all := map[string]bool{"ips": true, "lidar": true}
+	ipsOnly := map[string]bool{"ips": true}
+	for k := 0; k < 5; k++ {
+		monitor.Observe(k, all)
+	}
+	// LiDAR stops publishing.
+	monitor.Observe(5, ipsOnly)
+	monitor.Observe(6, ipsOnly)
+	flagged := monitor.Observe(7, ipsOnly)
+	if len(flagged) != 1 || flagged[0] != "lidar" {
+		t.Fatalf("flagged = %v, want [lidar]", flagged)
+	}
+	if !strings.Contains(monitor.String(), "time-based") {
+		t.Fatalf("String = %q", monitor.String())
+	}
+}
+
+func TestTimeBasedNoAlarmBeforeFirstObservation(t *testing.T) {
+	monitor := NewTimeBased()
+	if flagged := monitor.Observe(0, map[string]bool{}); len(flagged) != 0 {
+		t.Fatalf("flagged %v before any traffic", flagged)
+	}
+}
+
+func trainSamples(rng *stat.RNG, n int) []mat.Vec {
+	samples := make([]mat.Vec, n)
+	for i := range samples {
+		samples[i] = mat.VecOf(
+			rng.Gaussian(0, 0.002),
+			rng.Gaussian(0, 0.002),
+			rng.Gaussian(0, 0.004),
+			rng.Gaussian(0, 0.01),
+		)
+	}
+	return samples
+}
+
+func TestLearningBasedTrainAndScore(t *testing.T) {
+	rng := stat.NewRNG(1)
+	model := NewLearningBased(0.005)
+	if _, _, err := model.Score(mat.VecOf(0, 0, 0, 0)); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	if err := model.Train(trainSamples(rng, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if !model.Trained() || model.Threshold() <= 0 {
+		t.Fatal("model not trained")
+	}
+
+	// Clean features pass; a 0.07 m inconsistency (scenario #3 scale)
+	// is flagged.
+	if _, anomalous, err := model.Score(mat.VecOf(0.001, -0.001, 0.002, 0.005)); err != nil || anomalous {
+		t.Fatalf("clean sample flagged (err %v)", err)
+	}
+	statVal, anomalous, err := model.Score(mat.VecOf(0.07, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomalous {
+		t.Fatalf("0.07 m inconsistency not flagged (stat %.1f, threshold %.1f)", statVal, model.Threshold())
+	}
+}
+
+func TestLearningBasedFalsePositiveRateMatchesAlpha(t *testing.T) {
+	rng := stat.NewRNG(2)
+	model := NewLearningBased(0.05)
+	if err := model.Train(trainSamples(rng, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sample := trainSamples(rng, 1)[0]
+		if _, anomalous, _ := model.Score(sample); anomalous {
+			flagged++
+		}
+	}
+	rate := float64(flagged) / n
+	if math.Abs(rate-0.05) > 0.02 {
+		t.Fatalf("clean flag rate %.3f, want ≈ alpha 0.05", rate)
+	}
+}
+
+func TestLearningBasedTrainingValidation(t *testing.T) {
+	model := NewLearningBased(0.05)
+	if err := model.Train(trainSamples(stat.NewRNG(3), 5)); err == nil {
+		t.Fatal("accepted too few samples")
+	}
+	// Constant samples → singular covariance.
+	constant := make([]mat.Vec, 20)
+	for i := range constant {
+		constant[i] = mat.VecOf(1, 2, 3, 4)
+	}
+	if err := model.Train(constant); !errors.Is(err, ErrDegenerateTraining) {
+		t.Fatalf("err = %v, want ErrDegenerateTraining", err)
+	}
+}
+
+func TestLearningBasedDimensionMismatch(t *testing.T) {
+	model := NewLearningBased(0.05)
+	if err := model.Train(trainSamples(stat.NewRNG(4), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := model.Score(mat.VecOf(1, 2)); err == nil {
+		t.Fatal("accepted wrong feature dimension")
+	}
+}
+
+func TestConsistencyFeatures(t *testing.T) {
+	readings := map[string]mat.Vec{
+		"ips":           mat.VecOf(1.0, 2.0, 0.5),
+		"wheel-encoder": mat.VecOf(1.01, 1.98, 0.48),
+		"lidar":         mat.VecOf(2, 3, 1, 0.52),
+	}
+	f, err := ConsistencyFeatures(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.VecOf(-0.01, 0.02, 0.02, -0.02)
+	if f.Sub(want).MaxAbs() > 1e-9 {
+		t.Fatalf("features = %v, want %v", f, want)
+	}
+	// Heading difference must wrap.
+	readings["ips"][2] = 3.1
+	readings["lidar"][3] = -3.1
+	f, err = ConsistencyFeatures(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f[3]+0.083) > 0.001 {
+		t.Fatalf("wrapped heading feature = %v", f[3])
+	}
+	// Missing sensors error.
+	if _, err := ConsistencyFeatures(map[string]mat.Vec{"ips": mat.VecOf(1, 2, 3)}); err == nil {
+		t.Fatal("accepted missing sensors")
+	}
+}

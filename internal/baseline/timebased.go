@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TimeBased is the §II-C time-based comparator class ([29]–[31]): it
+// monitors the *periodicity* of each sensing workflow's packets on the
+// communication bus and alarms on missing or aperiodically injected
+// packets. It is content-agnostic by construction — a workflow that
+// keeps its cadence while emitting corrupted data (every Table II
+// scenario) is invisible to it, which is the weakness the paper calls
+// out.
+type TimeBased struct {
+	// ExpectedPeriod is the nominal packet period in iterations
+	// (1 = every control iteration).
+	ExpectedPeriod int
+	// Tolerance is the allowed deviation in iterations before a
+	// workflow is flagged.
+	Tolerance int
+
+	lastSeen map[string]int
+	started  bool
+}
+
+// NewTimeBased returns a monitor for workflows publishing every
+// iteration.
+func NewTimeBased() *TimeBased {
+	return &TimeBased{ExpectedPeriod: 1, Tolerance: 1, lastSeen: make(map[string]int)}
+}
+
+// Observe records which workflows published at iteration k (the key set
+// of the readings map) and returns the names flagged for periodicity
+// violations, sorted.
+func (t *TimeBased) Observe(k int, published map[string]bool) []string {
+	var flagged []string
+	if t.started {
+		for name, last := range t.lastSeen {
+			gap := k - last
+			if !published[name] && gap > t.ExpectedPeriod+t.Tolerance {
+				flagged = append(flagged, name)
+			}
+		}
+	}
+	for name := range published {
+		t.lastSeen[name] = k
+	}
+	t.started = true
+	sort.Strings(flagged)
+	return flagged
+}
+
+// String implements fmt.Stringer.
+func (t *TimeBased) String() string {
+	return fmt.Sprintf("time-based monitor (period %d ± %d iterations)", t.ExpectedPeriod, t.Tolerance)
+}

@@ -1,0 +1,171 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/world"
+)
+
+func TestPIDProportional(t *testing.T) {
+	c := PID{Kp: 2}
+	if got := c.Update(1.5, 0.1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("output = %v, want 3", got)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	c := PID{Ki: 1}
+	c.Update(1, 0.5)
+	got := c.Update(1, 0.5)
+	if math.Abs(got-1) > 1e-9 { // integral = 1.0 after two 0.5s steps
+		t.Fatalf("output = %v, want 1", got)
+	}
+}
+
+func TestPIDDerivativeNotPrimedOnFirstStep(t *testing.T) {
+	c := PID{Kd: 10}
+	if got := c.Update(5, 0.1); got != 0 {
+		t.Fatalf("first-step derivative kick: %v", got)
+	}
+	if got := c.Update(6, 0.1); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("derivative = %v, want 100", got)
+	}
+}
+
+func TestPIDAntiWindupAndSaturation(t *testing.T) {
+	c := PID{Ki: 1, IntegralLimit: 2, OutputLimit: 1.5}
+	for i := 0; i < 100; i++ {
+		c.Update(10, 0.1)
+	}
+	if got := c.Update(0, 0.1); math.Abs(got) > 1.5+1e-9 {
+		t.Fatalf("output exceeds saturation: %v", got)
+	}
+	c.Reset()
+	if got := c.Update(0, 0.1); got != 0 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestPIDZeroDt(t *testing.T) {
+	c := PID{Kp: 1}
+	if got := c.Update(1, 0); got != 0 {
+		t.Fatalf("zero dt output = %v", got)
+	}
+}
+
+func TestDiffDriveTrackerReachesGoal(t *testing.T) {
+	model := dynamics.NewKhepera(0.1)
+	path := []world.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 1.5, Y: 1.5}, {X: 2.5, Y: 1.5}}
+	tr, err := NewDiffDriveTracker(model, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.VecOf(0.5, 0.5, 0)
+	done := false
+	for i := 0; i < 2000 && !done; i++ {
+		var u mat.Vec
+		u, done = tr.Control(x)
+		x = model.F(x, u)
+	}
+	if !done {
+		t.Fatalf("never reached goal; final state %v", x)
+	}
+	goal := path[len(path)-1]
+	if d := math.Hypot(x[0]-goal.X, x[1]-goal.Y); d > tr.GoalTolerance+0.02 {
+		t.Fatalf("stopped %.3f m from goal", d)
+	}
+}
+
+func TestDiffDriveTrackerRespectsWheelLimit(t *testing.T) {
+	model := dynamics.NewKhepera(0.1)
+	tr, err := NewDiffDriveTracker(model, []world.Point{{X: 0, Y: 0}, {X: 3, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Facing exactly away from the path: large heading correction.
+	u, done := tr.Control(mat.VecOf(0, 0, math.Pi))
+	if done {
+		t.Fatal("done immediately")
+	}
+	if math.Abs(u[0]) > tr.MaxWheelSpeed+1e-9 || math.Abs(u[1]) > tr.MaxWheelSpeed+1e-9 {
+		t.Fatalf("wheel command exceeds limit: %v", u)
+	}
+}
+
+func TestDiffDriveTrackerDoneAtGoal(t *testing.T) {
+	model := dynamics.NewKhepera(0.1)
+	tr, err := NewDiffDriveTracker(model, []world.Point{{X: 0, Y: 0}, {X: 1, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, done := tr.Control(mat.VecOf(1, 0, 0))
+	if !done {
+		t.Fatal("not done at goal")
+	}
+	if u[0] != 0 || u[1] != 0 {
+		t.Fatalf("nonzero command at goal: %v", u)
+	}
+}
+
+func TestTrackerEmptyPath(t *testing.T) {
+	if _, err := NewDiffDriveTracker(dynamics.NewKhepera(0.1), nil); !errors.Is(err, ErrEmptyPath) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewBicycleTracker(dynamics.NewTamiya(0.1), nil); !errors.Is(err, ErrEmptyPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBicycleTrackerReachesGoal(t *testing.T) {
+	model := dynamics.NewTamiya(0.05)
+	path := []world.Point{{X: 0.5, Y: 0.5}, {X: 2, Y: 0.7}, {X: 3, Y: 2}, {X: 3.2, Y: 3.2}}
+	tr, err := NewBicycleTracker(model, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.VecOf(0.5, 0.5, 0, 0)
+	done := false
+	for i := 0; i < 5000 && !done; i++ {
+		var u mat.Vec
+		u, done = tr.Control(x)
+		x = model.F(x, u)
+	}
+	if !done {
+		t.Fatalf("never reached goal; final state %v", x)
+	}
+}
+
+func TestBicycleTrackerSteeringSaturated(t *testing.T) {
+	model := dynamics.NewTamiya(0.05)
+	tr, err := NewBicycleTracker(model, []world.Point{{X: 0, Y: 0}, {X: 3, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := tr.Control(mat.VecOf(0, 0, math.Pi, 0.3))
+	if math.Abs(u[1]) > model.MaxSteer+1e-9 {
+		t.Fatalf("steering exceeds saturation: %v", u[1])
+	}
+	if math.Abs(u[0]) > tr.MaxAccel+1e-9 {
+		t.Fatalf("acceleration exceeds limit: %v", u[0])
+	}
+}
+
+func TestLookaheadTargetNeverRegresses(t *testing.T) {
+	path := []world.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	progress := 0
+	// Standing near waypoint 2, the target must be ahead of it.
+	got := lookaheadTarget(path, world.Point{X: 2, Y: 0.01}, 0.5, &progress)
+	if got.X < 2.5 {
+		t.Fatalf("target = %v, should be ahead", got)
+	}
+	// Even if the query point moves backwards, progress is monotone.
+	before := progress
+	lookaheadTarget(path, world.Point{X: 0, Y: 0}, 0.5, &progress)
+	if progress < before {
+		t.Fatal("progress regressed")
+	}
+}

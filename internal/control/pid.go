@@ -1,0 +1,59 @@
+// Package control implements the closed-loop path tracking from the
+// paper's mission (§V-A): PID control that follows the RRT*-planned path
+// using real-time positioning feedback, producing the planned control
+// commands u_{k-1} that both the actuators and the RoboADS monitor
+// receive.
+package control
+
+import "math"
+
+// PID is a discrete PID controller with integral anti-windup and output
+// saturation.
+type PID struct {
+	// Kp, Ki, Kd are the proportional, integral and derivative gains.
+	Kp, Ki, Kd float64
+	// IntegralLimit bounds |integral| for anti-windup; 0 disables the
+	// integral clamp.
+	IntegralLimit float64
+	// OutputLimit bounds |output|; 0 disables output saturation.
+	OutputLimit float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// Update advances the controller by one period dt with the given error
+// and returns the control output.
+func (c *PID) Update(err, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	c.integral += err * dt
+	if c.IntegralLimit > 0 {
+		c.integral = clamp(c.integral, c.IntegralLimit)
+	}
+	var deriv float64
+	if c.primed {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.primed = true
+
+	out := c.Kp*err + c.Ki*c.integral + c.Kd*deriv
+	if c.OutputLimit > 0 {
+		out = clamp(out, c.OutputLimit)
+	}
+	return out
+}
+
+// Reset clears the integral and derivative history.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.primed = false
+}
+
+func clamp(v, limit float64) float64 {
+	return math.Max(-limit, math.Min(limit, v))
+}

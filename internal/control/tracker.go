@@ -1,0 +1,205 @@
+package control
+
+import (
+	"errors"
+	"math"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/world"
+)
+
+// ErrEmptyPath indicates a tracker constructed without waypoints.
+var ErrEmptyPath = errors.New("control: empty path")
+
+// Tracker converts the current state estimate into the next planned
+// control command, and reports when the mission is complete.
+type Tracker interface {
+	// Control returns the planned control command for state x and
+	// whether the goal has been reached.
+	Control(x mat.Vec) (u mat.Vec, done bool)
+}
+
+// lookaheadTarget returns the pure-pursuit target: pos is projected onto
+// the path, then the target is the path point a distance lookahead ahead
+// of that projection (interpolated along segments). *progress tracks the
+// segment index of the projection and never regresses, so the tracker
+// cannot be pulled back to an earlier path section it already passed.
+func lookaheadTarget(path []world.Point, pos world.Point, lookahead float64, progress *int) world.Point {
+	if len(path) == 1 {
+		return path[0]
+	}
+	// Project pos onto the remaining segments.
+	bestSeg, bestT, bestDist := *progress, 0.0, math.Inf(1)
+	for i := *progress; i < len(path)-1; i++ {
+		t, d := projectOnSegment(pos, path[i], path[i+1])
+		if d < bestDist {
+			bestSeg, bestT, bestDist = i, t, d
+		}
+	}
+	*progress = bestSeg
+
+	// Walk forward along the path from the projection point.
+	remaining := lookahead
+	cur := interpolate(path[bestSeg], path[bestSeg+1], bestT)
+	for i := bestSeg; i < len(path)-1; i++ {
+		end := path[i+1]
+		segLen := cur.Dist(end)
+		if segLen >= remaining {
+			t := remaining / segLen
+			return interpolate(cur, end, t)
+		}
+		remaining -= segLen
+		cur = end
+	}
+	return path[len(path)-1]
+}
+
+// projectOnSegment returns the parameter t ∈ [0, 1] of the closest point
+// to p on segment a→b, and the distance to it.
+func projectOnSegment(p, a, b world.Point) (t, dist float64) {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return 0, p.Dist(a)
+	}
+	ap := p.Sub(a)
+	t = (ap.X*ab.X + ap.Y*ab.Y) / den
+	t = math.Max(0, math.Min(1, t))
+	return t, p.Dist(interpolate(a, b, t))
+}
+
+func interpolate(a, b world.Point, t float64) world.Point {
+	return world.Point{X: a.X + t*(b.X-a.X), Y: a.Y + t*(b.Y-a.Y)}
+}
+
+// DiffDriveTracker follows a waypoint path with a differential drive
+// robot: pure-pursuit target selection, PID on the heading error, and a
+// speed profile that slows into the goal.
+type DiffDriveTracker struct {
+	model    *dynamics.DifferentialDrive
+	path     []world.Point
+	heading  PID
+	progress int
+
+	// Lookahead is the pure-pursuit distance in meters.
+	Lookahead float64
+	// CruiseSpeed is the nominal forward speed in m/s.
+	CruiseSpeed float64
+	// GoalTolerance ends the mission when within this distance of the
+	// final waypoint.
+	GoalTolerance float64
+	// MaxWheelSpeed saturates each wheel command in m/s.
+	MaxWheelSpeed float64
+}
+
+var _ Tracker = (*DiffDriveTracker)(nil)
+
+// NewDiffDriveTracker returns a tracker for the given model and path with
+// the experiment defaults.
+func NewDiffDriveTracker(model *dynamics.DifferentialDrive, path []world.Point) (*DiffDriveTracker, error) {
+	if len(path) == 0 {
+		return nil, ErrEmptyPath
+	}
+	t := &DiffDriveTracker{
+		model:         model,
+		path:          append([]world.Point(nil), path...),
+		Lookahead:     0.25,
+		CruiseSpeed:   0.15,
+		GoalTolerance: 0.08,
+		MaxWheelSpeed: 0.5,
+	}
+	t.heading = PID{Kp: 2.5, Ki: 0.0, Kd: 0.15, OutputLimit: 3.0}
+	return t, nil
+}
+
+// Control implements Tracker.
+func (t *DiffDriveTracker) Control(x mat.Vec) (mat.Vec, bool) {
+	pos := world.Point{X: x[0], Y: x[1]}
+	goal := t.path[len(t.path)-1]
+	distGoal := pos.Dist(goal)
+	if distGoal <= t.GoalTolerance {
+		return mat.VecOf(0, 0), true
+	}
+
+	target := lookaheadTarget(t.path, pos, t.Lookahead, &t.progress)
+	desired := math.Atan2(target.Y-pos.Y, target.X-pos.X)
+	headingErr := dynamics.AngleDiff(desired, x[2])
+	omega := t.heading.Update(headingErr, t.model.Dt)
+
+	// Slow down for sharp turns and on final approach.
+	speed := t.CruiseSpeed * math.Max(0.15, math.Cos(headingErr))
+	if distGoal < 3*t.GoalTolerance {
+		speed *= distGoal / (3 * t.GoalTolerance)
+	}
+
+	u := t.model.WheelSpeeds(speed, omega)
+	u[0] = clamp(u[0], t.MaxWheelSpeed)
+	u[1] = clamp(u[1], t.MaxWheelSpeed)
+	return u, false
+}
+
+// BicycleTracker follows a waypoint path with the kinematic bicycle:
+// pure-pursuit steering and PID speed control.
+type BicycleTracker struct {
+	model    *dynamics.Bicycle
+	path     []world.Point
+	speed    PID
+	progress int
+
+	// Lookahead is the pure-pursuit distance in meters.
+	Lookahead float64
+	// CruiseSpeed is the nominal forward speed in m/s.
+	CruiseSpeed float64
+	// GoalTolerance ends the mission when within this distance of the
+	// final waypoint.
+	GoalTolerance float64
+	// MaxAccel saturates the acceleration command in m/s².
+	MaxAccel float64
+}
+
+var _ Tracker = (*BicycleTracker)(nil)
+
+// NewBicycleTracker returns a tracker for the given model and path with
+// the experiment defaults.
+func NewBicycleTracker(model *dynamics.Bicycle, path []world.Point) (*BicycleTracker, error) {
+	if len(path) == 0 {
+		return nil, ErrEmptyPath
+	}
+	t := &BicycleTracker{
+		model:         model,
+		path:          append([]world.Point(nil), path...),
+		Lookahead:     0.45,
+		CruiseSpeed:   0.3,
+		GoalTolerance: 0.12,
+		MaxAccel:      1.0,
+	}
+	t.speed = PID{Kp: 2.0, Ki: 0.5, Kd: 0, IntegralLimit: 0.5, OutputLimit: t.MaxAccel}
+	return t, nil
+}
+
+// Control implements Tracker.
+func (t *BicycleTracker) Control(x mat.Vec) (mat.Vec, bool) {
+	pos := world.Point{X: x[0], Y: x[1]}
+	goal := t.path[len(t.path)-1]
+	distGoal := pos.Dist(goal)
+	v := x[3]
+	if distGoal <= t.GoalTolerance && math.Abs(v) < 0.05 {
+		return mat.VecOf(0, 0), true
+	}
+
+	target := lookaheadTarget(t.path, pos, t.Lookahead, &t.progress)
+	desired := math.Atan2(target.Y-pos.Y, target.X-pos.X)
+	alpha := dynamics.AngleDiff(desired, x[2])
+	// Pure-pursuit steering: δ = atan(2·L·sin(α) / lookahead).
+	delta := math.Atan2(2*t.model.WheelBase*math.Sin(alpha), t.Lookahead)
+	delta = clamp(delta, t.model.MaxSteer)
+
+	targetSpeed := t.CruiseSpeed * math.Max(0.2, math.Cos(alpha))
+	if distGoal < 4*t.GoalTolerance {
+		targetSpeed *= distGoal / (4 * t.GoalTolerance)
+	}
+	accel := t.speed.Update(targetSpeed-v, t.model.Dt)
+
+	return mat.VecOf(accel, delta), false
+}

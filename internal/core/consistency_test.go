@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+	"roboads/internal/stat"
+)
+
+// NEES (normalized estimation error squared) consistency tests: if the
+// filter's covariances are correct, the normalized errors are chi-square
+// with dof equal to the vector dimension, so their Monte Carlo mean must
+// sit near that dof. These tests exercise every covariance propagation
+// line of Algorithm 2 at once — a sign error anywhere shows up as a
+// biased NEES.
+
+// neesRun simulates `steps` iterations with the given actuator bias and
+// returns the accumulated state/actuator NEES sums and sample count.
+func neesRun(t *testing.T, seed int64, bias mat.Vec, steps int) (stateSum, daSum float64, n int) {
+	t.Helper()
+	rig := newTestRig(seed)
+	ref, err := sensors.NewStacked(rig.ips, rig.we)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := mat.VecOf(1.0, 1.0, 0.2)
+	xEst := xTrue.Clone()
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := rig.model.WheelSpeeds(0.12, 0.15)
+
+	for k := 0; k < steps; k++ {
+		uExec := u.Add(bias)
+		xTrue = rig.model.F(xTrue, uExec).Add(rig.processNoise())
+		z2 := rig.measure(rig.ips, xTrue).Concat(rig.measure(rig.we, xTrue))
+		z1 := rig.measure(rig.lidar, xTrue)
+		res, err := NUISE(rig.plant, ref, rig.lidar, u, xEst, px, z1, z2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		xEst, px = res.X, res.Px
+
+		// Skip the initial transient.
+		if k < 10 {
+			continue
+		}
+		stateErr := xEst.Sub(xTrue)
+		stateErr[2] = math.Atan2(math.Sin(stateErr[2]), math.Cos(stateErr[2]))
+		quad, err := res.Px.InvQuadForm(stateErr)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		stateSum += quad
+
+		daErr := res.Da.Sub(bias)
+		quadDa, err := res.Pa.InvQuadForm(daErr)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		daSum += quadDa
+		n++
+	}
+	return stateSum, daSum, n
+}
+
+func TestNEESConsistencyClean(t *testing.T) {
+	var stateSum, daSum float64
+	var n int
+	for seed := int64(0); seed < 8; seed++ {
+		s, d, c := neesRun(t, 100+seed, mat.NewVec(2), 120)
+		stateSum += s
+		daSum += d
+		n += c
+	}
+	stateNEES := stateSum / float64(n)
+	daNEES := daSum / float64(n)
+	// State dim 3, control dim 2. Linearization bias and the shared
+	// lidar-testing path justify a generous band.
+	if stateNEES < 1.5 || stateNEES > 5.0 {
+		t.Fatalf("state NEES = %.2f, want ≈ 3", stateNEES)
+	}
+	if daNEES < 1.0 || daNEES > 3.5 {
+		t.Fatalf("actuator NEES = %.2f, want ≈ 2", daNEES)
+	}
+}
+
+func TestNEESConsistencyUnderActuatorBias(t *testing.T) {
+	// The unbiasedness claim (§IV-B): with the true anomaly subtracted,
+	// the normalized d̂a error stays chi-square even while an attack is
+	// active — the estimate tracks the bias without covariance
+	// distortion.
+	var daSum float64
+	var n int
+	for seed := int64(0); seed < 8; seed++ {
+		_, d, c := neesRun(t, 200+seed, mat.VecOf(-0.04, 0.04), 120)
+		daSum += d
+		n += c
+	}
+	daNEES := daSum / float64(n)
+	if daNEES < 1.0 || daNEES > 3.5 {
+		t.Fatalf("actuator NEES under bias = %.2f, want ≈ 2", daNEES)
+	}
+}
+
+// The sensor anomaly estimate must be unbiased with a covariance that
+// matches its scatter: ds NEES ≈ testing dim.
+func TestNEESSensorAnomaly(t *testing.T) {
+	rig := newTestRig(300)
+	testingStack, err := sensors.NewStacked(rig.ips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sensors.NewStacked(rig.we, rig.lidar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := mat.VecOf(1.0, 1.0, 0.2)
+	xEst := xTrue.Clone()
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := rig.model.WheelSpeeds(0.12, 0.15)
+	bias := mat.VecOf(0.07, 0, 0) // injected IPS anomaly
+
+	var sum float64
+	n := 0
+	for k := 0; k < 200; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		z1 := rig.measure(rig.ips, xTrue).Add(bias)
+		z2 := rig.measure(rig.we, xTrue).Concat(rig.measure(rig.lidar, xTrue))
+		res, err := NUISE(rig.plant, ref, testingStack, u, xEst, px, z1, z2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		xEst, px = res.X, res.Px
+		if k < 10 {
+			continue
+		}
+		dsErr := res.Ds.Sub(bias)
+		quad, err := res.Ps.InvQuadForm(dsErr)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		sum += quad
+		n++
+	}
+	nees := sum / float64(n)
+	if nees < 1.5 || nees > 5.0 {
+		t.Fatalf("sensor anomaly NEES = %.2f, want ≈ 3", nees)
+	}
+}
+
+// Innovation whiteness: consecutive innovations of a well-tuned filter
+// are uncorrelated; a gross autocorrelation betrays covariance errors.
+func TestInnovationWhiteness(t *testing.T) {
+	rig := newTestRig(400)
+	xTrue := mat.VecOf(1.0, 1.0, 0.2)
+	xEst := xTrue.Clone()
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := rig.model.WheelSpeeds(0.12, 0.15)
+
+	var prev mat.Vec
+	var crossSum, varSum float64
+	n := 0
+	for k := 0; k < 300; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		z2 := rig.measure(rig.ips, xTrue)
+		res, err := NUISE(rig.plant, rig.ips, nil, u, xEst, px, nil, z2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		xEst, px = res.X, res.Px
+		if k >= 10 {
+			if prev != nil {
+				crossSum += res.Innovation.Dot(prev)
+				varSum += res.Innovation.Dot(res.Innovation)
+				n++
+			}
+			prev = res.Innovation.Clone()
+		}
+	}
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	autocorr := crossSum / varSum
+	if math.Abs(autocorr) > 0.25 {
+		t.Fatalf("innovation lag-1 autocorrelation = %.3f, want ≈ 0", autocorr)
+	}
+}
+
+// End-to-end calibration: under the correct hypothesis, the innovation
+// p-values the engine weights modes by must be (approximately) uniform
+// on (0,1) — verified with a Kolmogorov–Smirnov test at a strict level.
+// A bias anywhere in the covariance chain skews this distribution.
+func TestPValueUniformityUnderNull(t *testing.T) {
+	rig := newTestRig(500)
+	xTrue := mat.VecOf(1.0, 1.0, 0.2)
+	xEst := xTrue.Clone()
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := rig.model.WheelSpeeds(0.12, 0.15)
+
+	var pvalues []float64
+	for k := 0; k < 600; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		z2 := rig.measure(rig.ips, xTrue)
+		res, err := NUISE(rig.plant, rig.ips, nil, u, xEst, px, nil, z2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		xEst, px = res.X, res.Px
+		if k >= 20 {
+			pvalues = append(pvalues, res.PValue)
+		}
+	}
+	statVal, rejected, err := stat.KSUniform(pvalues, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Fatalf("p-values not uniform under the null: KS D = %.4f over %d samples", statVal, len(pvalues))
+	}
+}

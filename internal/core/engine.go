@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+)
+
+// EngineConfig tunes the multi-mode estimation engine.
+type EngineConfig struct {
+	// Epsilon is the mode-weight floor of Algorithm 1 line 6
+	// (μ ← max(N·μ, ε)). It keeps dismissed modes recoverable, enabling
+	// transitions like scenario #10's S0→3→5→1 when an attack ends.
+	Epsilon float64
+	// WeightByDensity switches the weight update to the paper-literal
+	// Gaussian density N_k instead of the innovation p-value. Raw
+	// densities are not comparable across modes whose reference blocks
+	// have different dimensions or noise scales (a fine-grained
+	// reference dominates regardless of consistency), so the default is
+	// the p-value; this flag exists for the ablation benchmark.
+	WeightByDensity bool
+	// AttackPrior folds testing-sensor evidence into the mode weight:
+	// each testing sensor contributes max(pvalue(d̂s_t), AttackPrior).
+	// Under a wrong hypothesis the corrupted reference drags the shared
+	// state, so *several* testing sensors appear corrupted at once and
+	// the mode pays the prior once per sensor; the true hypothesis pays
+	// it only for sensors actually under attack. This encodes the
+	// paper's §II-B assumption that simultaneous corruption of many
+	// workflows is unlikely, and breaks the post-absorption symmetry
+	// between hypotheses that the reference innovation alone cannot
+	// distinguish. Zero disables the term (paper-literal weighting);
+	// it is also skipped when WeightByDensity is set.
+	AttackPrior float64
+	// ActuatorPrior is the actuator-side analog: the mode weight is
+	// multiplied by max(pvalue(d̂a), ActuatorPrior). A mode whose
+	// reference sensor is corrupted along the control-Jacobian span
+	// re-absorbs the corruption as a *persistent* phantom actuator
+	// anomaly; charging that hypothesis the actuator prior each
+	// iteration gives the true mode an exponential advantage. When a
+	// real actuator attack is active every mode estimates it, so the
+	// factor cancels across modes and costs nothing. Zero disables.
+	ActuatorPrior float64
+	// ResyncWeight is the normalized-weight level at or below which a
+	// mode's private state is re-synchronized from the consensus each
+	// iteration (see Engine.Step). It must sit above Epsilon so that
+	// floor-pinned modes stay synced.
+	ResyncWeight float64
+}
+
+// DefaultEngineConfig returns the configuration used by the experiments.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Epsilon:       1e-9,
+		AttackPrior:   0.05,
+		ActuatorPrior: 0.05,
+		ResyncWeight:  1e-6,
+	}
+}
+
+// Engine is the multi-mode estimation engine of §IV-B: a bank of NUISE
+// estimators, one per sensor-condition hypothesis, with likelihood-based
+// mode selection (Algorithm 1 lines 4–9).
+type Engine struct {
+	plant   Plant
+	modes   []*Mode
+	weights []float64
+	// x, px hold the consensus belief (the selected mode's posterior).
+	x  mat.Vec
+	px *mat.Mat
+	// xm, pxm hold each mode's private belief. Running the bank on
+	// per-mode states (rather than the paper's shared state) prevents a
+	// corrupted-reference mode that happens to be selected at attack
+	// onset from absorbing the corruption into everyone's prior and
+	// permanently handicapping the clean hypotheses; see Step.
+	xm  []mat.Vec
+	pxm []*mat.Mat
+
+	cfg      EngineConfig
+	k        int
+	selected int
+}
+
+// Output is one control iteration's engine result.
+type Output struct {
+	// Iteration is the control iteration index k.
+	Iteration int
+	// Selected is the index of the highest-weight mode M_k.
+	Selected int
+	// SelectedMode is modes[Selected].
+	SelectedMode *Mode
+	// Weights are the normalized mode weights μ.
+	Weights []float64
+	// PerMode holds each mode's NUISE result (nil where the mode failed
+	// this iteration, e.g. transient ill-conditioning).
+	PerMode []*Result
+	// Result is the selected mode's NUISE result.
+	Result *Result
+	// SensorAnomalies is the per-testing-sensor split of the selected
+	// mode's d̂s.
+	SensorAnomalies []SensorAnomaly
+}
+
+// NewEngine builds an engine with the given hypothesis set and initial
+// state belief x0 ~ N(x0, p0). Mode weights start uniform.
+func NewEngine(plant Plant, modes []*Mode, x0 mat.Vec, p0 *mat.Mat, cfg EngineConfig) (*Engine, error) {
+	if err := plant.Validate(); err != nil {
+		return nil, err
+	}
+	if len(modes) == 0 {
+		return nil, ErrNoModes
+	}
+	n := plant.Model.StateDim()
+	if len(x0) != n || p0.Rows() != n || p0.Cols() != n {
+		return nil, fmt.Errorf("core: initial belief must be %d-dimensional", n)
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = DefaultEngineConfig().Epsilon
+	}
+	weights := make([]float64, len(modes))
+	xm := make([]mat.Vec, len(modes))
+	pxm := make([]*mat.Mat, len(modes))
+	for i := range weights {
+		weights[i] = 1 / float64(len(modes))
+		xm[i] = x0.Clone()
+		pxm[i] = p0.Clone()
+	}
+	return &Engine{
+		plant:   plant,
+		modes:   append([]*Mode(nil), modes...),
+		weights: weights,
+		x:       x0.Clone(),
+		px:      p0.Clone(),
+		xm:      xm,
+		pxm:     pxm,
+		cfg:     cfg,
+	}, nil
+}
+
+// Modes returns the engine's hypothesis set.
+func (e *Engine) Modes() []*Mode {
+	return append([]*Mode(nil), e.modes...)
+}
+
+// State returns the current fused state estimate and covariance.
+func (e *Engine) State() (mat.Vec, *mat.Mat) {
+	return e.x.Clone(), e.px.Clone()
+}
+
+// ErrAllModesFailed indicates every NUISE instance errored in one
+// iteration, leaving the engine without a state update.
+var ErrAllModesFailed = errors.New("core: all modes failed")
+
+// Step runs one control iteration (Algorithm 1 lines 2–9): every mode's
+// NUISE in parallel over the same prior, weight update with floor ε,
+// normalization, and mode selection. readings maps each sensing workflow
+// name to its (possibly corrupted) reading z_k.
+func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
+	perMode := make([]*Result, len(e.modes))
+	for i, m := range e.modes {
+		z2, err := stackReadings(readings, m.ReferenceNames)
+		if err != nil {
+			return nil, err
+		}
+		var z1 mat.Vec
+		if m.testingStacked != nil {
+			names := make([]string, len(m.Testing))
+			for j, s := range m.Testing {
+				names[j] = s.Name()
+			}
+			if z1, err = stackReadings(readings, names); err != nil {
+				return nil, err
+			}
+		}
+		res, err := NUISE(e.plant, m.Reference, m.testingStacked, u, e.xm[i], e.pxm[i], z1, z2)
+		if err != nil {
+			// A mode can fail transiently (ill-conditioning) without
+			// sinking the engine; it just gets the weight floor below.
+			continue
+		}
+		perMode[i] = res
+		e.xm[i] = res.X.Clone()
+		e.pxm[i] = res.Px.Clone()
+	}
+
+	// Weight update μ ← N·μ, normalize, then floor at ε and renormalize
+	// (Algorithm 1 lines 6 and 8). Flooring after normalization keeps
+	// the floor from erasing relative mode history: likelihood weights
+	// below 1 (p-values always are) would otherwise drag every mode to
+	// ε within tens of iterations and reset the bank each step.
+	next := make([]float64, len(e.weights))
+	var sum float64
+	for i := range e.weights {
+		likelihood := 0.0
+		if perMode[i] != nil && !perMode[i].Implausible {
+			if e.cfg.WeightByDensity {
+				likelihood = perMode[i].Likelihood
+			} else {
+				likelihood = perMode[i].PValue * e.testingEvidence(e.modes[i], perMode[i])
+			}
+		}
+		next[i] = e.weights[i] * likelihood
+		sum += next[i]
+	}
+	if sum > 0 {
+		var floored float64
+		for i := range next {
+			next[i] /= sum
+			if next[i] < e.cfg.Epsilon {
+				next[i] = e.cfg.Epsilon
+			}
+			floored += next[i]
+		}
+		for i := range next {
+			next[i] /= floored
+		}
+		copy(e.weights, next)
+	}
+	// sum == 0 (every mode collapsed this iteration) carries the
+	// previous weights forward unchanged: no information this round.
+
+	// Mode selection: argmax normalized weight among surviving modes,
+	// with hysteresis — ties keep the previously selected mode. Without
+	// it, a transient that floors every weight (e.g. a LiDAR beam
+	// crossing a wall-assignment discontinuity) would hand the engine to
+	// an arbitrary mode, and a corrupted-reference mode picked that way
+	// absorbs the corruption into the shared state and never loses again.
+	usable := func(i int) bool { return perMode[i] != nil && !perMode[i].Implausible }
+	selected := -1
+	best := -1.0
+	if e.selected < len(perMode) && usable(e.selected) {
+		selected, best = e.selected, e.weights[e.selected]
+	}
+	for i, w := range e.weights {
+		if usable(i) && w > best {
+			selected, best = i, w
+		}
+	}
+	if selected < 0 {
+		// Every mode is implausible this iteration (e.g. a violent
+		// transient): fall back to any mode that at least computed, so
+		// the engine keeps a state estimate.
+		for i, w := range e.weights {
+			if perMode[i] != nil && w > best {
+				selected, best = i, w
+			}
+		}
+	}
+	if selected < 0 {
+		return nil, ErrAllModesFailed
+	}
+	e.selected = selected
+
+	// The selected mode's posterior is the consensus estimate
+	// (Algorithm 1 line 9).
+	res := perMode[selected]
+	e.x = res.X.Clone()
+	e.px = res.Px.Clone()
+
+	// Re-synchronize rejected hypotheses from the consensus: a mode whose
+	// weight has collapsed (or whose step failed) restarts from the
+	// selected mode's belief. A corrupted-reference mode therefore keeps
+	// paying the corruption cost against the consensus frame every
+	// iteration instead of drifting into a self-consistent biased frame,
+	// and a mode whose sensor recovers from an attack (scenario #10's
+	// S…→1 transition) re-enters from a sane state.
+	for i := range e.modes {
+		if i == selected {
+			continue
+		}
+		if perMode[i] == nil || e.weights[i] <= e.cfg.ResyncWeight {
+			e.xm[i] = e.x.Clone()
+			e.pxm[i] = e.px.Clone()
+		}
+	}
+
+	out := &Output{
+		Iteration:    e.k,
+		Selected:     selected,
+		SelectedMode: e.modes[selected],
+		Weights:      append([]float64(nil), e.weights...),
+		PerMode:      perMode,
+		Result:       res,
+	}
+	if res.Ds != nil {
+		out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
+	}
+	e.k++
+	return out, nil
+}
+
+// testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over the
+// mode's testing sensors, times max(pvalue(d̂a), ActuatorPrior) (see
+// EngineConfig.AttackPrior and ActuatorPrior).
+func (e *Engine) testingEvidence(m *Mode, res *Result) float64 {
+	evidence := 1.0
+	if e.cfg.AttackPrior > 0 && res.Ds != nil {
+		for _, sa := range m.SplitDs(res.Ds, res.Ps) {
+			evidence *= flooredPValue(sa.Ps, sa.Ds, e.cfg.AttackPrior)
+		}
+	}
+	if e.cfg.ActuatorPrior > 0 && res.Da != nil {
+		evidence *= flooredPValue(res.Pa, res.Da, e.cfg.ActuatorPrior)
+	}
+	return evidence
+}
+
+// flooredPValue returns max(P(χ²_n > vᵀcov⁻¹v), floor), degrading to the
+// floor when the covariance is singular.
+func flooredPValue(cov *mat.Mat, v mat.Vec, floor float64) float64 {
+	pv := 0.0
+	if quad, err := cov.InvQuadForm(v); err == nil && quad >= 0 {
+		if cdf, err := stat.ChiSquareCDF(quad, v.Len()); err == nil {
+			pv = 1 - cdf
+		}
+	}
+	if pv < floor {
+		pv = floor
+	}
+	return pv
+}
+
+func stackReadings(readings map[string]mat.Vec, names []string) (mat.Vec, error) {
+	var out mat.Vec
+	for _, name := range names {
+		z, ok := readings[name]
+		if !ok {
+			return nil, fmt.Errorf("core: missing reading for sensor %q", name)
+		}
+		out = append(out, z...)
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+// Package core implements the paper's primary contribution: the nonlinear
+// unknown input and state estimation algorithm (NUISE, Algorithm 2) and
+// the multi-mode estimation engine of §IV-B that runs one NUISE instance
+// per sensor-condition hypothesis, selecting the most likely mode each
+// control iteration.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+	"roboads/internal/stat"
+)
+
+// Plant bundles the robot model and noise statistics that every NUISE
+// instance linearizes against.
+type Plant struct {
+	// Model is the kinematic model f of equation (1).
+	Model dynamics.Model
+	// Q is the process noise covariance (assumed Gaussian, §III-A).
+	Q *mat.Mat
+	// AngleStates lists state components that are angles and must be
+	// wrapped after additive updates (index 2 for both robot models).
+	AngleStates []int
+	// UMax optionally bounds |u + d̂a| per control component. Executed
+	// commands are produced by physical actuators and therefore bounded;
+	// a mode whose estimated executed command violates the bound is
+	// physically impossible and is reported Implausible, which the
+	// engine treats as zero likelihood. This closes the hijack where a
+	// corrupted-reference mode absorbs a sensor bias aligned with the
+	// direction of travel into an enormous phantom actuator anomaly.
+	// Empty or zero entries disable the check.
+	UMax mat.Vec
+}
+
+// Validate checks the plant dimensions.
+func (p Plant) Validate() error {
+	if p.Model == nil {
+		return errors.New("core: plant has no model")
+	}
+	n := p.Model.StateDim()
+	if p.Q == nil || p.Q.Rows() != n || p.Q.Cols() != n {
+		return fmt.Errorf("core: Q must be %dx%d", n, n)
+	}
+	return nil
+}
+
+func (p Plant) wrapState(x mat.Vec) mat.Vec {
+	for _, i := range p.AngleStates {
+		x[i] = dynamics.NormalizeAngle(x[i])
+	}
+	return x
+}
+
+// Result is the output of one NUISE step for one mode (the per-mode
+// quantities of Fig. 3).
+type Result struct {
+	// X is the state estimate x̂_{k|k}.
+	X mat.Vec
+	// Px is the state estimation error covariance.
+	Px *mat.Mat
+	// Da is the actuator anomaly vector estimate d̂a_{k-1}.
+	Da mat.Vec
+	// Pa is the covariance of Da.
+	Pa *mat.Mat
+	// Ds is the stacked testing-sensor anomaly vector estimate d̂s_k
+	// (empty when the mode has no testing sensors).
+	Ds mat.Vec
+	// Ps is the covariance of Ds.
+	Ps *mat.Mat
+	// Likelihood is N_k, the Gaussian density of Algorithm 2 line 20.
+	Likelihood float64
+	// PValue is P(χ²_n > νᵀ·R̃2†·ν): the probability of an innovation at
+	// least this surprising under the mode's hypothesis. Unlike the raw
+	// density, it is comparable across modes with different measurement
+	// dimensions and noise scales, so the engine weights modes by it
+	// (see EngineConfig.WeightByDensity for the paper-literal variant).
+	PValue float64
+	// Innovation is ν_k = z2 − h2(x̂_{k|k-1}), kept for diagnostics.
+	Innovation mat.Vec
+	// Implausible reports that the estimated executed command u + d̂a
+	// violates the plant's physical actuator bounds (Plant.UMax), so
+	// this mode's hypothesis cannot be true this iteration.
+	Implausible bool
+	// DaValid reports whether the actuator anomaly could be estimated
+	// this iteration. It is false when rank(C2·G) < dim(u) — e.g. a
+	// bicycle at standstill, where steering has no observable effect —
+	// in which case the step degrades to a standard EKF update with
+	// d̂a = 0 and an uninformative Pa, and the decision maker skips the
+	// actuator test.
+	DaValid bool
+}
+
+// Estimation failure modes.
+var (
+	// ErrIllConditioned indicates a covariance inversion failed.
+	ErrIllConditioned = errors.New("core: ill-conditioned covariance")
+	// ErrDiverged indicates NaN/Inf contamination of the estimates.
+	ErrDiverged = errors.New("core: estimator diverged")
+)
+
+// NUISE runs one step of Algorithm 2 for a single mode.
+//
+// Inputs: the planned command u_{k-1}, the previous estimate
+// x̂_{k-1|k-1} with covariance Px_{k-1}, the testing-sensor readings z1
+// (may be nil when the mode has no testing sensors), and the
+// reference-sensor readings z2.
+//
+// A note on signs: the paper's printed Algorithm 2 is internally
+// inconsistent about the cross-covariance between the compensated
+// prediction error and the reference measurement noise (lines 11/12/14
+// print +C2·G·M2·R2 terms where line 18 prints −). Deriving from
+// x̃_{k|k-1} = (I − G·M2·C2)(A·x̃ + ζ) − G·M2·ξ2 gives
+// S ≔ E[x̃_{k|k-1}·ξ2ᵀ] = −G·M2·R2; we implement that self-consistent
+// version, which reduces to the standard Gillijns–De Moor filter in the
+// linear case and matches the paper's line 18 likelihood covariance.
+func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxPrev *mat.Mat, z1, z2 mat.Vec) (*Result, error) {
+	model := plant.Model
+	n := model.StateDim()
+	q := model.ControlDim()
+
+	// Linearize the kinematics at the previous estimate.
+	a := model.A(xPrev, u)
+	g := model.G(xPrev, u)
+
+	// Uncompensated prediction, and the measurement linearization point.
+	xPred0 := plant.wrapState(model.F(xPrev, u))
+	c2 := reference.C(xPred0)
+	r2 := reference.R()
+
+	// --- Step 1: actuator anomaly estimation (lines 2–6) ---
+	pTilde := a.Mul(pxPrev).Mul(a.T()).Add(plant.Q)
+	rStar := c2.Mul(pTilde).Mul(c2.T()).Add(r2).Symmetrize()
+	rStarInv, err := rStar.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: R* inversion: %v", ErrIllConditioned, err)
+	}
+	gtC2t := g.T().Mul(c2.T())
+	fisher := gtC2t.Mul(rStarInv).Mul(c2.Mul(g)) // q×q
+	daValid := fisherConditioned(fisher)
+	var m2 *mat.Mat
+	var da mat.Vec
+	var pa *mat.Mat
+	if daValid {
+		fisherInv, err := fisher.Inverse()
+		if err != nil {
+			daValid = false
+		} else {
+			m2 = fisherInv.Mul(gtC2t).Mul(rStarInv) // q×p2
+			innov0 := sensors.WrapResidual(z2.Sub(reference.H(xPred0)), reference.AngleIndices())
+			da = m2.MulVec(innov0)
+			pa = m2.Mul(rStar).Mul(m2.T()).Symmetrize()
+		}
+	}
+	if !daValid {
+		// rank(C2·G) < dim(u): the actuator anomaly is unobservable from
+		// this reference (e.g. steering at standstill). Degrade to a
+		// standard EKF step: no compensation, d̂a pinned at zero with an
+		// uninformative covariance.
+		m2 = mat.New(q, reference.Dim())
+		da = mat.NewVec(q)
+		pa = mat.Identity(q).Scale(1e6)
+	}
+
+	// --- Step 2: compensated state prediction (lines 7–10) ---
+	uComp := u.Add(da)
+	implausible := false
+	if daValid {
+		for i, bound := range plant.UMax {
+			if bound > 0 && i < uComp.Len() && math.Abs(uComp[i]) > bound {
+				implausible = true
+			}
+		}
+	}
+	xPred := plant.wrapState(model.F(xPrev, uComp))
+	gm2 := g.Mul(m2)
+	igm := mat.Identity(n).Sub(gm2.Mul(c2))
+	aBar := igm.Mul(a)
+	qBar := igm.Mul(plant.Q).Mul(igm.T()).Add(gm2.Mul(r2).Mul(gm2.T()))
+	pxPred := aBar.Mul(pxPrev).Mul(aBar.T()).Add(qBar).Symmetrize()
+
+	// --- Step 3: state estimation (lines 11–14) ---
+	// Cross covariance S = E[x̃_{k|k-1}·ξ2ᵀ] = −G·M2·R2.
+	s := gm2.Mul(r2).Scale(-1)
+	r2Tilde := c2.Mul(pxPred).Mul(c2.T()).Add(r2).
+		Add(c2.Mul(s)).Add(s.T().Mul(c2.T())).Symmetrize()
+	nu := sensors.WrapResidual(z2.Sub(reference.H(xPred)), reference.AngleIndices())
+
+	gainNumer := pxPred.Mul(c2.T()).Add(s)
+	r2TildeInv, rank, pseudoDet, err := r2Tilde.PseudoInverseSym(0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: innovation covariance: %v", ErrIllConditioned, err)
+	}
+	l := gainNumer.Mul(r2TildeInv)
+
+	x := plant.wrapState(xPred.Add(l.MulVec(nu)))
+	ilc := mat.Identity(n).Sub(l.Mul(c2))
+	px := ilc.Mul(pxPred).Mul(ilc.T()).
+		Add(l.Mul(r2).Mul(l.T())).
+		Sub(ilc.Mul(s).Mul(l.T())).
+		Sub(l.Mul(s.T()).Mul(ilc.T())).Symmetrize()
+
+	// --- Step 4: testing-sensor anomaly estimation (lines 15–16) ---
+	var ds mat.Vec
+	ps := mat.New(0, 0)
+	if testing != nil && testing.Dim() > 0 {
+		ds = sensors.WrapResidual(z1.Sub(testing.H(x)), testing.AngleIndices())
+		c1 := testing.C(x)
+		ps = c1.Mul(px).Mul(c1.T()).Add(testing.R()).Symmetrize()
+	}
+
+	// --- Likelihood (lines 17–20) ---
+	likelihood, pValue := likelihoodOf(nu, r2TildeInv, rank, pseudoDet)
+
+	res := &Result{
+		X:           x,
+		Px:          px,
+		Da:          da,
+		Pa:          pa,
+		Ds:          ds,
+		Ps:          ps,
+		Likelihood:  likelihood,
+		PValue:      pValue,
+		Innovation:  nu,
+		Implausible: implausible,
+		DaValid:     daValid,
+	}
+	if res.X.HasNaN() || res.Px.HasNaN() || res.Da.HasNaN() || (ds != nil && ds.HasNaN()) {
+		return nil, ErrDiverged
+	}
+	return res, nil
+}
+
+// fisherConditioned reports whether the q×q information matrix
+// Gᵀ·C2ᵀ·R*⁻¹·C2·G is invertible with a usable condition number.
+func fisherConditioned(fisher *mat.Mat) bool {
+	eig, _, err := fisher.EigenSym()
+	if err != nil {
+		return false
+	}
+	minEig, maxEig := math.Inf(1), 0.0
+	for _, lambda := range eig {
+		a := math.Abs(lambda)
+		if a < minEig {
+			minEig = a
+		}
+		if a > maxEig {
+			maxEig = a
+		}
+	}
+	return maxEig > 0 && minEig > 1e-10*maxEig
+}
+
+// likelihoodOf evaluates the Gaussian likelihood of Algorithm 2 line 20
+// with pseudo-inverse and pseudo-determinant,
+//
+//	N_k = exp(−νᵀ·(P_{k|k-1})†·ν / 2) / ((2π)^{n/2}·|P_{k|k-1}|₊^{1/2})
+//
+// together with the chi-square p-value of the same normalized innovation.
+func likelihoodOf(nu mat.Vec, pinv *mat.Mat, rank int, pseudoDet float64) (density, pValue float64) {
+	if rank == 0 {
+		return 0, 0
+	}
+	quad := pinv.QuadForm(nu)
+	if quad < 0 {
+		quad = 0 // guard tiny negative round-off
+	}
+	if cdf, err := stat.ChiSquareCDF(quad, rank); err == nil {
+		pValue = 1 - cdf
+	}
+	norm := math.Pow(2*math.Pi, float64(rank)/2) * math.Sqrt(math.Abs(pseudoDet))
+	if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return 0, pValue
+	}
+	return math.Exp(-quad/2) / norm, pValue
+}

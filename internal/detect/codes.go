@@ -1,0 +1,53 @@
+package detect
+
+// Table III condition codes for the Khepera sensor suite. The engine and
+// decision maker are sensor-agnostic; these helpers render their output
+// in the paper's S0–S6 / A0–A1 notation for the Table II experiments.
+
+// Khepera sensing workflow names.
+const (
+	SensorIPS          = "ips"
+	SensorWheelEncoder = "wheel-encoder"
+	SensorLidar        = "lidar"
+)
+
+// KheperaSensorCode maps a confirmed sensor set to the Table III sensor
+// mode S0–S6. Conditions outside the table (all three corrupted — the
+// paper excludes it) render as "S?".
+func KheperaSensorCode(c Condition) string {
+	has := make(map[string]bool, len(c.Sensors))
+	for _, s := range c.Sensors {
+		has[s] = true
+	}
+	switch {
+	case len(c.Sensors) == 0:
+		return "S0"
+	case len(c.Sensors) == 1 && has[SensorIPS]:
+		return "S1"
+	case len(c.Sensors) == 1 && has[SensorWheelEncoder]:
+		return "S2"
+	case len(c.Sensors) == 1 && has[SensorLidar]:
+		return "S3"
+	case len(c.Sensors) == 2 && has[SensorWheelEncoder] && has[SensorLidar]:
+		return "S4"
+	case len(c.Sensors) == 2 && has[SensorIPS] && has[SensorLidar]:
+		return "S5"
+	case len(c.Sensors) == 2 && has[SensorIPS] && has[SensorWheelEncoder]:
+		return "S6"
+	default:
+		return "S?"
+	}
+}
+
+// ActuatorCode maps the actuator flag to A0/A1 (Table III).
+func ActuatorCode(c Condition) string {
+	if c.Actuator {
+		return "A1"
+	}
+	return "A0"
+}
+
+// CodeString renders "S…,A…" for a condition, e.g. "S1,A0".
+func CodeString(c Condition) string {
+	return KheperaSensorCode(c) + "," + ActuatorCode(c)
+}

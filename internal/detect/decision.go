@@ -1,0 +1,288 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"roboads/internal/core"
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+)
+
+// Config holds the decision parameters profiled in §V-F: the chi-square
+// confidence levels α and the sliding-window size w / criteria c for each
+// misbehavior class.
+type Config struct {
+	// SensorAlpha is the confidence level for the aggregate and
+	// per-sensor tests. Paper optimum: 0.005.
+	SensorAlpha float64
+	// SensorWindow and SensorCriteria are the c-of-w parameters for
+	// sensor alarms. Paper optimum: 2 of 2.
+	SensorWindow, SensorCriteria int
+	// ActuatorAlpha is the confidence level for the actuator test.
+	// Paper optimum: 0.05.
+	ActuatorAlpha float64
+	// ActuatorWindow and ActuatorCriteria are the c-of-w parameters for
+	// actuator alarms. Paper optimum: 3 of 6.
+	ActuatorWindow, ActuatorCriteria int
+}
+
+// DefaultConfig returns the parameters the paper selects in §V-F.
+func DefaultConfig() Config {
+	return Config{
+		SensorAlpha:      0.005,
+		SensorWindow:     2,
+		SensorCriteria:   2,
+		ActuatorAlpha:    0.05,
+		ActuatorWindow:   6,
+		ActuatorCriteria: 3,
+	}
+}
+
+// Condition is a reported misbehavior condition: which sensing workflows
+// are confirmed misbehaving, and whether the actuators are.
+type Condition struct {
+	// Sensors holds the confirmed misbehaving workflow names, sorted.
+	Sensors []string
+	// Actuator reports a confirmed actuator misbehavior.
+	Actuator bool
+}
+
+// Clean reports whether the condition is S0/A0 (nothing confirmed).
+func (c Condition) Clean() bool { return len(c.Sensors) == 0 && !c.Actuator }
+
+// Equal reports whether two conditions are identical.
+func (c Condition) Equal(o Condition) bool {
+	if c.Actuator != o.Actuator || len(c.Sensors) != len(o.Sensors) {
+		return false
+	}
+	for i := range c.Sensors {
+		if c.Sensors[i] != o.Sensors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer, e.g. "S{ips}/A1".
+func (c Condition) String() string {
+	a := "A0"
+	if c.Actuator {
+		a = "A1"
+	}
+	if len(c.Sensors) == 0 {
+		return "S0/" + a
+	}
+	return "S{" + strings.Join(c.Sensors, ",") + "}/" + a
+}
+
+// Decision is one control iteration's decision-maker output.
+type Decision struct {
+	// Iteration is the control iteration index.
+	Iteration int
+	// Mode is the selected mode's name.
+	Mode string
+	// SensorStat and SensorThreshold are the aggregate sensor test
+	// statistic d̂sᵀ·Ps⁻¹·d̂s and its chi-square threshold.
+	SensorStat, SensorThreshold float64
+	// SensorRaw is the raw (pre-window) aggregate sensor test outcome.
+	SensorRaw bool
+	// SensorAlarm is the window-confirmed sensor misbehavior alarm.
+	SensorAlarm bool
+	// ActuatorStat and ActuatorThreshold are the actuator test statistic
+	// d̂aᵀ·Pa⁻¹·d̂a and its threshold.
+	ActuatorStat, ActuatorThreshold float64
+	// ActuatorRaw is the raw actuator test outcome.
+	ActuatorRaw bool
+	// ActuatorAlarm is the window-confirmed actuator misbehavior alarm.
+	ActuatorAlarm bool
+	// PerSensorStats maps each testing sensor to its identification
+	// statistic.
+	PerSensorStats map[string]float64
+	// Condition is the confirmed misbehavior condition.
+	Condition Condition
+	// Da is the actuator anomaly estimate (per-actuator quantification,
+	// Algorithm 1 lines 22–24).
+	Da mat.Vec
+	// SensorAnomalies are the per-sensor anomaly estimates of the
+	// selected mode.
+	SensorAnomalies []core.SensorAnomaly
+}
+
+// Decider is the stateful decision maker: it holds the sliding windows
+// and cached chi-square thresholds across control iterations.
+type Decider struct {
+	cfg            Config
+	sensorWindow   *SlidingWindow
+	actuatorWindow *SlidingWindow
+	perSensor      map[string]*SlidingWindow
+	thresholds     map[int]float64 // sensor-side quantiles by dof
+	actThresholds  map[int]float64 // actuator-side quantiles by dof
+}
+
+// NewDecider returns a decision maker with the given parameters.
+func NewDecider(cfg Config) *Decider {
+	return &Decider{
+		cfg:            cfg,
+		sensorWindow:   NewSlidingWindow(cfg.SensorWindow, cfg.SensorCriteria),
+		actuatorWindow: NewSlidingWindow(cfg.ActuatorWindow, cfg.ActuatorCriteria),
+		perSensor:      make(map[string]*SlidingWindow),
+		thresholds:     make(map[int]float64),
+		actThresholds:  make(map[int]float64),
+	}
+}
+
+func (d *Decider) sensorThreshold(dof int) (float64, error) {
+	if t, ok := d.thresholds[dof]; ok {
+		return t, nil
+	}
+	t, err := stat.ChiSquareQuantile(d.cfg.SensorAlpha, dof)
+	if err != nil {
+		return 0, fmt.Errorf("detect: sensor threshold: %w", err)
+	}
+	d.thresholds[dof] = t
+	return t, nil
+}
+
+func (d *Decider) actuatorThreshold(dof int) (float64, error) {
+	if t, ok := d.actThresholds[dof]; ok {
+		return t, nil
+	}
+	t, err := stat.ChiSquareQuantile(d.cfg.ActuatorAlpha, dof)
+	if err != nil {
+		return 0, fmt.Errorf("detect: actuator threshold: %w", err)
+	}
+	d.actThresholds[dof] = t
+	return t, nil
+}
+
+func (d *Decider) windowFor(sensor string) *SlidingWindow {
+	w, ok := d.perSensor[sensor]
+	if !ok {
+		w = NewSlidingWindow(d.cfg.SensorWindow, d.cfg.SensorCriteria)
+		d.perSensor[sensor] = w
+	}
+	return w
+}
+
+// Decide runs Algorithm 1 lines 10–25 on one engine output.
+func (d *Decider) Decide(out *core.Output) (*Decision, error) {
+	dec := &Decision{
+		Iteration:       out.Iteration,
+		Mode:            out.SelectedMode.Name,
+		PerSensorStats:  make(map[string]float64, len(out.SensorAnomalies)),
+		Da:              out.Result.Da.Clone(),
+		SensorAnomalies: out.SensorAnomalies,
+	}
+
+	// Aggregate sensor test (line 10).
+	if ds := out.Result.Ds; ds != nil && ds.Len() > 0 {
+		quad, err := out.Result.Ps.InvQuadForm(ds)
+		if err != nil {
+			// Singular Ps: treat as non-informative rather than alarming.
+			quad = 0
+		}
+		dec.SensorStat = quad
+		threshold, err := d.sensorThreshold(ds.Len())
+		if err != nil {
+			return nil, err
+		}
+		dec.SensorThreshold = threshold
+		dec.SensorRaw = quad > threshold
+	}
+	dec.SensorAlarm = d.sensorWindow.Push(dec.SensorRaw)
+
+	// Actuator test (line 11). Skipped when the actuator anomaly was
+	// unobservable this iteration (NUISE degraded to a plain EKF step).
+	if da := out.Result.Da; da.Len() > 0 && out.Result.DaValid {
+		quad, err := out.Result.Pa.InvQuadForm(da)
+		if err != nil {
+			quad = 0
+		}
+		dec.ActuatorStat = quad
+		threshold, err := d.actuatorThreshold(da.Len())
+		if err != nil {
+			return nil, err
+		}
+		dec.ActuatorThreshold = threshold
+		dec.ActuatorRaw = quad > threshold
+	}
+	dec.ActuatorAlarm = d.actuatorWindow.Push(dec.ActuatorRaw)
+	dec.Condition.Actuator = dec.ActuatorAlarm
+
+	// Per-sensor identification (lines 13–18). Every testing sensor's
+	// statistic feeds its own c-of-w window; the reference sensors of the
+	// selected mode are hypothesized clean and push a negative.
+	tested := make(map[string]bool, len(out.SensorAnomalies))
+	for _, sa := range out.SensorAnomalies {
+		quad, err := sa.Ps.InvQuadForm(sa.Ds)
+		if err != nil {
+			quad = 0
+		}
+		dec.PerSensorStats[sa.Sensor] = quad
+		threshold, err := d.sensorThreshold(sa.Ds.Len())
+		if err != nil {
+			return nil, err
+		}
+		confirmed := d.windowFor(sa.Sensor).Push(quad > threshold)
+		tested[sa.Sensor] = true
+		if dec.SensorAlarm && confirmed {
+			dec.Condition.Sensors = append(dec.Condition.Sensors, sa.Sensor)
+		}
+	}
+	for _, name := range out.SelectedMode.ReferenceNames {
+		if !tested[name] {
+			d.windowFor(name).Push(false)
+		}
+	}
+	sort.Strings(dec.Condition.Sensors)
+	return dec, nil
+}
+
+// Reset clears all sliding-window state.
+func (d *Decider) Reset() {
+	d.sensorWindow.Reset()
+	d.actuatorWindow.Reset()
+	for _, w := range d.perSensor {
+		w.Reset()
+	}
+}
+
+// Detector is the full RoboADS pipeline of Fig. 3: monitor inputs feed
+// the multi-mode engine, the mode selector picks the hypothesis, and the
+// decision maker confirms and identifies misbehaviors.
+type Detector struct {
+	engine  *core.Engine
+	decider *Decider
+}
+
+// NewDetector wires an engine and a decision configuration together.
+func NewDetector(engine *core.Engine, cfg Config) *Detector {
+	return &Detector{engine: engine, decider: NewDecider(cfg)}
+}
+
+// Report is one control iteration's full detector output.
+type Report struct {
+	// Engine is the multi-mode estimation result.
+	Engine *core.Output
+	// Decision is the decision maker result.
+	Decision *Decision
+}
+
+// Step processes one control iteration: the planned command u_{k-1} and
+// the latest readings z_k (Algorithm 1 lines 2–3).
+func (d *Detector) Step(u mat.Vec, readings map[string]mat.Vec) (*Report, error) {
+	out, err := d.engine.Step(u, readings)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := d.decider.Decide(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Engine: out, Decision: dec}, nil
+}
+
+// State exposes the engine's fused state estimate.
+func (d *Detector) State() (mat.Vec, *mat.Mat) { return d.engine.State() }

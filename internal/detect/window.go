@@ -1,0 +1,61 @@
+// Package detect implements the RoboADS decision maker (§IV-D): chi-square
+// hypothesis tests on the anomaly vector estimates, c-of-w sliding windows
+// for transient-fault tolerance, per-sensor identification, and the
+// Detector facade that chains monitor → multi-mode engine → mode selector
+// → decision maker (Algorithm 1).
+package detect
+
+// SlidingWindow confirms an alarm when at least Criteria of the last Size
+// raw test outcomes were positive (Algorithm 1 lines 12 and 20). The zero
+// value is unusable; use NewSlidingWindow.
+type SlidingWindow struct {
+	size     int
+	criteria int
+	buf      []bool
+	next     int
+	filled   int
+	positive int
+}
+
+// NewSlidingWindow returns a c-of-w window. Size and criteria are clamped
+// to at least 1; criteria is clamped to at most size.
+func NewSlidingWindow(size, criteria int) *SlidingWindow {
+	if size < 1 {
+		size = 1
+	}
+	if criteria < 1 {
+		criteria = 1
+	}
+	if criteria > size {
+		criteria = size
+	}
+	return &SlidingWindow{size: size, criteria: criteria, buf: make([]bool, size)}
+}
+
+// Push records one raw test outcome and reports whether the window
+// condition is met.
+func (w *SlidingWindow) Push(outcome bool) bool {
+	if w.filled == w.size && w.buf[w.next] {
+		w.positive--
+	}
+	w.buf[w.next] = outcome
+	if outcome {
+		w.positive++
+	}
+	w.next = (w.next + 1) % w.size
+	if w.filled < w.size {
+		w.filled++
+	}
+	return w.positive >= w.criteria
+}
+
+// Met reports whether the window condition currently holds.
+func (w *SlidingWindow) Met() bool { return w.positive >= w.criteria }
+
+// Reset clears the window history.
+func (w *SlidingWindow) Reset() {
+	for i := range w.buf {
+		w.buf[i] = false
+	}
+	w.next, w.filled, w.positive = 0, 0, 0
+}

@@ -1,0 +1,92 @@
+package dynamics
+
+import (
+	"math"
+
+	"roboads/internal/mat"
+)
+
+// DifferentialDrive is the two-wheel differential drive model of the
+// Khepera III robot (§V-A). State x = (px, py, θ) in meters and radians;
+// control u = (vL, vR), the left and right wheel surface speeds in m/s.
+//
+// With v = (vL+vR)/2 and ω = (vR−vL)/b (b the wheel separation), one
+// control iteration of length Dt advances
+//
+//	px' = px + v·cos(θ)·Dt
+//	py' = py + v·sin(θ)·Dt
+//	θ'  = θ  + ω·Dt
+//
+// which is nonlinear in θ — the nonlinearity the paper's per-iteration
+// relinearization exists to handle.
+type DifferentialDrive struct {
+	// WheelBase is the distance between the two wheels in meters.
+	WheelBase float64
+	// Dt is the control iteration period in seconds.
+	Dt float64
+}
+
+var _ Model = (*DifferentialDrive)(nil)
+
+// NewKhepera returns the differential drive model with the Khepera III
+// geometry (0.0885 m wheel separation) at the given control period.
+func NewKhepera(dt float64) *DifferentialDrive {
+	return &DifferentialDrive{WheelBase: 0.0885, Dt: dt}
+}
+
+// Name implements Model.
+func (d *DifferentialDrive) Name() string { return "differential-drive" }
+
+// StateDim implements Model: (px, py, θ).
+func (d *DifferentialDrive) StateDim() int { return 3 }
+
+// ControlDim implements Model: (vL, vR).
+func (d *DifferentialDrive) ControlDim() int { return 2 }
+
+// F implements Model.
+func (d *DifferentialDrive) F(x, u mat.Vec) mat.Vec {
+	mustDims(d, x, u)
+	v := (u[0] + u[1]) / 2
+	omega := (u[1] - u[0]) / d.WheelBase
+	theta := x[2]
+	return mat.VecOf(
+		x[0]+v*math.Cos(theta)*d.Dt,
+		x[1]+v*math.Sin(theta)*d.Dt,
+		NormalizeAngle(theta+omega*d.Dt),
+	)
+}
+
+// A implements Model with the closed-form state Jacobian.
+func (d *DifferentialDrive) A(x, u mat.Vec) *mat.Mat {
+	mustDims(d, x, u)
+	v := (u[0] + u[1]) / 2
+	theta := x[2]
+	return mat.FromRows(
+		[]float64{1, 0, -v * math.Sin(theta) * d.Dt},
+		[]float64{0, 1, v * math.Cos(theta) * d.Dt},
+		[]float64{0, 0, 1},
+	)
+}
+
+// G implements Model with the closed-form control Jacobian.
+func (d *DifferentialDrive) G(x, u mat.Vec) *mat.Mat {
+	mustDims(d, x, u)
+	theta := x[2]
+	halfDt := d.Dt / 2
+	return mat.FromRows(
+		[]float64{halfDt * math.Cos(theta), halfDt * math.Cos(theta)},
+		[]float64{halfDt * math.Sin(theta), halfDt * math.Sin(theta)},
+		[]float64{-d.Dt / d.WheelBase, d.Dt / d.WheelBase},
+	)
+}
+
+// VOmega converts wheel speeds (vL, vR) into body velocities (v, ω).
+func (d *DifferentialDrive) VOmega(u mat.Vec) (v, omega float64) {
+	return (u[0] + u[1]) / 2, (u[1] - u[0]) / d.WheelBase
+}
+
+// WheelSpeeds converts body velocities (v, ω) into wheel speeds (vL, vR).
+func (d *DifferentialDrive) WheelSpeeds(v, omega float64) mat.Vec {
+	half := omega * d.WheelBase / 2
+	return mat.VecOf(v-half, v+half)
+}

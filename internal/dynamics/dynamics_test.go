@@ -1,0 +1,187 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("AngleDiff = %v", got)
+	}
+	// Wrap across ±π.
+	if got := AngleDiff(math.Pi-0.05, -math.Pi+0.05); math.Abs(got+0.1) > 1e-12 {
+		t.Fatalf("AngleDiff across wrap = %v", got)
+	}
+}
+
+func TestDiffDriveStraightLine(t *testing.T) {
+	d := NewKhepera(0.1)
+	x := mat.VecOf(0, 0, 0)
+	u := mat.VecOf(0.2, 0.2) // equal wheel speeds → straight along +x
+	for i := 0; i < 10; i++ {
+		x = d.F(x, u)
+	}
+	if math.Abs(x[0]-0.2) > 1e-12 || math.Abs(x[1]) > 1e-12 || math.Abs(x[2]) > 1e-12 {
+		t.Fatalf("straight line ended at %v", x)
+	}
+}
+
+func TestDiffDriveTurnInPlace(t *testing.T) {
+	d := NewKhepera(0.1)
+	x := mat.VecOf(1, 2, 0)
+	u := d.WheelSpeeds(0, 1.0) // pure rotation at 1 rad/s
+	x = d.F(x, u)
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("turn in place moved the robot: %v", x)
+	}
+	if math.Abs(x[2]-0.1) > 1e-12 {
+		t.Fatalf("θ = %v, want 0.1", x[2])
+	}
+}
+
+func TestDiffDriveVOmegaRoundTrip(t *testing.T) {
+	d := NewKhepera(0.1)
+	u := d.WheelSpeeds(0.15, -0.8)
+	v, omega := d.VOmega(u)
+	if math.Abs(v-0.15) > 1e-12 || math.Abs(omega+0.8) > 1e-12 {
+		t.Fatalf("round trip gave v=%v ω=%v", v, omega)
+	}
+}
+
+func TestDiffDriveAngleStaysNormalized(t *testing.T) {
+	d := NewKhepera(0.1)
+	x := mat.VecOf(0, 0, 3.0)
+	u := d.WheelSpeeds(0, 3.0)
+	for i := 0; i < 100; i++ {
+		x = d.F(x, u)
+		if x[2] > math.Pi || x[2] <= -math.Pi {
+			t.Fatalf("θ escaped normalization: %v", x[2])
+		}
+	}
+}
+
+func TestBicycleStraightAndAccelerate(t *testing.T) {
+	b := NewTamiya(0.1)
+	x := mat.VecOf(0, 0, 0, 1) // moving at 1 m/s
+	u := mat.VecOf(0.5, 0)     // accelerate, no steering
+	x = b.F(x, u)
+	if math.Abs(x[0]-0.1) > 1e-12 || math.Abs(x[3]-1.05) > 1e-12 {
+		t.Fatalf("state = %v", x)
+	}
+}
+
+func TestBicycleSteeringTurns(t *testing.T) {
+	b := NewTamiya(0.05)
+	x := mat.VecOf(0, 0, 0, 1)
+	u := mat.VecOf(0, 0.2)
+	x = b.F(x, u)
+	wantDTheta := 1.0 / b.WheelBase * math.Tan(0.2) * 0.05
+	if math.Abs(x[2]-wantDTheta) > 1e-12 {
+		t.Fatalf("θ = %v, want %v", x[2], wantDTheta)
+	}
+}
+
+func TestBicycleSteeringSaturation(t *testing.T) {
+	b := NewTamiya(0.1)
+	x := mat.VecOf(0, 0, 0, 1)
+	extreme := b.F(x, mat.VecOf(0, 2.0))
+	atLimit := b.F(x, mat.VecOf(0, b.MaxSteer))
+	if math.Abs(extreme[2]-atLimit[2]) > 1e-12 {
+		t.Fatalf("saturation not applied: %v vs %v", extreme[2], atLimit[2])
+	}
+}
+
+// analytic Jacobians must match central differences at random operating
+// points — this is the property the whole estimator correctness rests on.
+func TestPropertyDiffDriveJacobians(t *testing.T) {
+	d := NewKhepera(0.1)
+	f := func(seed int64) bool {
+		r := stat.NewRNG(seed)
+		x := mat.VecOf(r.Gaussian(0, 2), r.Gaussian(0, 2), r.Gaussian(0, 1.5))
+		u := mat.VecOf(r.Gaussian(0, 0.3), r.Gaussian(0, 0.3))
+		numA := NumericJacobianX(d.F, x, u, 1e-6)
+		numG := NumericJacobianU(d.F, x, u, 1e-6)
+		return d.A(x, u).Equal(numA, 1e-6) && d.G(x, u).Equal(numG, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBicycleJacobians(t *testing.T) {
+	b := NewTamiya(0.1)
+	f := func(seed int64) bool {
+		r := stat.NewRNG(seed)
+		x := mat.VecOf(r.Gaussian(0, 2), r.Gaussian(0, 2), r.Gaussian(0, 1.5), r.Gaussian(0.5, 0.3))
+		// Keep steering inside the saturation band: the clamp makes the
+		// analytic Jacobian intentionally differ outside it.
+		u := mat.VecOf(r.Gaussian(0, 0.5), r.Gaussian(0, 0.1))
+		numA := NumericJacobianX(b.F, x, u, 1e-6)
+		numG := NumericJacobianU(b.F, x, u, 1e-6)
+		return b.A(x, u).Equal(numA, 1e-5) && b.G(x, u).Equal(numG, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// θ must never leave (−π, π] regardless of inputs.
+func TestPropertyAngleNormalization(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		// Limit magnitude so Mod stays exact enough.
+		theta := math.Mod(raw, 1e6)
+		n := NormalizeAngle(theta)
+		return n > -math.Pi-1e-9 && n <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumericJacobianOnLinearFunction(t *testing.T) {
+	// f(x,u) = M·x + N·u has exact Jacobians M and N.
+	m := mat.FromRows([]float64{1, 2}, []float64{3, 4})
+	n := mat.FromRows([]float64{5}, []float64{6})
+	f := func(x, u mat.Vec) mat.Vec { return m.MulVec(x).Add(n.MulVec(u)) }
+	x, u := mat.VecOf(0.3, -0.7), mat.VecOf(1.1)
+	if !NumericJacobianX(f, x, u, 0).Equal(m, 1e-7) {
+		t.Fatal("∂f/∂x mismatch")
+	}
+	if !NumericJacobianU(f, x, u, 0).Equal(n, 1e-7) {
+		t.Fatal("∂f/∂u mismatch")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if NewKhepera(0.1).Name() != "differential-drive" {
+		t.Fatal("khepera name")
+	}
+	if NewTamiya(0.1).Name() != "bicycle" {
+		t.Fatal("tamiya name")
+	}
+}

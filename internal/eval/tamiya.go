@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"roboads/internal/attack"
+	"roboads/internal/detect"
+	"roboads/internal/metrics"
+	"roboads/internal/sim"
+)
+
+// TamiyaRow is one RC-car scenario's aggregate result (§V-D).
+type TamiyaRow struct {
+	ID                       int
+	Name                     string
+	SensorFPR, SensorFNR     float64
+	ActuatorFPR, ActuatorFNR float64
+	// DelaySec is the mean detection delay across the scenario's
+	// attacks, −1 when nothing was detected.
+	DelaySec float64
+}
+
+// TamiyaResult reproduces §V-D: the same detector on a robot with a
+// distinct dynamic model (kinematic bicycle) and sensor suite (IPS,
+// LiDAR, IMU). The paper reports 2.77%/0.83% average FPR/FNR and 0.33 s
+// average delay.
+type TamiyaResult struct {
+	Rows           []TamiyaRow
+	AvgFPR, AvgFNR float64
+	AvgDelaySec    float64
+}
+
+// Tamiya runs the §V-D scenario suite.
+func Tamiya(trials int, baseSeed int64) (*TamiyaResult, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	cfg := detect.DefaultConfig()
+	out := &TamiyaResult{}
+	var totalS, totalA metrics.Confusion
+	var allDelays []metrics.Delay
+
+	for _, scenario := range attack.TamiyaScenarios() {
+		var sc, ac metrics.Confusion
+		var delays []metrics.Delay
+		for trial := 0; trial < trials; trial++ {
+			run, err := RunTamiyaScenario(scenario, baseSeed+int64(trial), cfg)
+			if err != nil {
+				return nil, err
+			}
+			sc.Merge(run.SensorConfusion())
+			ac.Merge(run.ActuatorConfusion())
+			for _, d := range run.SensorDelays() {
+				delays = append(delays, d)
+			}
+			if d, ok := run.ActuatorDelay(); ok {
+				delays = append(delays, d)
+			}
+		}
+		row := TamiyaRow{
+			ID:          scenario.ID,
+			Name:        scenario.Name,
+			SensorFPR:   sc.FPR(),
+			SensorFNR:   sc.FNR(),
+			ActuatorFPR: ac.FPR(),
+			ActuatorFNR: ac.FNR(),
+			DelaySec:    metrics.MeanDelaySeconds(delays, sim.TamiyaDt),
+		}
+		out.Rows = append(out.Rows, row)
+		allDelays = append(allDelays, delays...)
+		totalS.Merge(sc)
+		totalA.Merge(ac)
+	}
+	var merged metrics.Confusion
+	merged.Merge(totalS)
+	merged.Merge(totalA)
+	out.AvgFPR = merged.FPR()
+	out.AvgFNR = merged.FNR()
+	out.AvgDelaySec = metrics.MeanDelaySeconds(allDelays, sim.TamiyaDt)
+	return out, nil
+}
+
+// Write renders the suite results.
+func (t *TamiyaResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Tamiya RC car (§V-D, bicycle model; sensors IPS/LiDAR/IMU)")
+	fmt.Fprintf(w, "%-5s %-26s %-22s %-22s %s\n", "#", "Scenario", "Sensor FPR/FNR", "Actuator FPR/FNR", "Delay (s)")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-5d %-26s %-22s %-22s %.2f\n",
+			row.ID, truncate(row.Name, 26),
+			fmt.Sprintf("%.2f%% / %.2f%%", 100*row.SensorFPR, 100*row.SensorFNR),
+			fmt.Sprintf("%.2f%% / %.2f%%", 100*row.ActuatorFPR, 100*row.ActuatorFNR),
+			row.DelaySec)
+	}
+	fmt.Fprintf(w, "\naverage FPR %.2f%%  FNR %.2f%%  delay %.2fs  (paper: 2.77%% / 0.83%% / 0.33s)\n",
+		100*t.AvgFPR, 100*t.AvgFNR, t.AvgDelaySec)
+}

@@ -1,0 +1,222 @@
+// Package forensics implements the paper's §VII future-work directions:
+// once RoboADS confirms a misbehavior, (1) characterize it for incident
+// response — onset time, persistence, magnitude statistics, and a
+// corruption-shape classification — and (2) respond by excluding the
+// corrupted workflow from the hypothesis set so the mission can continue
+// on the remaining clean sensors.
+//
+// The paper's decision maker already quantifies anomaly vectors "for
+// forensics purposes" (§III-C); this package turns those per-iteration
+// estimates into incident records.
+package forensics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+)
+
+// Shape classifies the time profile of a confirmed anomaly.
+type Shape int
+
+// Shape values.
+const (
+	// ShapeUnknown is reported while too few samples are available.
+	ShapeUnknown Shape = iota
+	// ShapeBias is a constant offset (logic bombs, spoofing): stable
+	// mean, small relative spread.
+	ShapeBias
+	// ShapeDrift is a growing deviation (integrated corruption): the
+	// second-half mean magnitude dominates the first-half mean.
+	ShapeDrift
+	// ShapeErratic is a large, unstable corruption (DoS, blocking,
+	// jamming): spread comparable to or above the mean magnitude.
+	ShapeErratic
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeBias:
+		return "bias"
+	case ShapeDrift:
+		return "drift"
+	case ShapeErratic:
+		return "erratic"
+	default:
+		return "unknown"
+	}
+}
+
+// Incident is a forensic record of one confirmed misbehavior on one
+// workflow ("actuator" for actuator misbehaviors).
+type Incident struct {
+	// Workflow is the affected sensing workflow name, or "actuator".
+	Workflow string
+	// OnsetIteration is the first confirmed iteration.
+	OnsetIteration int
+	// LastIteration is the most recent confirmed iteration.
+	LastIteration int
+	// Samples is the number of confirmed iterations accumulated.
+	Samples int
+	// Mean is the running mean anomaly vector.
+	Mean mat.Vec
+	// Std is the running per-component standard deviation.
+	Std mat.Vec
+	// PeakNorm is the largest anomaly magnitude observed.
+	PeakNorm float64
+	// Shape is the corruption-profile classification.
+	Shape Shape
+
+	// Welford accumulators and a magnitude history for shape analysis.
+	m2        mat.Vec
+	normHist  []float64
+	dimension int
+}
+
+// update folds one anomaly estimate into the incident record.
+func (in *Incident) update(k int, anomaly mat.Vec) {
+	if in.Samples == 0 {
+		in.OnsetIteration = k
+		in.dimension = anomaly.Len()
+		in.Mean = mat.NewVec(in.dimension)
+		in.Std = mat.NewVec(in.dimension)
+		in.m2 = mat.NewVec(in.dimension)
+	}
+	if anomaly.Len() != in.dimension {
+		return // dimension changed (mode switch); ignore the sample
+	}
+	in.Samples++
+	in.LastIteration = k
+	for i, v := range anomaly {
+		delta := v - in.Mean[i]
+		in.Mean[i] += delta / float64(in.Samples)
+		in.m2[i] += delta * (v - in.Mean[i])
+		if in.Samples > 1 {
+			in.Std[i] = math.Sqrt(in.m2[i] / float64(in.Samples-1))
+		}
+	}
+	norm := anomaly.Norm()
+	if norm > in.PeakNorm {
+		in.PeakNorm = norm
+	}
+	in.normHist = append(in.normHist, norm)
+	in.Shape = in.classify()
+}
+
+// classify derives the corruption shape from the magnitude history.
+func (in *Incident) classify() Shape {
+	const minSamples = 8
+	if len(in.normHist) < minSamples {
+		return ShapeUnknown
+	}
+	mean := meanOf(in.normHist)
+	if mean == 0 {
+		return ShapeUnknown
+	}
+	spread := stdOf(in.normHist, mean)
+	half := len(in.normHist) / 2
+	firstHalf := meanOf(in.normHist[:half])
+	secondHalf := meanOf(in.normHist[half:])
+
+	switch {
+	// A drift also has a large spread, so the monotone-growth check
+	// comes first.
+	case firstHalf > 0 && secondHalf > 1.5*firstHalf:
+		return ShapeDrift
+	case spread/mean > 0.5:
+		return ShapeErratic
+	default:
+		return ShapeBias
+	}
+}
+
+// DurationIterations returns the incident's confirmed span.
+func (in *Incident) DurationIterations() int {
+	if in.Samples == 0 {
+		return 0
+	}
+	return in.LastIteration - in.OnsetIteration + 1
+}
+
+// Summary renders a one-line incident description.
+func (in *Incident) Summary(dt float64) string {
+	return fmt.Sprintf("%s: %s anomaly from t=%.1fs (%d samples), mean %v, peak |d|=%.4f",
+		in.Workflow, in.Shape, float64(in.OnsetIteration)*dt, in.Samples, in.Mean, in.PeakNorm)
+}
+
+// Analyzer accumulates detector decisions into per-workflow incidents.
+type Analyzer struct {
+	incidents map[string]*Incident
+}
+
+// NewAnalyzer returns an empty forensic analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{incidents: make(map[string]*Incident)}
+}
+
+// Observe folds one control iteration's decision into the incident
+// records: confirmed sensors contribute their anomaly estimates, and a
+// confirmed actuator alarm contributes d̂a.
+func (a *Analyzer) Observe(dec *detect.Decision) {
+	confirmed := make(map[string]bool, len(dec.Condition.Sensors))
+	for _, s := range dec.Condition.Sensors {
+		confirmed[s] = true
+	}
+	for _, sa := range dec.SensorAnomalies {
+		if !confirmed[sa.Sensor] {
+			continue
+		}
+		in, ok := a.incidents[sa.Sensor]
+		if !ok {
+			in = &Incident{Workflow: sa.Sensor}
+			a.incidents[sa.Sensor] = in
+		}
+		in.update(dec.Iteration, sa.Ds)
+	}
+	if dec.ActuatorAlarm {
+		in, ok := a.incidents["actuator"]
+		if !ok {
+			in = &Incident{Workflow: "actuator"}
+			a.incidents["actuator"] = in
+		}
+		in.update(dec.Iteration, dec.Da)
+	}
+}
+
+// Incidents returns the accumulated incidents sorted by onset.
+func (a *Analyzer) Incidents() []*Incident {
+	out := make([]*Incident, 0, len(a.incidents))
+	for _, in := range a.incidents {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].OnsetIteration != out[j].OnsetIteration {
+			return out[i].OnsetIteration < out[j].OnsetIteration
+		}
+		return out[i].Workflow < out[j].Workflow
+	})
+	return out
+}
+
+// Incident returns the record for one workflow, or nil.
+func (a *Analyzer) Incident(workflow string) *Incident {
+	return a.incidents[workflow]
+}
+
+// Report renders a multi-line incident report.
+func (a *Analyzer) Report(dt float64) string {
+	incidents := a.Incidents()
+	if len(incidents) == 0 {
+		return "no incidents"
+	}
+	lines := make([]string, 0, len(incidents))
+	for _, in := range incidents {
+		lines = append(lines, in.Summary(dt))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,153 @@
+package forensics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"roboads/internal/core"
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+)
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func stdOf(xs []float64, mean float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// ErrNoCleanSensors indicates a response cannot exclude the confirmed
+// sensors because no observable reference would remain.
+var ErrNoCleanSensors = errors.New("forensics: no clean observable sensor suite remains")
+
+// Responder implements the §VII response direction: when misbehaving
+// sensors are confirmed persistently, rebuild the detector with the
+// corrupted workflows excluded so the mission continues on the clean
+// suite. The excluded sensor keeps being monitored as a testing sensor
+// only, never as a reference.
+type Responder struct {
+	plant     core.Plant
+	suite     []sensors.Sensor
+	x0        mat.Vec
+	u0        mat.Vec
+	detectCfg detect.Config
+	engineCfg core.EngineConfig
+
+	// ConfirmIterations is how many confirmed incident samples a sensor
+	// needs before it is quarantined.
+	ConfirmIterations int
+
+	quarantined map[string]bool
+}
+
+// NewResponder builds a responder for a sensor suite. x0/u0 are the
+// observability-check operating point.
+func NewResponder(plant core.Plant, suite []sensors.Sensor, x0, u0 mat.Vec,
+	engineCfg core.EngineConfig, detectCfg detect.Config) *Responder {
+	return &Responder{
+		plant:             plant,
+		suite:             append([]sensors.Sensor(nil), suite...),
+		x0:                x0.Clone(),
+		u0:                u0.Clone(),
+		detectCfg:         detectCfg,
+		engineCfg:         engineCfg,
+		ConfirmIterations: 10,
+		quarantined:       make(map[string]bool),
+	}
+}
+
+// Quarantined lists the currently excluded workflows, sorted.
+func (r *Responder) Quarantined() []string {
+	out := make([]string, 0, len(r.quarantined))
+	for name := range r.quarantined {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShouldQuarantine reports the sensors whose incidents have crossed the
+// confirmation threshold but are not quarantined yet.
+func (r *Responder) ShouldQuarantine(a *Analyzer) []string {
+	var out []string
+	for _, in := range a.Incidents() {
+		if in.Workflow == "actuator" {
+			continue // actuators cannot be excluded; operators must stop
+		}
+		if in.Samples >= r.ConfirmIterations && !r.quarantined[in.Workflow] {
+			out = append(out, in.Workflow)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Quarantine excludes the named sensors and rebuilds the detector on the
+// remaining clean suite, seeded with the current state belief. The
+// quarantined sensors remain testing sensors in every mode, so their
+// anomaly estimates stay available for forensics and a later operator
+// decision to reinstate them.
+func (r *Responder) Quarantine(names []string, x mat.Vec, px *mat.Mat) (*detect.Detector, error) {
+	for _, n := range names {
+		r.quarantined[n] = true
+	}
+	var clean, excluded []sensors.Sensor
+	for _, s := range r.suite {
+		if r.quarantined[s.Name()] {
+			excluded = append(excluded, s)
+		} else {
+			clean = append(clean, s)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, ErrNoCleanSensors
+	}
+
+	// Hypothesis set over the clean suite; quarantined sensors are
+	// appended to every mode's testing block.
+	var modes []*core.Mode
+	for i, ref := range clean {
+		if !sensors.Observable(r.plant.Model, ref, r.x0, r.u0) {
+			continue
+		}
+		testing := make([]sensors.Sensor, 0, len(r.suite)-1)
+		for j, s := range clean {
+			if j != i {
+				testing = append(testing, s)
+			}
+		}
+		testing = append(testing, excluded...)
+		m, err := core.NewMode([]sensors.Sensor{ref}, testing)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	if len(modes) == 0 {
+		return nil, ErrNoCleanSensors
+	}
+	engine, err := core.NewEngine(r.plant, modes, x, px, r.engineCfg)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: rebuild engine: %w", err)
+	}
+	return detect.NewDetector(engine, r.detectCfg), nil
+}

@@ -1,0 +1,332 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular indicates a matrix that cannot be inverted or solved against.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// Solve returns x such that m·x = b, using LU decomposition with partial
+// pivoting. m must be square and nonsingular.
+func (m *Mat) Solve(b Vec) (Vec, error) {
+	mustSquare(m)
+	if len(b) != m.rows {
+		panic(fmt.Errorf("%w: solve %dx%d against vector of length %d", ErrDimension, m.rows, m.cols, len(b)))
+	}
+	lu, perm, err := m.luDecompose()
+	if err != nil {
+		return nil, err
+	}
+	return lu.luSolveVec(perm, b), nil
+}
+
+// SolveMat returns X such that m·X = B.
+func (m *Mat) SolveMat(b *Mat) (*Mat, error) {
+	mustSquare(m)
+	if b.rows != m.rows {
+		panic(fmt.Errorf("%w: solve %dx%d against %dx%d", ErrDimension, m.rows, m.cols, b.rows, b.cols))
+	}
+	lu, perm, err := m.luDecompose()
+	if err != nil {
+		return nil, err
+	}
+	out := New(m.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col := lu.luSolveVec(perm, b.Col(j))
+		for i, v := range col {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns m⁻¹ for a square nonsingular matrix.
+func (m *Mat) Inverse() (*Mat, error) {
+	return m.SolveMat(Identity(m.rows))
+}
+
+// Det returns the determinant via LU decomposition. A singular matrix
+// yields 0 without error.
+func (m *Mat) Det() float64 {
+	mustSquare(m)
+	lu, perm, err := m.luDecompose()
+	if err != nil {
+		return 0
+	}
+	det := 1.0
+	for i := 0; i < lu.rows; i++ {
+		det *= lu.At(i, i)
+	}
+	if permutationParityOdd(perm) {
+		det = -det
+	}
+	return det
+}
+
+// luDecompose returns the packed LU factors and the pivot permutation.
+// perm[i] records which original row supplied pivot row i.
+func (m *Mat) luDecompose() (*Mat, []int, error) {
+	n := m.rows
+	lu := m.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting: largest |entry| in column at or below the diagonal.
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > best {
+				best = a
+				pivot = r
+			}
+		}
+		if best == 0 {
+			return nil, nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if pivot != col {
+			lu.swapRows(pivot, col)
+			perm[pivot], perm[col] = perm[col], perm[pivot]
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := lu.At(r, col) * inv
+			lu.Set(r, col, factor)
+			if factor == 0 {
+				continue
+			}
+			for c := col + 1; c < n; c++ {
+				lu.Set(r, c, lu.At(r, c)-factor*lu.At(col, c))
+			}
+		}
+	}
+	return lu, perm, nil
+}
+
+// permutationParityOdd reports whether perm decomposes into an odd number
+// of transpositions (computed from its cycle structure).
+func permutationParityOdd(perm []int) bool {
+	seen := make([]bool, len(perm))
+	odd := false
+	for i := range perm {
+		if seen[i] {
+			continue
+		}
+		length := 0
+		for j := i; !seen[j]; j = perm[j] {
+			seen[j] = true
+			length++
+		}
+		if length%2 == 0 {
+			odd = !odd
+		}
+	}
+	return odd
+}
+
+func (m *Mat) swapRows(a, b int) {
+	for j := 0; j < m.cols; j++ {
+		va, vb := m.At(a, j), m.At(b, j)
+		m.Set(a, j, vb)
+		m.Set(b, j, va)
+	}
+}
+
+// luSolveVec solves using packed LU factors produced by luDecompose.
+func (lu *Mat) luSolveVec(perm []int, b Vec) Vec {
+	n := lu.rows
+	x := make(Vec, n)
+	// Apply the permutation, then forward-substitute L (unit diagonal).
+	for i := 0; i < n; i++ {
+		x[i] = b[perm[i]]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= lu.At(i, j) * x[j]
+		}
+	}
+	// Back-substitute U.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= lu.At(i, j) * x[j]
+		}
+		x[i] /= lu.At(i, i)
+	}
+	return x
+}
+
+// InvQuadForm returns vᵀ·m⁻¹·v, the normalized (Mahalanobis-squared)
+// statistic used by the chi-square hypothesis tests. It solves rather
+// than inverting.
+func (m *Mat) InvQuadForm(v Vec) (float64, error) {
+	y, err := m.Solve(v)
+	if err != nil {
+		return 0, err
+	}
+	return v.Dot(y), nil
+}
+
+// Cholesky returns the lower-triangular L with m = L·Lᵀ. m must be
+// symmetric positive definite.
+func (m *Mat) Cholesky() (*Mat, error) {
+	mustSquare(m)
+	n := m.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: not positive definite at row %d", ErrSingular, i)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues (descending by absolute
+// value is NOT guaranteed; they are unsorted) and the matrix of
+// corresponding eigenvectors as columns, so that m = V·diag(λ)·Vᵀ.
+func (m *Mat) EigenSym() (Vec, *Mat, error) {
+	mustSquare(m)
+	n := m.rows
+	a := m.Symmetrize()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off <= 1e-14*(1+a.MaxAbs()) {
+			return a.DiagVec(), v, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				jacobiRotate(a, v, p, q, c, s)
+			}
+		}
+	}
+	return nil, nil, errors.New("mat: Jacobi eigendecomposition did not converge")
+}
+
+func offDiagNorm(a *Mat) float64 {
+	var sum float64
+	for i := 0; i < a.rows; i++ {
+		for j := i + 1; j < a.cols; j++ {
+			x := a.At(i, j)
+			sum += 2 * x * x
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// jacobiRotate applies the rotation G(p,q,θ) as a ← GᵀaG and v ← vG.
+func jacobiRotate(a, v *Mat, p, q int, c, s float64) {
+	n := a.rows
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, c*apj-s*aqj)
+		a.Set(q, j, s*apj+c*aqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// PseudoInverseSym returns the Moore–Penrose pseudoinverse of a symmetric
+// (typically covariance) matrix, along with its rank and
+// pseudo-determinant (product of nonzero eigenvalues). Eigenvalues whose
+// magnitude falls below tol·max|λ| are treated as zero; pass tol <= 0 for
+// the default 1e-12. These are the |·|₊ and (·)† operators from the
+// paper's likelihood formula (Algorithm 2, line 20).
+func (m *Mat) PseudoInverseSym(tol float64) (pinv *Mat, rank int, pseudoDet float64, err error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	eig, v, err := m.EigenSym()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cutoff := tol * eig.MaxAbs()
+	n := m.rows
+	invDiag := New(n, n)
+	pseudoDet = 1 // empty product when rank is 0; callers check rank
+	for i, lambda := range eig {
+		if math.Abs(lambda) > cutoff {
+			invDiag.Set(i, i, 1/lambda)
+			pseudoDet *= lambda
+			rank++
+		}
+	}
+	pinv = v.Mul(invDiag).Mul(v.T())
+	return pinv.Symmetrize(), rank, pseudoDet, nil
+}
+
+// IsPositiveSemiDefinite reports whether all eigenvalues of the symmetric
+// matrix are ≥ −tol·max|λ|.
+func (m *Mat) IsPositiveSemiDefinite(tol float64) bool {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	eig, _, err := m.EigenSym()
+	if err != nil {
+		return false
+	}
+	floor := -tol * (1 + eig.MaxAbs())
+	for _, lambda := range eig {
+		if lambda < floor {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns the numerical rank of an arbitrary matrix, computed from the
+// eigenvalues of mᵀm (squared singular values).
+func (m *Mat) Rank(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	gram := m.T().Mul(m)
+	eig, _, err := gram.EigenSym()
+	if err != nil {
+		return 0
+	}
+	maxAbs := eig.MaxAbs()
+	if maxAbs == 0 {
+		return 0
+	}
+	rank := 0
+	for _, lambda := range eig {
+		if lambda > tol*maxAbs {
+			rank++
+		}
+	}
+	return rank
+}

@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFromRowsEmptyAndMismatch(t *testing.T) {
+	m := FromRows()
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty FromRows = %dx%d", m.Rows(), m.Cols())
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("ragged rows accepted")
+		}
+	}()
+	FromRows([]float64{1, 2}, []float64{3})
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrDimension) {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestRowColDiagVec(t *testing.T) {
+	m := FromRows([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if r := m.Row(1); r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row = %v", r)
+	}
+	if c := m.Col(2); c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col = %v", c)
+	}
+	if d := m.DiagVec(); d.Len() != 2 || d[0] != 1 || d[1] != 5 {
+		t.Fatalf("DiagVec = %v", d)
+	}
+	// Mutating the returned slices must not touch the matrix.
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row aliases the matrix")
+	}
+}
+
+func TestSolveMat(t *testing.T) {
+	a := FromRows([]float64{2, 0}, []float64{0, 4})
+	b := FromRows([]float64{2, 4}, []float64{4, 8})
+	x, err := a.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([]float64{1, 2}, []float64{1, 2})
+	if !x.Equal(want, 1e-12) {
+		t.Fatalf("SolveMat =\n%v", x)
+	}
+}
+
+func TestScaleAndFrobNorm(t *testing.T) {
+	m := FromRows([]float64{3, 0}, []float64{0, 4})
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v", got)
+	}
+	if got := m.Scale(2).At(1, 1); got != 8 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromRows([]float64{1, 2})
+	if s := m.String(); !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Fatalf("String = %q", s)
+	}
+	v := VecOf(1.5, -2)
+	if s := v.String(); !strings.Contains(s, "1.5") {
+		t.Fatalf("Vec.String = %q", s)
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Identity(2).Equal(Identity(3), 1) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+func TestInvQuadFormSingular(t *testing.T) {
+	singular := FromRows([]float64{1, 1}, []float64{1, 1})
+	if _, err := singular.InvQuadForm(VecOf(1, 2)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInvQuadFormKnown(t *testing.T) {
+	cov := Diag(4, 9)
+	got, err := cov.InvQuadForm(VecOf(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 { // 4/4 + 9/9
+		t.Fatalf("InvQuadForm = %v, want 2", got)
+	}
+}
+
+func TestVStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched vstack accepted")
+		}
+	}()
+	New(1, 2).VStack(New(1, 3))
+}
+
+func TestSetSubmatrixOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block accepted")
+		}
+	}()
+	New(2, 2).SetSubmatrix(1, 1, Identity(2))
+}
+
+func TestVecAsMatrixViews(t *testing.T) {
+	v := VecOf(1, 2, 3)
+	col := v.AsColumn()
+	if col.Rows() != 3 || col.Cols() != 1 || col.At(2, 0) != 3 {
+		t.Fatalf("AsColumn =\n%v", col)
+	}
+	row := v.AsRow()
+	if row.Rows() != 1 || row.Cols() != 3 || row.At(0, 1) != 2 {
+		t.Fatalf("AsRow =\n%v", row)
+	}
+}
+
+func TestMatSubAndNewVec(t *testing.T) {
+	a := FromRows([]float64{5, 6}, []float64{7, 8})
+	b := Identity(2)
+	got := a.Sub(b)
+	if got.At(0, 0) != 4 || got.At(1, 1) != 7 || got.At(0, 1) != 6 {
+		t.Fatalf("Sub =\n%v", got)
+	}
+	v := NewVec(3)
+	if v.Len() != 3 || v.MaxAbs() != 0 {
+		t.Fatalf("NewVec = %v", v)
+	}
+}

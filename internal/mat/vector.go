@@ -1,0 +1,162 @@
+// Package mat provides the dense linear algebra used by the RoboADS
+// estimators: small vectors and matrices with solvers, factorizations,
+// pseudo-inverses and pseudo-determinants.
+//
+// Every state, reading, and covariance in the system is only a handful of
+// dimensions (2–12), so the package optimizes for clarity and numerical
+// robustness rather than asymptotic speed. All operations allocate their
+// results; nothing aliases its inputs unless documented.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vec is a dense column vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// VecOf returns a vector holding a copy of the given values.
+func VecOf(values ...float64) Vec {
+	v := make(Vec, len(values))
+	copy(v, values)
+	return v
+}
+
+// Len returns the number of elements.
+func (v Vec) Len() int { return len(v) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec {
+	mustSameLen(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v − w.
+func (v Vec) Sub(w Vec) Vec {
+	mustSameLen(v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns s·v.
+func (v Vec) Scale(s float64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product vᵀw.
+func (v Vec) Dot(w Vec) float64 {
+	mustSameLen(v, w)
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// MaxAbs returns the largest absolute element, or 0 for an empty vector.
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Concat returns the concatenation of v followed by w.
+func (v Vec) Concat(w Vec) Vec {
+	out := make(Vec, 0, len(v)+len(w))
+	out = append(out, v...)
+	out = append(out, w...)
+	return out
+}
+
+// Slice returns a copy of v[lo:hi].
+func (v Vec) Slice(lo, hi int) Vec {
+	out := make(Vec, hi-lo)
+	copy(out, v[lo:hi])
+	return out
+}
+
+// AsColumn returns v as an n×1 matrix.
+func (v Vec) AsColumn() *Mat {
+	m := New(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// AsRow returns v as a 1×n matrix.
+func (v Vec) AsRow() *Mat {
+	m := New(1, len(v))
+	copy(m.data, v)
+	return m
+}
+
+// Outer returns the outer product v·wᵀ.
+func (v Vec) Outer(w Vec) *Mat {
+	out := New(len(v), len(w))
+	for i, vi := range v {
+		for j, wj := range w {
+			out.Set(i, j, vi*wj)
+		}
+	}
+	return out
+}
+
+// String renders the vector for debugging.
+func (v Vec) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.6g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// HasNaN reports whether any element is NaN or ±Inf.
+func (v Vec) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrDimension indicates an operation on incompatibly sized operands.
+// Dimension errors are programming errors, so the package reports them via
+// panic with this sentinel wrapped inside; tests assert on it.
+var ErrDimension = errors.New("mat: dimension mismatch")
+
+func mustSameLen(v, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Errorf("%w: vector lengths %d and %d", ErrDimension, len(v), len(w)))
+	}
+}

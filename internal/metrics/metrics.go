@@ -1,0 +1,209 @@
+// Package metrics implements the paper's evaluation measures (§V
+// "Metrics"): per-iteration true/false positive/negative accounting with
+// the paper's identification-aware definitions, detection delay, F1, and
+// ROC curve assembly for the Fig. 7 parameter sweeps.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion accumulates the paper's four event classes:
+//
+//   - TP: an alarm that correctly identifies the misbehaving condition.
+//   - FP: any positive detection result that is not correct (an alarm on
+//     a clean robot, or an alarm with a wrong identification).
+//   - FN: no alarm while the robot is misbehaving.
+//   - TN: no misbehavior and no alarm.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add records one iteration. truthPositive is the ground truth,
+// detectedPositive the alarm, and correct whether the identified
+// condition matches the truth (only consulted when both are true).
+func (c *Confusion) Add(truthPositive, detectedPositive, correct bool) {
+	switch {
+	case detectedPositive && truthPositive && correct:
+		c.TP++
+	case detectedPositive:
+		c.FP++
+	case truthPositive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge adds another confusion's counts into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// FPR returns FP / (FP + TN), or 0 when undefined.
+func (c Confusion) FPR() float64 { return ratio(c.FP, c.FP+c.TN) }
+
+// FNR returns FN / (FN + TP), or 0 when undefined.
+func (c Confusion) FNR() float64 { return ratio(c.FN, c.FN+c.TP) }
+
+// TPR returns TP / (TP + FN), or 0 when undefined.
+func (c Confusion) TPR() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// Precision returns TP / (TP + FP), or 0 when undefined.
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Recall is an alias for TPR.
+func (c Confusion) Recall() float64 { return c.TPR() }
+
+// F1 returns the harmonic mean of precision and recall, or 0 when
+// undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// HasPositives reports whether any ground-truth-positive iteration was
+// recorded.
+func (c Confusion) HasPositives() bool { return c.TP+c.FN > 0 }
+
+// String implements fmt.Stringer.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d (FPR %.2f%%, FNR %.2f%%)",
+		c.TP, c.FP, c.FN, c.TN, 100*c.FPR(), 100*c.FNR())
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Delay measures the paper's detection delay: the period between the
+// iteration a misbehavior is triggered and the iteration the system first
+// correctly captures it.
+type Delay struct {
+	// Onset is the trigger iteration.
+	Onset int
+	// Detected is the first correct-detection iteration, or −1 if the
+	// misbehavior was never captured.
+	Detected int
+}
+
+// Iterations returns the delay in control iterations, or −1 when never
+// detected.
+func (d Delay) Iterations() int {
+	if d.Detected < 0 {
+		return -1
+	}
+	return d.Detected - d.Onset
+}
+
+// Seconds converts the delay at the given control period, or −1 when
+// never detected.
+func (d Delay) Seconds(dt float64) float64 {
+	if d.Detected < 0 {
+		return -1
+	}
+	return float64(d.Iterations()) * dt
+}
+
+// FirstDetection scans per-iteration detection flags for the first true
+// value at or after onset and returns the resulting Delay.
+func FirstDetection(onset int, detected []bool) Delay {
+	for k := onset; k < len(detected); k++ {
+		if detected[k] {
+			return Delay{Onset: onset, Detected: k}
+		}
+	}
+	return Delay{Onset: onset, Detected: -1}
+}
+
+// MeanDelaySeconds averages the delays that resulted in detection,
+// ignoring missed ones; returns −1 when none detected.
+func MeanDelaySeconds(delays []Delay, dt float64) float64 {
+	var sum float64
+	n := 0
+	for _, d := range delays {
+		if d.Detected >= 0 {
+			sum += d.Seconds(dt)
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// ROCPoint is one (FPR, TPR) operating point of Fig. 7(a,b).
+type ROCPoint struct {
+	// Alpha is the confidence level that produced this point.
+	Alpha float64
+	// FPR and TPR are the coordinates.
+	FPR, TPR float64
+}
+
+// SortROC orders points by FPR then TPR, ready for plotting or AUC
+// computation.
+func SortROC(points []ROCPoint) []ROCPoint {
+	out := append([]ROCPoint(nil), points...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FPR != out[j].FPR {
+			return out[i].FPR < out[j].FPR
+		}
+		return out[i].TPR < out[j].TPR
+	})
+	return out
+}
+
+// AUC computes the area under a sorted ROC curve by trapezoidal rule,
+// anchored at (0,0) and (1,1).
+func AUC(points []ROCPoint) float64 {
+	pts := SortROC(points)
+	xs := []float64{0}
+	ys := []float64{0}
+	for _, p := range pts {
+		xs = append(xs, p.FPR)
+		ys = append(ys, p.TPR)
+	}
+	xs = append(xs, 1)
+	ys = append(ys, 1)
+	var area float64
+	for i := 1; i < len(xs); i++ {
+		area += (xs[i] - xs[i-1]) * (ys[i] + ys[i-1]) / 2
+	}
+	return area
+}
+
+// ConditionSequence compresses a per-iteration condition-code series into
+// the paper's transition notation (e.g. S0→2→4 in Table II): consecutive
+// duplicates collapse, and runs shorter than minRun iterations are
+// dropped as transients.
+func ConditionSequence(codes []string, minRun int) []string {
+	if minRun < 1 {
+		minRun = 1
+	}
+	var out []string
+	i := 0
+	for i < len(codes) {
+		j := i
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		if j-i >= minRun {
+			if len(out) == 0 || out[len(out)-1] != codes[i] {
+				out = append(out, codes[i])
+			}
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionClassification(t *testing.T) {
+	var c Confusion
+	c.Add(true, true, true)    // TP
+	c.Add(true, true, false)   // alarm, wrong identification → FP
+	c.Add(false, true, false)  // alarm on clean → FP
+	c.Add(true, false, false)  // missed → FN
+	c.Add(false, false, false) // TN
+	if c.TP != 1 || c.FP != 2 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TP: 8, FP: 1, FN: 2, TN: 9}
+	if got := c.FPR(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("FPR = %v", got)
+	}
+	if got := c.FNR(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("FNR = %v", got)
+	}
+	if got := c.TPR(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("TPR = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-8.0/9) > 1e-12 {
+		t.Fatalf("Precision = %v", got)
+	}
+	wantF1 := 2 * (8.0 / 9) * 0.8 / (8.0/9 + 0.8)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.FPR() != 0 || c.FNR() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion rates should be 0")
+	}
+	if c.HasPositives() {
+		t.Fatal("empty confusion has positives")
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	a.Merge(Confusion{TP: 10, FP: 20, FN: 30, TN: 40})
+	if a.TP != 11 || a.FP != 22 || a.FN != 33 || a.TN != 44 {
+		t.Fatalf("merge = %+v", a)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	detected := make([]bool, 100)
+	for i := 57; i < 100; i++ {
+		detected[i] = true
+	}
+	d := FirstDetection(50, detected)
+	if d.Iterations() != 7 {
+		t.Fatalf("delay = %d iterations", d.Iterations())
+	}
+	if got := d.Seconds(0.1); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("delay = %vs", got)
+	}
+	miss := FirstDetection(99, []bool{false})
+	if miss.Detected != -1 || miss.Iterations() != -1 || miss.Seconds(0.1) != -1 {
+		t.Fatalf("missed detection = %+v", miss)
+	}
+}
+
+func TestMeanDelaySeconds(t *testing.T) {
+	delays := []Delay{
+		{Onset: 10, Detected: 14},
+		{Onset: 20, Detected: 26},
+		{Onset: 30, Detected: -1}, // ignored
+	}
+	if got := MeanDelaySeconds(delays, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean delay = %v", got)
+	}
+	if got := MeanDelaySeconds([]Delay{{Onset: 1, Detected: -1}}, 0.1); got != -1 {
+		t.Fatalf("all-missed mean = %v", got)
+	}
+}
+
+func TestSortROCAndAUC(t *testing.T) {
+	points := []ROCPoint{
+		{Alpha: 0.5, FPR: 0.5, TPR: 0.9},
+		{Alpha: 0.01, FPR: 0.1, TPR: 0.7},
+	}
+	sorted := SortROC(points)
+	if sorted[0].FPR != 0.1 {
+		t.Fatalf("sort order wrong: %+v", sorted)
+	}
+	auc := AUC(points)
+	// Piecewise trapezoid through (0,0),(0.1,0.7),(0.5,0.9),(1,1).
+	want := 0.1*0.7/2 + 0.4*(0.7+0.9)/2 + 0.5*(0.9+1)/2
+	if math.Abs(auc-want) > 1e-12 {
+		t.Fatalf("AUC = %v, want %v", auc, want)
+	}
+	// A perfect detector dominates a random one.
+	perfect := AUC([]ROCPoint{{FPR: 0, TPR: 1}})
+	if perfect != 1 {
+		t.Fatalf("perfect AUC = %v", perfect)
+	}
+}
+
+func TestConditionSequence(t *testing.T) {
+	codes := []string{"S0", "S0", "S0", "S2", "S0", "S2", "S2", "S2", "S4", "S4", "S4"}
+	// minRun 2 drops the one-iteration S0 blip and the first short S2.
+	got := ConditionSequence(codes, 2)
+	want := []string{"S0", "S2", "S4"}
+	if len(got) != len(want) {
+		t.Fatalf("sequence = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConditionSequenceMergesAcrossTransients(t *testing.T) {
+	codes := []string{"S0", "S0", "S1", "S0", "S0"}
+	got := ConditionSequence(codes, 2)
+	// The S1 blip is dropped and the surrounding S0 runs merge.
+	if len(got) != 1 || got[0] != "S0" {
+		t.Fatalf("sequence = %v", got)
+	}
+}
+
+func TestConditionSequenceEmpty(t *testing.T) {
+	if got := ConditionSequence(nil, 3); len(got) != 0 {
+		t.Fatalf("sequence of nothing = %v", got)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	got := c.String()
+	for _, want := range []string{"TP=1", "FP=2", "FN=3", "TN=4", "FPR", "FNR"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String = %q missing %q", got, want)
+		}
+	}
+}

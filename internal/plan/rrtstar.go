@@ -1,0 +1,212 @@
+// Package plan implements the motion planner from the paper's mission
+// setup (§V-A): an optimal rapidly-exploring random tree (RRT*) that
+// computes a collision-free path from the start to a goal region, which
+// the PID tracker then follows.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roboads/internal/stat"
+	"roboads/internal/world"
+)
+
+// Config parameterizes the RRT* search.
+type Config struct {
+	// MaxIterations bounds the number of sampling iterations.
+	MaxIterations int
+	// StepSize is the steering extension length in meters.
+	StepSize float64
+	// GoalRadius is the goal region radius in meters.
+	GoalRadius float64
+	// GoalBias is the probability of sampling the goal directly.
+	GoalBias float64
+	// Margin is the clearance (robot radius) kept from obstacles.
+	Margin float64
+	// RewireRadius is the neighborhood radius for the rewiring step.
+	RewireRadius float64
+}
+
+// DefaultConfig returns the planner configuration used by the
+// experiments, tuned for the 4×4 m lab arena.
+func DefaultConfig() Config {
+	return Config{
+		MaxIterations: 4000,
+		StepSize:      0.25,
+		GoalRadius:    0.15,
+		GoalBias:      0.08,
+		Margin:        0.07,
+		RewireRadius:  0.5,
+	}
+}
+
+// ErrNoPath indicates the planner exhausted its iteration budget without
+// reaching the goal region.
+var ErrNoPath = errors.New("plan: no path found")
+
+type node struct {
+	p      world.Point
+	parent int
+	cost   float64
+}
+
+// Plan runs RRT* on m from start to goal and returns the waypoint list
+// (start first, a point inside the goal region last).
+func Plan(m *world.Map, start, goal world.Point, cfg Config, rng *stat.RNG) ([]world.Point, error) {
+	if !m.Free(start, cfg.Margin) {
+		return nil, fmt.Errorf("plan: start %v not in free space", start)
+	}
+	if !m.Free(goal, cfg.Margin) {
+		return nil, fmt.Errorf("plan: goal %v not in free space", goal)
+	}
+
+	nodes := []node{{p: start, parent: -1, cost: 0}}
+	bestGoal := -1
+	bestCost := math.Inf(1)
+
+	width := m.Bounds.Max.X - m.Bounds.Min.X
+	height := m.Bounds.Max.Y - m.Bounds.Min.Y
+
+	for it := 0; it < cfg.MaxIterations; it++ {
+		// Sample (goal-biased) a target point.
+		var sample world.Point
+		if rng.Float64() < cfg.GoalBias {
+			sample = goal
+		} else {
+			sample = world.Point{
+				X: m.Bounds.Min.X + rng.Float64()*width,
+				Y: m.Bounds.Min.Y + rng.Float64()*height,
+			}
+		}
+
+		// Steer from the nearest node toward the sample.
+		nearest := nearestNode(nodes, sample)
+		candidate := steer(nodes[nearest].p, sample, cfg.StepSize)
+		if !m.Free(candidate, cfg.Margin) {
+			continue
+		}
+
+		// Choose the lowest-cost collision-free parent in the
+		// neighborhood (the RRT* "choose parent" step).
+		neighbors := nearNodes(nodes, candidate, cfg.RewireRadius)
+		parent, parentCost := nearest, nodes[nearest].cost+nodes[nearest].p.Dist(candidate)
+		for _, ni := range neighbors {
+			c := nodes[ni].cost + nodes[ni].p.Dist(candidate)
+			if c < parentCost && m.SegmentFree(world.Segment{A: nodes[ni].p, B: candidate}, cfg.Margin, 0) {
+				parent, parentCost = ni, c
+			}
+		}
+		if !m.SegmentFree(world.Segment{A: nodes[parent].p, B: candidate}, cfg.Margin, 0) {
+			continue
+		}
+		newIdx := len(nodes)
+		nodes = append(nodes, node{p: candidate, parent: parent, cost: parentCost})
+
+		// Rewire the neighborhood through the new node where cheaper.
+		for _, ni := range neighbors {
+			through := parentCost + candidate.Dist(nodes[ni].p)
+			if through < nodes[ni].cost &&
+				m.SegmentFree(world.Segment{A: candidate, B: nodes[ni].p}, cfg.Margin, 0) {
+				nodes[ni].parent = newIdx
+				nodes[ni].cost = through
+			}
+		}
+
+		// Track the best goal-region entry.
+		if candidate.Dist(goal) <= cfg.GoalRadius && parentCost < bestCost {
+			bestGoal = newIdx
+			bestCost = parentCost
+		}
+	}
+
+	if bestGoal < 0 {
+		return nil, ErrNoPath
+	}
+	return extractPath(nodes, bestGoal), nil
+}
+
+func nearestNode(nodes []node, p world.Point) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, n := range nodes {
+		if d := n.p.Dist(p); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func nearNodes(nodes []node, p world.Point, radius float64) []int {
+	var out []int
+	for i, n := range nodes {
+		if n.p.Dist(p) <= radius {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func steer(from, toward world.Point, step float64) world.Point {
+	d := from.Dist(toward)
+	if d <= step {
+		return toward
+	}
+	t := step / d
+	return world.Point{X: from.X + t*(toward.X-from.X), Y: from.Y + t*(toward.Y-from.Y)}
+}
+
+func extractPath(nodes []node, goalIdx int) []world.Point {
+	var rev []world.Point
+	for i := goalIdx; i >= 0; i = nodes[i].parent {
+		rev = append(rev, nodes[i].p)
+	}
+	out := make([]world.Point, len(rev))
+	for i, p := range rev {
+		out[len(rev)-1-i] = p
+	}
+	return out
+}
+
+// PathLength returns the total arc length of a waypoint path.
+func PathLength(path []world.Point) float64 {
+	var sum float64
+	for i := 1; i < len(path); i++ {
+		sum += path[i].Dist(path[i-1])
+	}
+	return sum
+}
+
+// Resample returns the path re-discretized at approximately the given
+// spacing, preserving the endpoints. It makes tracker lookahead behavior
+// independent of the planner's variable segment lengths.
+func Resample(path []world.Point, spacing float64) []world.Point {
+	if len(path) < 2 || spacing <= 0 {
+		out := make([]world.Point, len(path))
+		copy(out, path)
+		return out
+	}
+	out := []world.Point{path[0]}
+	carry := 0.0
+	for i := 1; i < len(path); i++ {
+		seg := world.Segment{A: path[i-1], B: path[i]}
+		length := seg.Length()
+		for carry+length >= spacing {
+			t := (spacing - carry) / length
+			p := world.Point{
+				X: seg.A.X + t*(seg.B.X-seg.A.X),
+				Y: seg.A.Y + t*(seg.B.Y-seg.A.Y),
+			}
+			out = append(out, p)
+			seg.A = p
+			length = seg.Length()
+			carry = 0
+		}
+		carry += length
+	}
+	last := path[len(path)-1]
+	if out[len(out)-1].Dist(last) > 1e-9 {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roboads/internal/stat"
+	"roboads/internal/world"
+)
+
+func labMission() (*world.Map, world.Point, world.Point) {
+	return world.LabArena(), world.Point{X: 0.5, Y: 0.5}, world.Point{X: 3.5, Y: 3.5}
+}
+
+func TestPlanFindsCollisionFreePath(t *testing.T) {
+	m, start, goal := labMission()
+	cfg := DefaultConfig()
+	path, err := Plan(m, start, goal, cfg, stat.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path too short: %d waypoints", len(path))
+	}
+	if path[0] != start {
+		t.Fatalf("path starts at %v", path[0])
+	}
+	if path[len(path)-1].Dist(goal) > cfg.GoalRadius {
+		t.Fatalf("path ends %.3f m from goal", path[len(path)-1].Dist(goal))
+	}
+	for i := 1; i < len(path); i++ {
+		seg := world.Segment{A: path[i-1], B: path[i]}
+		if !m.SegmentFree(seg, cfg.Margin, 0.01) {
+			t.Fatalf("segment %d collides", i)
+		}
+	}
+}
+
+func TestPlanDeterministicPerSeed(t *testing.T) {
+	m, start, goal := labMission()
+	cfg := DefaultConfig()
+	p1, err1 := Plan(m, start, goal, cfg, stat.NewRNG(7))
+	p2, err2 := Plan(m, start, goal, cfg, stat.NewRNG(7))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("waypoint %d differs", i)
+		}
+	}
+}
+
+func TestPlanRejectsBlockedEndpoints(t *testing.T) {
+	m, start, goal := labMission()
+	cfg := DefaultConfig()
+	inObstacle := m.Obstacles[0].Center()
+	if _, err := Plan(m, inObstacle, goal, cfg, stat.NewRNG(1)); err == nil {
+		t.Fatal("expected error for blocked start")
+	}
+	if _, err := Plan(m, start, inObstacle, cfg, stat.NewRNG(1)); err == nil {
+		t.Fatal("expected error for blocked goal")
+	}
+}
+
+func TestPlanNoPath(t *testing.T) {
+	// Wall off the arena's right half completely.
+	m := world.NewArena(4, 4)
+	m.AddObstacle(world.NewRect(1.9, 0, 2.1, 4))
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 500
+	_, err := Plan(m, world.Point{X: 0.5, Y: 0.5}, world.Point{X: 3.5, Y: 3.5}, cfg, stat.NewRNG(1))
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestRRTStarImprovesOverRRT(t *testing.T) {
+	// With rewiring enabled the returned path should not be wildly longer
+	// than the straight-line distance; this catches regressions where the
+	// choose-parent/rewire steps stop working.
+	m, start, goal := labMission()
+	cfg := DefaultConfig()
+	path, err := Plan(m, start, goal, cfg, stat.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := start.Dist(goal)
+	if got := PathLength(path); got > 1.6*straight {
+		t.Fatalf("path length %.2f vs straight %.2f — rewiring ineffective?", got, straight)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	path := []world.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 4}}
+	if got := PathLength(path); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("PathLength = %v", got)
+	}
+	if PathLength(nil) != 0 {
+		t.Fatal("empty path should have zero length")
+	}
+}
+
+func TestResampleSpacing(t *testing.T) {
+	path := []world.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	out := Resample(path, 0.25)
+	if len(out) != 5 {
+		t.Fatalf("resampled to %d points: %v", len(out), out)
+	}
+	for i := 1; i < len(out); i++ {
+		d := out[i].Dist(out[i-1])
+		if d > 0.25+1e-9 {
+			t.Fatalf("gap %d is %v", i, d)
+		}
+	}
+	if out[len(out)-1] != path[1] {
+		t.Fatal("endpoint dropped")
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	single := []world.Point{{X: 1, Y: 1}}
+	if got := Resample(single, 0.1); len(got) != 1 || got[0] != single[0] {
+		t.Fatalf("Resample single = %v", got)
+	}
+	if got := Resample(nil, 0.1); len(got) != 0 {
+		t.Fatalf("Resample nil = %v", got)
+	}
+}
+
+// Resampling preserves total length (within discretization tolerance) and
+// every resampled point stays near the original polyline.
+func TestPropertyResamplePreservesLength(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stat.NewRNG(seed)
+		n := 2 + r.IntN(5)
+		path := make([]world.Point, n)
+		for i := range path {
+			path[i] = world.Point{X: r.Float64() * 4, Y: r.Float64() * 4}
+		}
+		out := Resample(path, 0.05)
+		return math.Abs(PathLength(out)-PathLength(path)) < 0.06*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package sensors
+
+import (
+	"math"
+
+	"roboads/internal/mat"
+	"roboads/internal/world"
+)
+
+// Lidar models the laser range finder's processed output (§V-A): the raw
+// 240° scan is reduced by the sensing workflow to the distances to the
+// surrounding walls along a few body-fixed beam directions, plus the
+// scan-matched heading. z = (r_1, …, r_B, θ).
+//
+// The measurement function ray-casts each beam from the robot pose
+// against the known *walls* of the arena (the paper's workflow extracts
+// distances from the surrounding walls out of the 240° scan; obstacle
+// returns are rejected during scan processing). Ranging against the
+// convex arena boundary keeps h continuous in the pose while remaining
+// nonlinear — the second nonlinearity (besides the kinematics)
+// exercising the paper's per-iteration relinearization. The Jacobian is
+// computed numerically: the beam/wall assignment makes h piecewise, with
+// no useful closed form.
+type Lidar struct {
+	// Map is the known arena the beams range against.
+	Map *world.Map
+	// BeamAngles are the body-frame beam directions in radians.
+	BeamAngles []float64
+	// MaxRange truncates each beam, in meters.
+	MaxRange float64
+	// SigmaRange is the per-beam range noise standard deviation in meters.
+	SigmaRange float64
+	// SigmaTheta is the scan-matched heading noise standard deviation.
+	SigmaTheta float64
+	// NStates is the robot state dimension.
+	NStates int
+}
+
+var _ Sensor = (*Lidar)(nil)
+
+// NewLidar returns the default three-beam LiDAR (left, front, right) used
+// in the Khepera experiments, ranging against m.
+func NewLidar(m *world.Map, nStates int) *Lidar {
+	return &Lidar{
+		Map:        m,
+		BeamAngles: []float64{math.Pi / 2, 0, -math.Pi / 2},
+		MaxRange:   10,
+		SigmaRange: 0.005,
+		SigmaTheta: 0.01,
+		NStates:    nStates,
+	}
+}
+
+// Name implements Sensor.
+func (s *Lidar) Name() string { return "lidar" }
+
+// Dim implements Sensor: one range per beam plus heading.
+func (s *Lidar) Dim() int { return len(s.BeamAngles) + 1 }
+
+// H implements Sensor.
+func (s *Lidar) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 3)
+	origin := world.Point{X: x[0], Y: x[1]}
+	out := make(mat.Vec, 0, s.Dim())
+	for _, beam := range s.BeamAngles {
+		d, _ := s.Map.RaycastWalls(origin, x[2]+beam, s.MaxRange)
+		out = append(out, d)
+	}
+	return append(out, x[2])
+}
+
+// C implements Sensor via central differences on H.
+func (s *Lidar) C(x mat.Vec) *mat.Mat {
+	const h = 1e-5
+	out := mat.New(s.Dim(), s.NStates)
+	base := s.H(x)
+	for j := 0; j < s.NStates && j < len(x); j++ {
+		xp, xm := x.Clone(), x.Clone()
+		xp[j] += h
+		xm[j] -= h
+		fp, fm := s.H(xp), s.H(xm)
+		for i := range base {
+			out.Set(i, j, (fp[i]-fm[i])/(2*h))
+		}
+	}
+	return out
+}
+
+// R implements Sensor.
+func (s *Lidar) R() *mat.Mat {
+	d := make([]float64, s.Dim())
+	for i := range s.BeamAngles {
+		d[i] = s.SigmaRange * s.SigmaRange
+	}
+	d[len(d)-1] = s.SigmaTheta * s.SigmaTheta
+	return mat.Diag(d...)
+}
+
+// AngleIndices implements Sensor: the trailing heading component.
+func (s *Lidar) AngleIndices() []int { return []int{s.Dim() - 1} }

@@ -1,0 +1,242 @@
+package sensors
+
+import (
+	"roboads/internal/mat"
+)
+
+// Pose-family sensors all read some subset of (px, py, θ), which occupy
+// state indices 0, 1, 2 in both robot models.
+
+// IPS is the indoor positioning system (Vicon motion capture, Fig. 5(b)):
+// a full pose sensor with small noise. z = (px, py, θ).
+type IPS struct {
+	// SigmaPos is the position noise standard deviation in meters.
+	SigmaPos float64
+	// SigmaTheta is the heading noise standard deviation in radians.
+	SigmaTheta float64
+	// NStates is the robot state dimension (3 for diff drive, 4 for
+	// bicycle); the Jacobian needs it.
+	NStates int
+}
+
+var _ Sensor = (*IPS)(nil)
+
+// NewIPS returns an IPS with Vicon-class noise for the given state
+// dimension.
+func NewIPS(nStates int) *IPS {
+	return &IPS{SigmaPos: 0.0005, SigmaTheta: 0.002, NStates: nStates}
+}
+
+// Name implements Sensor.
+func (s *IPS) Name() string { return "ips" }
+
+// Dim implements Sensor.
+func (s *IPS) Dim() int { return 3 }
+
+// H implements Sensor.
+func (s *IPS) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 3)
+	return mat.VecOf(x[0], x[1], x[2])
+}
+
+// C implements Sensor.
+func (s *IPS) C(x mat.Vec) *mat.Mat {
+	c := mat.New(3, s.NStates)
+	c.Set(0, 0, 1)
+	c.Set(1, 1, 1)
+	c.Set(2, 2, 1)
+	return c
+}
+
+// R implements Sensor.
+func (s *IPS) R() *mat.Mat {
+	return mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta)
+}
+
+// AngleIndices implements Sensor.
+func (s *IPS) AngleIndices() []int { return []int{2} }
+
+// WheelEncoder models the wheel-encoder odometry workflow: the sensing
+// workflow integrates per-wheel encoder ticks into a dead-reckoned pose,
+// which reaches the planner as a pose reading z = (px, py, θ). Encoder
+// quantization and slip make it noisier than the IPS. (The tick-level
+// integration — where the paper's "+100 steps" logic bomb is injected —
+// lives in the simulator's sensing workflow; this type is the measurement
+// model the estimator uses.)
+type WheelEncoder struct {
+	// SigmaPos is the equivalent position noise in meters.
+	SigmaPos float64
+	// SigmaTheta is the equivalent heading noise in radians.
+	SigmaTheta float64
+	// NStates is the robot state dimension.
+	NStates int
+}
+
+var _ Sensor = (*WheelEncoder)(nil)
+
+// NewWheelEncoder returns a wheel-encoder odometry model for the given
+// state dimension.
+func NewWheelEncoder(nStates int) *WheelEncoder {
+	return &WheelEncoder{SigmaPos: 0.001, SigmaTheta: 0.003, NStates: nStates}
+}
+
+// Name implements Sensor.
+func (s *WheelEncoder) Name() string { return "wheel-encoder" }
+
+// Dim implements Sensor.
+func (s *WheelEncoder) Dim() int { return 3 }
+
+// H implements Sensor.
+func (s *WheelEncoder) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 3)
+	return mat.VecOf(x[0], x[1], x[2])
+}
+
+// C implements Sensor.
+func (s *WheelEncoder) C(x mat.Vec) *mat.Mat {
+	c := mat.New(3, s.NStates)
+	c.Set(0, 0, 1)
+	c.Set(1, 1, 1)
+	c.Set(2, 2, 1)
+	return c
+}
+
+// R implements Sensor.
+func (s *WheelEncoder) R() *mat.Mat {
+	return mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta)
+}
+
+// AngleIndices implements Sensor.
+func (s *WheelEncoder) AngleIndices() []int { return []int{2} }
+
+// GPS reads position only: z = (px, py). Used in the §VI grouping
+// discussion and the examples.
+type GPS struct {
+	// Sigma is the position noise standard deviation in meters.
+	Sigma float64
+	// NStates is the robot state dimension.
+	NStates int
+}
+
+var _ Sensor = (*GPS)(nil)
+
+// NewGPS returns a GPS with the given noise for the given state dimension.
+func NewGPS(nStates int, sigma float64) *GPS {
+	return &GPS{Sigma: sigma, NStates: nStates}
+}
+
+// Name implements Sensor.
+func (s *GPS) Name() string { return "gps" }
+
+// Dim implements Sensor.
+func (s *GPS) Dim() int { return 2 }
+
+// H implements Sensor.
+func (s *GPS) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 2)
+	return mat.VecOf(x[0], x[1])
+}
+
+// C implements Sensor.
+func (s *GPS) C(x mat.Vec) *mat.Mat {
+	c := mat.New(2, s.NStates)
+	c.Set(0, 0, 1)
+	c.Set(1, 1, 1)
+	return c
+}
+
+// R implements Sensor.
+func (s *GPS) R() *mat.Mat { return mat.Diag(s.Sigma*s.Sigma, s.Sigma*s.Sigma) }
+
+// AngleIndices implements Sensor.
+func (s *GPS) AngleIndices() []int { return nil }
+
+// Magnetometer reads heading only: z = (θ). On its own it cannot
+// reconstruct the state (position is unobservable) — the paper's §VI
+// example of a sensor that must be grouped to serve as a reference.
+type Magnetometer struct {
+	// Sigma is the heading noise standard deviation in radians.
+	Sigma float64
+	// NStates is the robot state dimension.
+	NStates int
+}
+
+var _ Sensor = (*Magnetometer)(nil)
+
+// NewMagnetometer returns a magnetometer for the given state dimension.
+func NewMagnetometer(nStates int) *Magnetometer {
+	return &Magnetometer{Sigma: 0.01, NStates: nStates}
+}
+
+// Name implements Sensor.
+func (s *Magnetometer) Name() string { return "magnetometer" }
+
+// Dim implements Sensor.
+func (s *Magnetometer) Dim() int { return 1 }
+
+// H implements Sensor.
+func (s *Magnetometer) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 3)
+	return mat.VecOf(x[2])
+}
+
+// C implements Sensor.
+func (s *Magnetometer) C(x mat.Vec) *mat.Mat {
+	c := mat.New(1, s.NStates)
+	c.Set(0, 2, 1)
+	return c
+}
+
+// R implements Sensor.
+func (s *Magnetometer) R() *mat.Mat { return mat.Diag(s.Sigma * s.Sigma) }
+
+// AngleIndices implements Sensor.
+func (s *Magnetometer) AngleIndices() []int { return []int{0} }
+
+// IMU models the Tamiya's inertial unit as processed by its navigation
+// workflow: heading and longitudinal speed, z = (θ, v). It requires the
+// bicycle state layout (v at index 3). Alone it cannot observe position —
+// used to exercise the §VI observability check.
+type IMU struct {
+	// SigmaTheta is the heading noise standard deviation in radians.
+	SigmaTheta float64
+	// SigmaV is the speed noise standard deviation in m/s.
+	SigmaV float64
+	// NStates is the robot state dimension (must be ≥ 4).
+	NStates int
+}
+
+var _ Sensor = (*IMU)(nil)
+
+// NewIMU returns an IMU for the bicycle model.
+func NewIMU() *IMU {
+	return &IMU{SigmaTheta: 0.004, SigmaV: 0.008, NStates: 4}
+}
+
+// Name implements Sensor.
+func (s *IMU) Name() string { return "imu" }
+
+// Dim implements Sensor.
+func (s *IMU) Dim() int { return 2 }
+
+// H implements Sensor.
+func (s *IMU) H(x mat.Vec) mat.Vec {
+	mustStateLen(s.Name(), x, 4)
+	return mat.VecOf(x[2], x[3])
+}
+
+// C implements Sensor.
+func (s *IMU) C(x mat.Vec) *mat.Mat {
+	c := mat.New(2, s.NStates)
+	c.Set(0, 2, 1)
+	c.Set(1, 3, 1)
+	return c
+}
+
+// R implements Sensor.
+func (s *IMU) R() *mat.Mat {
+	return mat.Diag(s.SigmaTheta*s.SigmaTheta, s.SigmaV*s.SigmaV)
+}
+
+// AngleIndices implements Sensor.
+func (s *IMU) AngleIndices() []int { return []int{0} }

@@ -1,0 +1,180 @@
+// Package sensors implements the measurement models z = h(x) + ξ of
+// equation (1) for the sensing workflows the paper evaluates: the Vicon
+// indoor positioning system (IPS), wheel-encoder odometry, a wall-ranging
+// LiDAR, an IMU, plus GPS and magnetometer models used for the sensor
+// grouping discussion of §VI.
+//
+// Each sensor exposes its measurement function, Jacobian, and noise
+// covariance; Stacked composes several sensors into the z1 (testing) and
+// z2 (reference) blocks the NUISE estimator consumes.
+package sensors
+
+import (
+	"errors"
+	"fmt"
+
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+)
+
+// Sensor describes one sensing workflow's measurement model.
+type Sensor interface {
+	// Name identifies the sensing workflow (used in mode and alarm
+	// reporting).
+	Name() string
+
+	// Dim returns the dimension of the sensor's reading vector.
+	Dim() int
+
+	// H evaluates the measurement function h(x).
+	H(x mat.Vec) mat.Vec
+
+	// C returns the Jacobian ∂h/∂x evaluated at x.
+	C(x mat.Vec) *mat.Mat
+
+	// R returns the measurement noise covariance (constant per sensor).
+	R() *mat.Mat
+
+	// AngleIndices lists the components of the reading that are angles;
+	// residuals at these indices must be wrapped to (−π, π].
+	AngleIndices() []int
+}
+
+// ErrEmptyStack indicates an attempt to stack zero sensors.
+var ErrEmptyStack = errors.New("sensors: empty sensor stack")
+
+// WrapResidual wraps the listed angle components of a residual in place
+// and returns it.
+func WrapResidual(r mat.Vec, angleIdx []int) mat.Vec {
+	for _, i := range angleIdx {
+		r[i] = dynamics.NormalizeAngle(r[i])
+	}
+	return r
+}
+
+// Stacked composes several sensors into one combined measurement model:
+// readings are concatenated and noise covariances are block-diagonal
+// (workflows run in isolation, so their noises are independent —
+// §II-A).
+type Stacked struct {
+	parts []Sensor
+	dim   int
+	name  string
+}
+
+var _ Sensor = (*Stacked)(nil)
+
+// NewStacked returns the composition of the given sensors in order.
+func NewStacked(parts ...Sensor) (*Stacked, error) {
+	if len(parts) == 0 {
+		return nil, ErrEmptyStack
+	}
+	s := &Stacked{parts: make([]Sensor, len(parts))}
+	copy(s.parts, parts)
+	for i, p := range s.parts {
+		s.dim += p.Dim()
+		if i > 0 {
+			s.name += "+"
+		}
+		s.name += p.Name()
+	}
+	return s, nil
+}
+
+// Name implements Sensor.
+func (s *Stacked) Name() string { return s.name }
+
+// Dim implements Sensor.
+func (s *Stacked) Dim() int { return s.dim }
+
+// Parts returns the component sensors in stacking order.
+func (s *Stacked) Parts() []Sensor {
+	out := make([]Sensor, len(s.parts))
+	copy(out, s.parts)
+	return out
+}
+
+// Offsets returns the starting index of each component within the stacked
+// reading vector.
+func (s *Stacked) Offsets() []int {
+	out := make([]int, len(s.parts))
+	off := 0
+	for i, p := range s.parts {
+		out[i] = off
+		off += p.Dim()
+	}
+	return out
+}
+
+// H implements Sensor.
+func (s *Stacked) H(x mat.Vec) mat.Vec {
+	out := make(mat.Vec, 0, s.dim)
+	for _, p := range s.parts {
+		out = append(out, p.H(x)...)
+	}
+	return out
+}
+
+// C implements Sensor.
+func (s *Stacked) C(x mat.Vec) *mat.Mat {
+	if len(s.parts) == 1 {
+		return s.parts[0].C(x)
+	}
+	n := len(x)
+	out := mat.New(s.dim, n)
+	row := 0
+	for _, p := range s.parts {
+		out.SetSubmatrix(row, 0, p.C(x))
+		row += p.Dim()
+	}
+	return out
+}
+
+// R implements Sensor with a block-diagonal covariance.
+func (s *Stacked) R() *mat.Mat {
+	out := mat.New(s.dim, s.dim)
+	off := 0
+	for _, p := range s.parts {
+		out.SetSubmatrix(off, off, p.R())
+		off += p.Dim()
+	}
+	return out
+}
+
+// AngleIndices implements Sensor, offsetting each component's indices.
+func (s *Stacked) AngleIndices() []int {
+	var out []int
+	off := 0
+	for _, p := range s.parts {
+		for _, i := range p.AngleIndices() {
+			out = append(out, off+i)
+		}
+		off += p.Dim()
+	}
+	return out
+}
+
+// Observable reports whether the state is reconstructible from the given
+// sensor alone, by checking the rank of the linearized observability
+// matrix [C; CA; CA²; …; CA^{n−1}] at the operating point (x, u). The
+// paper's §VI requires every reference sensor (group) of a mode to pass
+// this check; a magnetometer alone, for instance, fails it.
+func Observable(model dynamics.Model, s Sensor, x, u mat.Vec) bool {
+	n := model.StateDim()
+	a := model.A(x, u)
+	c := s.C(x)
+	obs := c.Clone()
+	power := a.Clone()
+	for i := 1; i < n; i++ {
+		obs = obs.VStack(c.Mul(power))
+		power = power.Mul(a)
+	}
+	return obs.Rank(0) == n
+}
+
+func mustStateLen(name string, x mat.Vec, want int) {
+	if len(x) < want {
+		panic(fmt.Errorf("%w: %s needs state of dim ≥ %d, got %d",
+			mat.ErrDimension, name, want, len(x)))
+	}
+}

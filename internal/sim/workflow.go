@@ -1,0 +1,166 @@
+// Package sim implements the closed-loop robot simulator that substitutes
+// for the paper's physical testbeds (Khepera III and Tamiya TT02): truth
+// integration of the kinematic model under Gaussian process noise, the
+// sensing and actuation workflows of Fig. 1 with attack-injection hooks at
+// their physical and cyber stages, and the RRT*+PID mission of §V-A.
+package sim
+
+import (
+	"math"
+
+	"roboads/internal/attack"
+	"roboads/internal/dynamics"
+	"roboads/internal/mat"
+	"roboads/internal/sensors"
+	"roboads/internal/stat"
+)
+
+// SensingWorkflow is one isolated sensing pipeline of Fig. 1: it captures
+// the physical signal at the true state, processes it into a reading, and
+// exposes injection points for attacks (Fig. 2a).
+type SensingWorkflow interface {
+	// Name is the workflow's sensor name.
+	Name() string
+	// Sense produces the (noisy, possibly corrupted) reading for
+	// iteration k given the true state and the executed command.
+	Sense(k int, xTrue, uExec mat.Vec) mat.Vec
+	// Attach installs an attack on this workflow.
+	Attach(a attack.SensorAttack)
+}
+
+// BasicWorkflow wraps a memoryless sensor: reading = h(x_true) + ξ, then
+// any attached corruptions (IPS, LiDAR, GPS, IMU, magnetometer).
+//
+// Every > 1 decimates the workflow to every Nth control iteration with a
+// zero-order hold in between, modeling a sensor slower than the control
+// loop (e.g. a 5 Hz LiDAR under a 10 Hz controller). Note the estimator's
+// measurement model assumes fresh readings; with decimated sensors run
+// the detector at the slowest sensor rate or accept slightly correlated
+// innovations on the held iterations.
+type BasicWorkflow struct {
+	sensor  sensors.Sensor
+	rng     *stat.RNG
+	stds    mat.Vec
+	attacks []attack.SensorAttack
+
+	// Every publishes a fresh reading every Nth iteration (0 and 1 mean
+	// every iteration).
+	Every int
+
+	held mat.Vec
+}
+
+var _ SensingWorkflow = (*BasicWorkflow)(nil)
+
+// NewBasicWorkflow returns a workflow for the given sensor with its own
+// noise stream.
+func NewBasicWorkflow(s sensors.Sensor, rng *stat.RNG) *BasicWorkflow {
+	r := s.R()
+	stds := make(mat.Vec, s.Dim())
+	for i := range stds {
+		stds[i] = math.Sqrt(r.At(i, i))
+	}
+	return &BasicWorkflow{sensor: s, rng: rng.Fork("workflow/" + s.Name()), stds: stds}
+}
+
+// Name implements SensingWorkflow.
+func (w *BasicWorkflow) Name() string { return w.sensor.Name() }
+
+// Sense implements SensingWorkflow.
+func (w *BasicWorkflow) Sense(k int, xTrue, _ mat.Vec) mat.Vec {
+	if w.Every > 1 && k%w.Every != 0 && w.held != nil {
+		return w.held.Clone() // zero-order hold between samples
+	}
+	reading := w.sensor.H(xTrue).Add(w.rng.GaussianVec(w.stds))
+	for _, a := range w.attacks {
+		reading = a.Apply(k, reading)
+	}
+	w.held = reading.Clone()
+	return reading
+}
+
+// Attach implements SensingWorkflow.
+func (w *BasicWorkflow) Attach(a attack.SensorAttack) {
+	w.attacks = append(w.attacks, a)
+}
+
+// EncoderWorkflow models the wheel-encoder odometry pipeline: per-wheel
+// encoder ticks are integrated by dead reckoning into a pose reading.
+// Tick-level attacks (attack.EncoderTicks) are applied before integration,
+// so a one-shot tick injection becomes a persistent pose deviation — the
+// physically correct effect of scenario #5's logic bomb.
+//
+// Clean readings follow the estimator's measurement model (true pose plus
+// white noise): genuine odometry drift over a mission of this length is
+// inside the modeled noise floor, and simulating it as white noise keeps
+// the clean run consistent with equation (1), as the paper assumes.
+type EncoderWorkflow struct {
+	model   *dynamics.DifferentialDrive
+	sensor  *sensors.WheelEncoder
+	rng     *stat.RNG
+	stds    mat.Vec
+	attacks []attack.SensorAttack
+	// offset is the accumulated pose-space deviation produced by
+	// corrupted ticks (dead-reckoned at the heading where they were
+	// injected).
+	offset mat.Vec
+}
+
+var _ SensingWorkflow = (*EncoderWorkflow)(nil)
+
+// NewEncoderWorkflow returns an odometry workflow for the given drive
+// model.
+func NewEncoderWorkflow(model *dynamics.DifferentialDrive, s *sensors.WheelEncoder, rng *stat.RNG) *EncoderWorkflow {
+	r := s.R()
+	stds := make(mat.Vec, s.Dim())
+	for i := range stds {
+		stds[i] = math.Sqrt(r.At(i, i))
+	}
+	return &EncoderWorkflow{
+		model:  model,
+		sensor: s,
+		rng:    rng.Fork("workflow/wheel-encoder"),
+		stds:   stds,
+		offset: mat.NewVec(3),
+	}
+}
+
+// Name implements SensingWorkflow.
+func (w *EncoderWorkflow) Name() string { return w.sensor.Name() }
+
+// Sense implements SensingWorkflow.
+func (w *EncoderWorkflow) Sense(k int, xTrue, _ mat.Vec) mat.Vec {
+	// Apply tick-level corruptions: injected ticks become wheel-travel
+	// deltas, dead-reckoned into the persistent pose offset.
+	for _, a := range w.attacks {
+		if tick, ok := a.(*attack.EncoderTicks); ok {
+			dl, dr := tick.CorruptTicks(k)
+			if dl != 0 || dr != 0 {
+				w.integrateTravel(dl*attack.TickMeters, dr*attack.TickMeters, xTrue[2])
+			}
+		}
+	}
+	reading := w.sensor.H(xTrue).Add(w.offset).Add(w.rng.GaussianVec(w.stds))
+	reading[2] = dynamics.NormalizeAngle(reading[2])
+	for _, a := range w.attacks {
+		if _, ok := a.(*attack.EncoderTicks); ok {
+			continue // already applied at tick level
+		}
+		reading = a.Apply(k, reading)
+	}
+	return reading
+}
+
+// integrateTravel dead-reckons extra per-wheel travel (meters) into the
+// pose offset using the differential drive kinematics at heading theta.
+func (w *EncoderWorkflow) integrateTravel(dl, dr, theta float64) {
+	mid := (dl + dr) / 2
+	w.offset[0] += mid * math.Cos(theta)
+	w.offset[1] += mid * math.Sin(theta)
+	w.offset[2] += (dr - dl) / w.model.WheelBase
+}
+
+// Attach implements SensingWorkflow.
+func (w *EncoderWorkflow) Attach(a attack.SensorAttack) {
+	w.attacks = append(w.attacks, a)
+}

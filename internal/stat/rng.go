@@ -1,0 +1,97 @@
+// Package stat provides the probability machinery used by RoboADS:
+// deterministic random number generation, Gaussian and multivariate-normal
+// sampling for the simulator, and the chi-square distribution used by the
+// decision maker's hypothesis tests.
+package stat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roboads/internal/mat"
+)
+
+// RNG is a deterministic random source. All simulator randomness flows
+// through explicitly seeded RNGs so that every experiment is reproducible.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(splitmix64(uint64(seed))))}
+}
+
+// splitmix64 scrambles a seed so that nearby seeds (0, 1, 2, ...) yield
+// uncorrelated streams.
+func splitmix64(x uint64) int64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// Fork derives an independent child generator. Use it to give each
+// subsystem (process noise, each sensor, the planner) its own stream so
+// adding a consumer never perturbs the others.
+func (r *RNG) Fork(label string) *RNG {
+	var h uint64 = 14695981039346656037 // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &RNG{src: rand.New(rand.NewSource(splitmix64(h ^ uint64(r.src.Int63()))))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform sample in [0, n).
+func (r *RNG) IntN(n int) int { return r.src.Intn(n) }
+
+// Norm returns a standard normal sample.
+func (r *RNG) Norm() float64 { return r.src.NormFloat64() }
+
+// Gaussian returns a normal sample with the given mean and standard
+// deviation.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// GaussianVec returns a vector of independent normal samples with the
+// per-component standard deviations in stddev.
+func (r *RNG) GaussianVec(stddev mat.Vec) mat.Vec {
+	out := make(mat.Vec, stddev.Len())
+	for i, s := range stddev {
+		out[i] = s * r.src.NormFloat64()
+	}
+	return out
+}
+
+// MVN samples a zero-mean multivariate normal with covariance cov, via the
+// Cholesky factor. cov must be symmetric positive definite; a
+// positive-semi-definite covariance with zero diagonal entries can be
+// handled by adding a tiny jitter before calling.
+func (r *RNG) MVN(cov *mat.Mat) (mat.Vec, error) {
+	l, err := cov.Cholesky()
+	if err != nil {
+		return nil, fmt.Errorf("mvn sample: %w", err)
+	}
+	z := make(mat.Vec, cov.Rows())
+	for i := range z {
+		z[i] = r.src.NormFloat64()
+	}
+	return l.MulVec(z), nil
+}
+
+// NormalPDF evaluates the scalar normal density.
+func NormalPDF(x, mean, stddev float64) float64 {
+	d := (x - mean) / stddev
+	return math.Exp(-0.5*d*d) / (stddev * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF evaluates the scalar normal cumulative distribution.
+func NormalCDF(x, mean, stddev float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mean)/(stddev*math.Sqrt2)))
+}

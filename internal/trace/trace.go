@@ -1,0 +1,168 @@
+// Package trace records and replays the RoboADS monitor inputs — the
+// planned command u_{k-1} and the sensor readings z_k of every control
+// iteration — as a JSON-lines stream. A recorded mission can be replayed
+// through any detector configuration offline, supporting the §II-A
+// deployment where the RoboADS module runs remotely from the robot, and
+// post-incident forensics on archived missions.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+)
+
+// Frame is one control iteration's monitor input.
+type Frame struct {
+	// K is the control iteration index.
+	K int `json:"k"`
+	// U is the planned control command u_{k-1}.
+	U []float64 `json:"u"`
+	// Readings maps sensing workflow names to their readings z_k.
+	Readings map[string][]float64 `json:"readings"`
+}
+
+// Header identifies a trace stream.
+type Header struct {
+	// Version is the trace format version.
+	Version int `json:"version"`
+	// Robot names the platform (e.g. "khepera", "tamiya").
+	Robot string `json:"robot"`
+	// Dt is the control period in seconds.
+	Dt float64 `json:"dtSeconds"`
+	// Sensors lists the expected workflow names.
+	Sensors []string `json:"sensors"`
+}
+
+// FormatVersion is the current trace format version.
+const FormatVersion = 1
+
+// Trace format errors.
+var (
+	// ErrBadHeader indicates a missing or incompatible header line.
+	ErrBadHeader = errors.New("trace: bad or missing header")
+	// ErrFrameMismatch indicates a frame whose sensors disagree with
+	// the header.
+	ErrFrameMismatch = errors.New("trace: frame does not match header")
+)
+
+// Recorder writes a trace stream.
+type Recorder struct {
+	w      *bufio.Writer
+	header Header
+	wrote  bool
+}
+
+// NewRecorder returns a recorder that writes to w with the given header.
+func NewRecorder(w io.Writer, header Header) *Recorder {
+	header.Version = FormatVersion
+	return &Recorder{w: bufio.NewWriter(w), header: header}
+}
+
+// Record appends one iteration.
+func (r *Recorder) Record(k int, u mat.Vec, readings map[string]mat.Vec) error {
+	if !r.wrote {
+		line, err := json.Marshal(r.header)
+		if err != nil {
+			return fmt.Errorf("trace: encode header: %w", err)
+		}
+		if _, err := r.w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		r.wrote = true
+	}
+	frame := Frame{K: k, U: u, Readings: make(map[string][]float64, len(readings))}
+	for name, z := range readings {
+		frame.Readings[name] = z
+	}
+	line, err := json.Marshal(frame)
+	if err != nil {
+		return fmt.Errorf("trace: encode frame %d: %w", k, err)
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// Reader consumes a trace stream.
+type Reader struct {
+	scanner *bufio.Scanner
+	header  Header
+}
+
+// NewReader parses the header and returns a frame reader.
+func NewReader(src io.Reader) (*Reader, error) {
+	scanner := bufio.NewScanner(src)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !scanner.Scan() {
+		return nil, ErrBadHeader
+	}
+	var header Header
+	if err := json.Unmarshal(scanner.Bytes(), &header); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if header.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadHeader, header.Version, FormatVersion)
+	}
+	return &Reader{scanner: scanner, header: header}, nil
+}
+
+// Header returns the stream header.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next frame, or io.EOF at end of stream.
+func (r *Reader) Next() (*Frame, error) {
+	if !r.scanner.Scan() {
+		if err := r.scanner.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	var frame Frame
+	if err := json.Unmarshal(r.scanner.Bytes(), &frame); err != nil {
+		return nil, fmt.Errorf("trace: decode frame: %w", err)
+	}
+	for _, name := range r.header.Sensors {
+		if _, ok := frame.Readings[name]; !ok {
+			return nil, fmt.Errorf("%w: frame %d missing %q", ErrFrameMismatch, frame.K, name)
+		}
+	}
+	return &frame, nil
+}
+
+// Replay feeds every frame of a trace through a detector and returns the
+// per-iteration reports — offline detection over a recorded mission.
+func Replay(src io.Reader, detector *detect.Detector) ([]*detect.Report, error) {
+	reader, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*detect.Report
+	for {
+		frame, err := reader.Next()
+		if errors.Is(err, io.EOF) {
+			return reports, nil
+		}
+		if err != nil {
+			return reports, err
+		}
+		readings := make(map[string]mat.Vec, len(frame.Readings))
+		for name, z := range frame.Readings {
+			readings[name] = mat.Vec(z)
+		}
+		report, err := detector.Step(mat.Vec(frame.U), readings)
+		if err != nil {
+			return reports, fmt.Errorf("trace: replay frame %d: %w", frame.K, err)
+		}
+		reports = append(reports, report)
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"roboads/internal/attack"
+	"roboads/internal/core"
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/sim"
+)
+
+func sampleHeader() Header {
+	return Header{Robot: "khepera", Dt: 0.1, Sensors: []string{"ips", "lidar"}}
+}
+
+func TestRecordReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sampleHeader())
+	for k := 0; k < 5; k++ {
+		readings := map[string]mat.Vec{
+			"ips":   mat.VecOf(float64(k), 2, 3),
+			"lidar": mat.VecOf(1, 2, 3, 0.5),
+		}
+		if err := rec.Record(k, mat.VecOf(0.1, 0.2), readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := reader.Header(); h.Robot != "khepera" || h.Dt != 0.1 || h.Version != FormatVersion {
+		t.Fatalf("header = %+v", h)
+	}
+	for k := 0; k < 5; k++ {
+		frame, err := reader.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", k, err)
+		}
+		if frame.K != k || frame.U[0] != 0.1 || frame.Readings["ips"][0] != float64(k) {
+			t.Fatalf("frame = %+v", frame)
+		}
+	}
+	if _, err := reader.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("not json\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("garbage: %v", err)
+	}
+	if _, err := NewReader(strings.NewReader(`{"version":99}` + "\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("version: %v", err)
+	}
+}
+
+func TestReaderRejectsMismatchedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sampleHeader())
+	// Frame missing the lidar reading promised in the header.
+	if err := rec.Record(0, mat.VecOf(0.1, 0.2), map[string]mat.Vec{"ips": mat.VecOf(1, 2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Next(); !errors.Is(err, ErrFrameMismatch) {
+		t.Fatalf("err = %v, want ErrFrameMismatch", err)
+	}
+}
+
+// Record a mission under attack, replay it offline through a fresh
+// detector, and verify the offline verdict matches the live one.
+func TestReplayMatchesLiveDetection(t *testing.T) {
+	scenario := attack.KheperaScenarios()[2] // IPS logic bomb
+	setup, err := sim.NewKhepera(sim.LabMission(), &scenario, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(setup.Suite))
+	for i, s := range setup.Suite {
+		names[i] = s.Name()
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Robot: "khepera", Dt: sim.KheperaDt, Sensors: names})
+
+	liveDet := buildDetector(t, setup)
+	var liveConfirmed int
+	for i := 0; i < 300; i++ {
+		step, err := setup.Sim.Step()
+		if err != nil {
+			break
+		}
+		if err := rec.Record(step.K, step.UPlanned, step.Readings); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := liveDet.Step(step.UPlanned, step.Readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Decision.SensorAlarm && len(rep.Decision.Condition.Sensors) > 0 {
+			liveConfirmed++
+		}
+		if step.Done {
+			break
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if liveConfirmed == 0 {
+		t.Fatal("live detector never confirmed the attack")
+	}
+
+	// Offline replay with an identically configured detector.
+	replayDet := buildDetector(t, setup)
+	reports, err := Replay(&buf, replayDet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayConfirmed int
+	for _, rep := range reports {
+		if rep.Decision.SensorAlarm && len(rep.Decision.Condition.Sensors) > 0 {
+			replayConfirmed++
+		}
+	}
+	if replayConfirmed != liveConfirmed {
+		t.Fatalf("replay confirmed %d iterations, live %d", replayConfirmed, liveConfirmed)
+	}
+}
+
+func buildDetector(t *testing.T, setup *sim.KheperaSetup) *detect.Detector {
+	t.Helper()
+	plant := core.Plant{
+		Model:       setup.Model,
+		Q:           mat.Diag(2.5e-7, 2.5e-7, 1e-6),
+		AngleStates: []int{2},
+		UMax:        mat.VecOf(0.8, 0.8),
+	}
+	u0 := setup.Model.WheelSpeeds(0.1, 0)
+	modes, err := core.SingleReferenceModes(setup.Model, setup.Suite, setup.X0, u0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(plant, modes, setup.X0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detect.NewDetector(eng, detect.DefaultConfig())
+}

@@ -1,0 +1,91 @@
+package world
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// mapJSON is the serialized arena layout.
+type mapJSON struct {
+	// Width and Height are the arena dimensions in meters (origin at
+	// the south-west corner).
+	Width  float64 `json:"widthMeters"`
+	Height float64 `json:"heightMeters"`
+	// Obstacles are axis-aligned rectangles.
+	Obstacles []rectJSON `json:"obstacles,omitempty"`
+}
+
+type rectJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// ErrInvalidMap indicates a serialized arena that fails validation.
+var ErrInvalidMap = errors.New("world: invalid map")
+
+// MarshalJSON implements json.Marshaler for arena layouts anchored at
+// the origin.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	out := mapJSON{
+		Width:  m.Bounds.Max.X - m.Bounds.Min.X,
+		Height: m.Bounds.Max.Y - m.Bounds.Min.Y,
+	}
+	for _, o := range m.Obstacles {
+		out.Obstacles = append(out.Obstacles, rectJSON{
+			MinX: o.Min.X, MinY: o.Min.Y, MaxX: o.Max.X, MaxY: o.Max.Y,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with validation: positive
+// dimensions and obstacles contained in the arena.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var in mapJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidMap, err)
+	}
+	if in.Width <= 0 || in.Height <= 0 {
+		return fmt.Errorf("%w: dimensions %.3f×%.3f", ErrInvalidMap, in.Width, in.Height)
+	}
+	loaded := NewArena(in.Width, in.Height)
+	for i, o := range in.Obstacles {
+		if o.MaxX <= o.MinX || o.MaxY <= o.MinY {
+			return fmt.Errorf("%w: obstacle %d is degenerate", ErrInvalidMap, i)
+		}
+		rect := NewRect(o.MinX, o.MinY, o.MaxX, o.MaxY)
+		if !loaded.Bounds.Contains(rect.Min) || !loaded.Bounds.Contains(rect.Max) {
+			return fmt.Errorf("%w: obstacle %d outside arena", ErrInvalidMap, i)
+		}
+		loaded.AddObstacle(rect)
+	}
+	*m = *loaded
+	return nil
+}
+
+// LoadMap reads a JSON arena layout.
+func LoadMap(r io.Reader) (*Map, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("world: read map: %w", err)
+	}
+	m := &Map{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveMap writes the arena layout as JSON.
+func SaveMap(w io.Writer, m *Map) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("world: encode map: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

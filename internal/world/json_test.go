@@ -1,0 +1,60 @@
+package world
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	m := LabArena()
+	var buf bytes.Buffer
+	if err := SaveMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bounds != m.Bounds {
+		t.Fatalf("bounds = %+v, want %+v", loaded.Bounds, m.Bounds)
+	}
+	if len(loaded.Obstacles) != len(m.Obstacles) {
+		t.Fatalf("obstacles = %d", len(loaded.Obstacles))
+	}
+	for i, o := range loaded.Obstacles {
+		if o != m.Obstacles[i] {
+			t.Fatalf("obstacle %d = %+v, want %+v", i, o, m.Obstacles[i])
+		}
+	}
+}
+
+func TestLoadMapValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          "not json",
+		"zero width":       `{"widthMeters":0,"heightMeters":4}`,
+		"negative height":  `{"widthMeters":4,"heightMeters":-1}`,
+		"degenerate rect":  `{"widthMeters":4,"heightMeters":4,"obstacles":[{"minX":1,"minY":1,"maxX":1,"maxY":2}]}`,
+		"obstacle outside": `{"widthMeters":4,"heightMeters":4,"obstacles":[{"minX":3,"minY":3,"maxX":5,"maxY":5}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadMap(strings.NewReader(payload)); !errors.Is(err, ErrInvalidMap) {
+			t.Fatalf("%s: err = %v, want ErrInvalidMap", name, err)
+		}
+	}
+}
+
+func TestLoadMapEmptyArena(t *testing.T) {
+	m, err := LoadMap(strings.NewReader(`{"widthMeters":2.5,"heightMeters":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bounds.Max.X != 2.5 || m.Bounds.Max.Y != 3 || len(m.Obstacles) != 0 {
+		t.Fatalf("map = %+v", m)
+	}
+	// The loaded map is fully functional.
+	if d, ok := m.Raycast(Point{1, 1}, 0, 100); !ok || d != 1.5 {
+		t.Fatalf("raycast on loaded map = %v ok=%v", d, ok)
+	}
+}

@@ -1,0 +1,217 @@
+// Package world models the 2D environment the robots operate in: a walled
+// arena (the Vicon lab of Fig. 5(b)) with rectangular obstacles. It
+// provides the geometric primitives the LiDAR sensor (ray casting against
+// walls), the RRT* planner (collision checking, free-space sampling), and
+// the simulator (containment checks) build on.
+package world
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is a 2D position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Segment is a line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Rect is an axis-aligned rectangle given by its min and max corners.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns a rectangle, normalizing the corner order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	return Rect{
+		Min: Point{math.Min(x0, x1), math.Min(y0, y1)},
+		Max: Point{math.Max(x0, x1), math.Max(y0, y1)},
+	}
+}
+
+// Contains reports whether p lies inside or on the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Inflate returns the rectangle grown by margin on every side.
+func (r Rect) Inflate(margin float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - margin, r.Min.Y - margin},
+		Max: Point{r.Max.X + margin, r.Max.Y + margin},
+	}
+}
+
+// Edges returns the four boundary segments.
+func (r Rect) Edges() []Segment {
+	a := r.Min
+	b := Point{r.Max.X, r.Min.Y}
+	c := r.Max
+	d := Point{r.Min.X, r.Max.Y}
+	return []Segment{{a, b}, {b, c}, {c, d}, {d, a}}
+}
+
+// Center returns the rectangle centroid.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Map is a rectangular arena with named walls and rectangular obstacles.
+type Map struct {
+	// Bounds is the arena rectangle; its edges are the walls the LiDAR
+	// ranges against.
+	Bounds Rect
+	// Obstacles are solid regions the planner must avoid. LiDAR beams
+	// also terminate on them.
+	Obstacles []Rect
+}
+
+// ErrOutOfBounds indicates a query outside the arena.
+var ErrOutOfBounds = errors.New("world: point outside arena")
+
+// NewArena returns an empty arena of the given width and height with the
+// origin at the south-west corner.
+func NewArena(width, height float64) *Map {
+	return &Map{Bounds: NewRect(0, 0, width, height)}
+}
+
+// AddObstacle appends a rectangular obstacle.
+func (m *Map) AddObstacle(r Rect) { m.Obstacles = append(m.Obstacles, r) }
+
+// InBounds reports whether p lies inside the arena.
+func (m *Map) InBounds(p Point) bool { return m.Bounds.Contains(p) }
+
+// Free reports whether p lies inside the arena and outside every obstacle
+// inflated by margin (the robot radius).
+func (m *Map) Free(p Point, margin float64) bool {
+	if !m.Bounds.Inflate(-margin).Contains(p) {
+		return false
+	}
+	for _, o := range m.Obstacles {
+		if o.Inflate(margin).Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// SegmentFree reports whether the whole segment stays in free space with
+// the given margin, checked by sampling at steps of at most step meters.
+func (m *Map) SegmentFree(s Segment, margin, step float64) bool {
+	if step <= 0 {
+		step = 0.02
+	}
+	length := s.Length()
+	n := int(math.Ceil(length/step)) + 1
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		p := Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+		if !m.Free(p, margin) {
+			return false
+		}
+	}
+	return true
+}
+
+// Raycast returns the distance from origin along the unit direction
+// (cos θ, sin θ) to the nearest wall or obstacle edge, up to maxRange.
+// If nothing is hit within maxRange (possible only when origin is outside
+// the arena), it returns maxRange and ok = false.
+func (m *Map) Raycast(origin Point, theta, maxRange float64) (dist float64, ok bool) {
+	best, hit := m.RaycastWalls(origin, theta, maxRange)
+	dir := Point{math.Cos(theta), math.Sin(theta)}
+	for _, o := range m.Obstacles {
+		for _, seg := range o.Edges() {
+			if t, k := raySegment(origin, dir, seg); k && t < best {
+				best = t
+				hit = true
+			}
+		}
+	}
+	return best, hit
+}
+
+// RaycastWalls is Raycast restricted to the arena boundary. Because the
+// arena is convex, the resulting range is a continuous function of the
+// pose — the property the LiDAR measurement model relies on (the paper's
+// workflow extracts "distances from surrounding walls").
+func (m *Map) RaycastWalls(origin Point, theta, maxRange float64) (dist float64, ok bool) {
+	dir := Point{math.Cos(theta), math.Sin(theta)}
+	best := maxRange
+	hit := false
+	for _, seg := range m.Bounds.Edges() {
+		if t, k := raySegment(origin, dir, seg); k && t < best {
+			best = t
+			hit = true
+		}
+	}
+	return best, hit
+}
+
+// raySegment intersects the ray origin + t·dir (t ≥ 0) with a segment,
+// returning the smallest nonnegative t.
+func raySegment(origin, dir Point, seg Segment) (t float64, ok bool) {
+	// Solve origin + t·dir = A + s·(B−A) with t ≥ 0, s ∈ [0, 1].
+	e := seg.B.Sub(seg.A)
+	denom := dir.X*e.Y - dir.Y*e.X
+	if math.Abs(denom) < 1e-15 {
+		return 0, false // parallel (collinear overlap treated as miss)
+	}
+	ao := seg.A.Sub(origin)
+	t = (ao.X*e.Y - ao.Y*e.X) / denom
+	s := (ao.X*dir.Y - ao.Y*dir.X) / denom
+	if t < 0 || s < -1e-12 || s > 1+1e-12 {
+		return 0, false
+	}
+	return t, true
+}
+
+// String describes the map for logs.
+func (m *Map) String() string {
+	return fmt.Sprintf("arena %.2fx%.2fm with %d obstacles",
+		m.Bounds.Max.X-m.Bounds.Min.X, m.Bounds.Max.Y-m.Bounds.Min.Y, len(m.Obstacles))
+}
+
+// LabArena returns the default experiment environment: a 4×4 m arena with
+// two rectangular obstacles, sized after the indoor Vicon space of
+// Fig. 5(b).
+func LabArena() *Map {
+	m := NewArena(4, 4)
+	m.AddObstacle(NewRect(1.2, 1.4, 1.8, 2.0))
+	m.AddObstacle(NewRect(2.4, 2.6, 3.0, 3.2))
+	return m
+}
+
+// WarehouseArena returns a larger 8×6 m environment with shelf-like
+// obstacle rows, after the warehouse-robot application the paper's
+// introduction motivates.
+func WarehouseArena() *Map {
+	m := NewArena(8, 6)
+	for _, y := range []float64{1.2, 3.0, 4.8} {
+		m.AddObstacle(NewRect(1.5, y, 4.0, y+0.4))
+		m.AddObstacle(NewRect(5.0, y, 7.0, y+0.4))
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+package roboads_test
+
+import (
+	"errors"
+	"testing"
+
+	"roboads"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	system, err := roboads.NewKheperaSystem(roboads.IPSSpoofingScenario(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if system.Dt() != 0.1 {
+		t.Fatalf("dt = %v", system.Dt())
+	}
+
+	sawAlarm := false
+	steps := 0
+	for {
+		rec, report, err := system.Step()
+		if errors.Is(err, roboads.ErrMissionOver) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 2000 {
+			break
+		}
+		if report.Decision.SensorAlarm {
+			for _, s := range report.Decision.Condition.Sensors {
+				if s == "ips" && rec.Truth.CorruptedSensors["ips"] {
+					sawAlarm = true
+				}
+			}
+		}
+		if rec.Done {
+			break
+		}
+	}
+	if !sawAlarm {
+		t.Fatal("IPS spoofing never detected through the public API")
+	}
+	x, px := system.State()
+	if x.Len() != 3 || px.Rows() != 3 {
+		t.Fatalf("state dims: %d / %dx%d", x.Len(), px.Rows(), px.Cols())
+	}
+}
+
+func TestTamiyaSystemFlow(t *testing.T) {
+	scenarios := roboads.TamiyaScenarios()
+	system, err := roboads.NewTamiyaSystem(scenarios[2], 3) // IPS spoofing
+	if err != nil {
+		t.Fatal(err)
+	}
+	detections := 0
+	for i := 0; i < 400; i++ {
+		_, report, err := system.Step()
+		if errors.Is(err, roboads.ErrMissionOver) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Decision.SensorAlarm {
+			detections++
+		}
+	}
+	if detections == 0 {
+		t.Fatal("Tamiya IPS spoofing never detected")
+	}
+}
+
+func TestCustomDetectorAssembly(t *testing.T) {
+	// Assemble a detector from components only — the path a downstream
+	// robot integration takes (no simulator involved).
+	model := roboads.NewKheperaModel(0.1)
+	arena := roboads.LabArena()
+	suite := []roboads.Sensor{
+		roboads.NewIPS(3),
+		roboads.NewWheelEncoder(3),
+		roboads.NewLidar(arena, 3),
+	}
+	x0 := roboads.Vec{1, 1, 0}
+	u0 := model.WheelSpeeds(0.1, 0)
+	modes, err := roboads.SingleReferenceModes(model, suite, x0, u0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := roboads.Plant{
+		Model:       model,
+		Q:           roboads.Diag(2.5e-7, 2.5e-7, 1e-6),
+		AngleStates: []int{2},
+	}
+	engine, err := roboads.NewEngine(plant, modes, x0, roboads.Diag(1e-6, 1e-6, 1e-6), roboads.DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := roboads.NewDetector(engine, roboads.DefaultDetectorConfig())
+
+	// Feed a few clean iterations.
+	rng := roboads.NewRNG(4)
+	xTrue := x0.Clone()
+	u := model.WheelSpeeds(0.12, 0.1)
+	for k := 0; k < 30; k++ {
+		xTrue = model.F(xTrue, u).Add(rng.GaussianVec(roboads.Vec{5e-4, 5e-4, 1e-3}))
+		readings := map[string]roboads.Vec{}
+		for _, s := range suite {
+			readings[s.Name()] = s.H(xTrue)
+		}
+		report, err := det.Step(u, readings)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(report.Decision.Condition.Sensors) > 0 {
+			t.Fatalf("k=%d: clean run confirmed %v", k, report.Decision.Condition)
+		}
+	}
+}
+
+func TestRunScenarioAndMetrics(t *testing.T) {
+	run, err := roboads.RunScenario(roboads.KheperaScenarios()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := run.ActuatorConfusion()
+	if conf.TPR() < 0.9 {
+		t.Fatalf("actuator TPR = %.2f for scenario #1", conf.TPR())
+	}
+}
+
+func TestObservabilityExport(t *testing.T) {
+	model := roboads.NewKheperaModel(0.1)
+	mag := roboads.NewMagnetometer(3)
+	if roboads.Observable(model, mag, roboads.Vec{0, 0, 0}, roboads.Vec{0.1, 0.1}) {
+		t.Fatal("magnetometer should not be observable alone")
+	}
+}

@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel mode bank and the decision windows are the concurrency-
+# sensitive surfaces; run them under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/detect/...
+
+bench:
+	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|NUISEStep' -benchtime=1500x .
+
+ci: build vet test race

@@ -11,6 +11,7 @@ package roboads_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"roboads"
@@ -93,6 +94,133 @@ func BenchmarkEngineStep(b *testing.B) {
 		if _, err := eng.Step(u, readings); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNUISEStepScratch is BenchmarkNUISEStep with a persistent
+// scratch arena — the configuration the engine actually runs (one arena
+// per mode, reused every iteration). The gap between the two benchmarks
+// is the allocation overhead the arena removes.
+func BenchmarkNUISEStepScratch(b *testing.B) {
+	plant, model, suite := benchPlant()
+	testing2, err := sensors.NewStacked(suite[1], suite[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := mat.VecOf(1, 1, 0.3)
+	px := mat.Diag(1e-6, 1e-6, 1e-6)
+	u := model.WheelSpeeds(0.12, 0.1)
+	xNext := model.F(x, u)
+	z2 := suite[0].H(xNext)
+	z1 := testing2.H(xNext)
+	sc := mat.NewScratch()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NUISEScratch(plant, suite[0], testing2, u, x, px, z1, z2, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStepParallel measures the parallel mode bank over
+// hypothesis banks of 3, 5, and 7 modes (subsets of the complete set for
+// the three-sensor Khepera suite) crossed with worker counts. Workers=1
+// is the sequential baseline; output is bit-for-bit identical across
+// worker counts (see TestEngineParallelMatchesSequential), so the only
+// difference is wall clock. BENCH_engine.json records the baseline.
+func BenchmarkEngineStepParallel(b *testing.B) {
+	plant, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	allModes, err := core.CompleteModes(model, suite, x0, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bank := range []int{3, 5, 7} {
+		if bank > len(allModes) {
+			b.Fatalf("complete set has only %d modes", len(allModes))
+		}
+		for _, workers := range []int{1, 2, 4} {
+			bank, workers := bank, workers
+			b.Run(fmt.Sprintf("modes=%d/workers=%d", bank, workers), func(b *testing.B) {
+				cfg := core.DefaultEngineConfig()
+				cfg.Workers = workers
+				eng, err := core.NewEngine(plant, allModes[:bank], x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				rng := stat.NewRNG(4)
+				xTrue := x0.Clone()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+					readings := map[string]mat.Vec{}
+					for _, s := range suite {
+						readings[s.Name()] = s.H(xTrue)
+					}
+					if _, err := eng.Step(u, readings); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineFleet measures N independent robots (one sequential
+// engine each) stepped concurrently — the fleet-scale workload of the
+// ROADMAP north star, where parallelism comes from robot count rather
+// than bank width. Reported time is per fleet-wide iteration.
+func BenchmarkEngineFleet(b *testing.B) {
+	for _, robots := range []int{4, 16} {
+		robots := robots
+		b.Run(fmt.Sprintf("robots=%d", robots), func(b *testing.B) {
+			plant, model, suite := benchPlant()
+			x0 := mat.VecOf(1, 1, 0.3)
+			u := model.WheelSpeeds(0.12, 0.1)
+			modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := make([]*core.Engine, robots)
+			states := make([]mat.Vec, robots)
+			rngs := make([]*stat.RNG, robots)
+			for r := range engines {
+				cfg := core.DefaultEngineConfig()
+				cfg.Workers = 1 // fleet parallelism only
+				engines[r], err = core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states[r] = x0.Clone()
+				rngs[r] = stat.NewRNG(int64(100 + r))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				wg.Add(robots)
+				for r := 0; r < robots; r++ {
+					r := r
+					go func() {
+						defer wg.Done()
+						states[r] = model.F(states[r], u).Add(rngs[r].GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+						readings := map[string]mat.Vec{}
+						for _, s := range suite {
+							readings[s.Name()] = s.H(states[r])
+						}
+						if _, err := engines[r].Step(u, readings); err != nil {
+							panic(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
 	}
 }
 

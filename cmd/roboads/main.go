@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"roboads/internal/attack"
+	"roboads/internal/core"
 	"roboads/internal/detect"
 	"roboads/internal/eval"
 	"roboads/internal/sim"
@@ -61,13 +62,14 @@ func run(args []string) error {
 	plot := fs.String("plot", "a", "fig7 plot: a|b|c|d")
 	output := fs.String("o", "", "output file (record; default stdout)")
 	input := fs.String("i", "", "input trace file (replay; default stdin)")
+	workers := fs.Int("workers", 0, "mode-bank worker goroutines (run/replay): 0 = GOMAXPROCS, <=1 sequential; output is identical either way")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 
 	switch sub {
 	case "run":
-		return runScenario(*scenarioID, *seed)
+		return runScenario(*scenarioID, *seed, *workers)
 	case "table2":
 		result, err := eval.Table2(*trials, *seed)
 		if err != nil {
@@ -149,7 +151,7 @@ func run(args []string) error {
 	case "record":
 		return recordTrace(*scenarioID, *seed, *output)
 	case "replay":
-		return replayTrace(*input)
+		return replayTrace(*input, *workers)
 	case "related":
 		result, err := eval.RelatedWork(*trials, *seed)
 		if err != nil {
@@ -169,14 +171,16 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|all> [flags]`)
 }
 
-func runScenario(id int, seed int64) error {
+func runScenario(id int, seed int64, workers int) error {
 	scenario, err := scenarioByID(id)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scenario %v — %s\n", &scenario, scenario.Description)
 
-	run, err := eval.RunKheperaScenario(scenario, seed, detect.DefaultConfig(), eval.KheperaDetector)
+	ecfg := core.DefaultEngineConfig()
+	ecfg.Workers = workers
+	run, err := eval.RunKheperaScenario(scenario, seed, detect.DefaultConfig(), eval.KheperaDetectorWith(ecfg))
 	if err != nil {
 		return err
 	}
@@ -395,7 +399,7 @@ func recordTrace(scenarioID int, seed int64, output string) error {
 
 // replayTrace feeds a recorded Khepera trace through a fresh detector
 // and prints the condition timeline.
-func replayTrace(input string) error {
+func replayTrace(input string, workers int) error {
 	in := os.Stdin
 	if input != "" {
 		f, err := os.Open(input)
@@ -412,7 +416,9 @@ func replayTrace(input string) error {
 	if err != nil {
 		return err
 	}
-	det, err := eval.KheperaDetector(setup, detect.DefaultConfig())
+	ecfg := core.DefaultEngineConfig()
+	ecfg.Workers = workers
+	det, err := eval.KheperaDetectorWith(ecfg)(setup, detect.DefaultConfig())
 	if err != nil {
 		return err
 	}

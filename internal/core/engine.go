@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"roboads/internal/mat"
 	"roboads/internal/stat"
@@ -47,6 +49,16 @@ type EngineConfig struct {
 	// iteration (see Engine.Step). It must sit above Epsilon so that
 	// floor-pinned modes stay synced.
 	ResyncWeight float64
+	// Workers bounds the goroutines that fan the mode bank out each
+	// Step. 0 (the default) resolves to runtime.GOMAXPROCS(0); 1 or any
+	// negative value runs the bank on the calling goroutine (the
+	// sequential path). The pool is created once per engine and reused
+	// across iterations, and is capped at the mode count. Parallel
+	// output is bit-for-bit identical to sequential: each mode's NUISE
+	// depends only on that mode's own state, results are gathered by
+	// mode index, and every downstream loop iterates in fixed mode
+	// order, so scheduling cannot influence a single float.
+	Workers int
 }
 
 // DefaultEngineConfig returns the configuration used by the experiments.
@@ -80,6 +92,14 @@ type Engine struct {
 	cfg      EngineConfig
 	k        int
 	selected int
+
+	// pool fans Step's per-mode NUISE runs out when cfg.Workers resolves
+	// to more than one; nil engines step sequentially. scratch holds one
+	// matrix arena per mode — a mode is exactly one job per Step, so
+	// per-mode ownership makes arena reuse race-free by construction and
+	// keeps each arena's shape sequence stable across iterations.
+	pool    *workerPool
+	scratch []*mat.Scratch
 }
 
 // Output is one control iteration's engine result.
@@ -126,7 +146,11 @@ func NewEngine(plant Plant, modes []*Mode, x0 mat.Vec, p0 *mat.Mat, cfg EngineCo
 		xm[i] = x0.Clone()
 		pxm[i] = p0.Clone()
 	}
-	return &Engine{
+	scratch := make([]*mat.Scratch, len(modes))
+	for i := range scratch {
+		scratch[i] = mat.NewScratch()
+	}
+	e := &Engine{
 		plant:   plant,
 		modes:   append([]*Mode(nil), modes...),
 		weights: weights,
@@ -135,7 +159,34 @@ func NewEngine(plant Plant, modes []*Mode, x0 mat.Vec, p0 *mat.Mat, cfg EngineCo
 		xm:      xm,
 		pxm:     pxm,
 		cfg:     cfg,
-	}, nil
+		scratch: scratch,
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(modes) {
+		workers = len(modes)
+	}
+	if workers > 1 {
+		e.pool = newWorkerPool(workers)
+		// Backstop for engines dropped without Close: the workers hold a
+		// reference to the pool only, never the engine, so the engine
+		// stays collectable and the finalizer releases the goroutines.
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
+	return e, nil
+}
+
+// Close releases the engine's worker-pool goroutines. It is safe to call
+// more than once and on sequential engines, and the engine must not be
+// stepped afterwards. Engines that are simply dropped are cleaned up by
+// a finalizer, but deterministic shutdown should call Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		runtime.SetFinalizer(e, nil)
+	}
 }
 
 // Modes returns the engine's hypothesis set.
@@ -152,36 +203,33 @@ func (e *Engine) State() (mat.Vec, *mat.Mat) {
 // iteration, leaving the engine without a state update.
 var ErrAllModesFailed = errors.New("core: all modes failed")
 
-// Step runs one control iteration (Algorithm 1 lines 2–9): every mode's
-// NUISE in parallel over the same prior, weight update with floor ε,
-// normalization, and mode selection. readings maps each sensing workflow
-// name to its (possibly corrupted) reading z_k.
+// Step runs one control iteration (Algorithm 1 lines 2–9): the bank of
+// per-mode NUISE runs — fanned out over the worker pool when
+// EngineConfig.Workers resolves above one, on the calling goroutine
+// otherwise — followed by the weight update with floor ε, normalization,
+// and mode selection. readings maps each sensing workflow name to its
+// (possibly corrupted) reading z_k. A reading missing from the map (a
+// dropped sensor packet) degrades only the modes that depend on that
+// sensor — a mode loses the iteration when its reference is incomplete,
+// and runs reference-only (no d̂s) when only its testing block is — it
+// never sinks the whole bank.
 func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 	perMode := make([]*Result, len(e.modes))
-	for i, m := range e.modes {
-		z2, err := stackReadings(readings, m.ReferenceNames)
-		if err != nil {
-			return nil, err
+	if e.pool == nil {
+		for i := range e.modes {
+			e.stepMode(i, u, readings, perMode)
 		}
-		var z1 mat.Vec
-		if m.testingStacked != nil {
-			names := make([]string, len(m.Testing))
-			for j, s := range m.Testing {
-				names[j] = s.Name()
-			}
-			if z1, err = stackReadings(readings, names); err != nil {
-				return nil, err
-			}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(e.modes))
+		for i := range e.modes {
+			i := i
+			e.pool.submit(func() {
+				defer wg.Done()
+				e.stepMode(i, u, readings, perMode)
+			})
 		}
-		res, err := NUISE(e.plant, m.Reference, m.testingStacked, u, e.xm[i], e.pxm[i], z1, z2)
-		if err != nil {
-			// A mode can fail transiently (ill-conditioning) without
-			// sinking the engine; it just gets the weight floor below.
-			continue
-		}
-		perMode[i] = res
-		e.xm[i] = res.X.Clone()
-		e.pxm[i] = res.Px.Clone()
+		wg.Wait()
 	}
 
 	// Weight update μ ← N·μ, normalize, then floor at ε and renormalize
@@ -288,6 +336,35 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 	}
 	e.k++
 	return out, nil
+}
+
+// stepMode runs mode i's NUISE for this iteration. It writes only index
+// i of perMode, e.xm, and e.pxm — disjoint slots per mode — so the bank
+// fans out without locks. Failure semantics mirror the weight floor: a
+// missing reference reading or a NUISE error leaves perMode[i] nil (the
+// mode sits out this iteration and takes the floor), while a missing
+// testing reading degrades the mode to a reference-only update (no d̂s)
+// rather than failing it.
+func (e *Engine) stepMode(i int, u mat.Vec, readings map[string]mat.Vec, perMode []*Result) {
+	m := e.modes[i]
+	z2, err := stackReadings(readings, m.ReferenceNames)
+	if err != nil {
+		return
+	}
+	testing := m.testingStacked
+	var z1 mat.Vec
+	if testing != nil {
+		if z1, err = stackReadings(readings, m.testingNames); err != nil {
+			testing, z1 = nil, nil
+		}
+	}
+	res, err := NUISEScratch(e.plant, m.Reference, testing, u, e.xm[i], e.pxm[i], z1, z2, e.scratch[i])
+	if err != nil {
+		return
+	}
+	perMode[i] = res
+	e.xm[i] = res.X.Clone()
+	e.pxm[i] = res.Px.Clone()
 }
 
 // testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over the

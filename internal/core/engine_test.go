@@ -263,9 +263,11 @@ func TestEngineErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Missing sensor reading surfaces as an error.
-	if _, err := eng.Step(rig.model.WheelSpeeds(0.1, 0), map[string]mat.Vec{}); err == nil {
-		t.Fatal("missing readings accepted")
+	// With every reading missing, every mode fails its iteration and the
+	// bank has nothing to select (per-sensor drops degrade gracefully —
+	// see TestEngineStepMissingReadingDegradesBank).
+	if _, err := eng.Step(rig.model.WheelSpeeds(0.1, 0), map[string]mat.Vec{}); !errors.Is(err, ErrAllModesFailed) {
+		t.Fatalf("err = %v, want ErrAllModesFailed", err)
 	}
 }
 

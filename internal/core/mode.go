@@ -25,6 +25,7 @@ type Mode struct {
 	Testing []sensors.Sensor
 
 	testingStacked sensors.Sensor // nil when len(Testing) == 0
+	testingNames   []string       // workflow names of Testing, in stacking order
 }
 
 // ErrNoModes indicates an engine constructed without modes.
@@ -55,6 +56,10 @@ func NewMode(reference []sensors.Sensor, testing []sensors.Sensor) (*Mode, error
 			return nil, err
 		}
 		m.testingStacked = stacked
+		m.testingNames = make([]string, len(testing))
+		for i, s := range testing {
+			m.testingNames[i] = s.Name()
+		}
 	}
 	return m, nil
 }

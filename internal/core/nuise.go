@@ -119,6 +119,26 @@ var (
 // version, which reduces to the standard Gillijns–De Moor filter in the
 // linear case and matches the paper's line 18 likelihood covariance.
 func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxPrev *mat.Mat, z1, z2 mat.Vec) (*Result, error) {
+	return NUISEScratch(plant, reference, testing, u, xPrev, pxPrev, z1, z2, nil)
+}
+
+// NUISEScratch is NUISE with an explicit scratch arena for the ~20 matrix
+// temporaries one step builds. Passing the same arena across iterations
+// makes the step allocation-free apart from the Result itself (every
+// matrix stored in the Result is freshly allocated, never arena-owned,
+// so results stay valid after the arena is reused). A nil arena
+// allocates a private one, which is equivalent to the plain NUISE call.
+//
+// Scratch reuse changes where intermediates live but not how they are
+// computed: every destination-variant op accumulates in the same element
+// order as its allocating counterpart (see internal/mat), so results are
+// bit-for-bit identical to the historical allocating implementation.
+func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxPrev *mat.Mat, z1, z2 mat.Vec, sc *mat.Scratch) (*Result, error) {
+	if sc == nil {
+		sc = mat.NewScratch()
+	}
+	sc.Reset()
+
 	model := plant.Model
 	n := model.StateDim()
 	q := model.ControlDim()
@@ -131,16 +151,22 @@ func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxP
 	xPred0 := plant.wrapState(model.F(xPrev, u))
 	c2 := reference.C(xPred0)
 	r2 := reference.R()
+	p2 := reference.Dim()
 
 	// --- Step 1: actuator anomaly estimation (lines 2–6) ---
-	pTilde := a.Mul(pxPrev).Mul(a.T()).Add(plant.Q)
-	rStar := c2.Mul(pTilde).Mul(c2.T()).Add(r2).Symmetrize()
+	// pTilde = A·Px·Aᵀ + Q
+	pTilde := mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, n), a, pxPrev), a)
+	mat.AddInto(pTilde, pTilde, plant.Q)
+	// rStar = C2·pTilde·C2ᵀ + R2
+	rStar := mat.MulTInto(sc.Mat(p2, p2), mat.MulInto(sc.Mat(p2, n), c2, pTilde), c2)
+	mat.SymmetrizeInto(rStar, mat.AddInto(rStar, rStar, r2))
 	rStarInv, err := rStar.Inverse()
 	if err != nil {
 		return nil, fmt.Errorf("%w: R* inversion: %v", ErrIllConditioned, err)
 	}
-	gtC2t := g.T().Mul(c2.T())
-	fisher := gtC2t.Mul(rStarInv).Mul(c2.Mul(g)) // q×q
+	c2g := mat.MulInto(sc.Mat(p2, q), c2, g)
+	gtC2t := mat.TInto(sc.Mat(q, p2), c2g)
+	fisher := mat.MulInto(sc.Mat(q, q), mat.MulInto(sc.Mat(q, p2), gtC2t, rStarInv), c2g)
 	daValid := fisherConditioned(fisher)
 	var m2 *mat.Mat
 	var da mat.Vec
@@ -150,10 +176,11 @@ func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxP
 		if err != nil {
 			daValid = false
 		} else {
-			m2 = fisherInv.Mul(gtC2t).Mul(rStarInv) // q×p2
+			// m2 = fisher⁻¹·Gᵀ·C2ᵀ·R*⁻¹ (q×p2)
+			m2 = mat.MulInto(sc.Mat(q, p2), mat.MulInto(sc.Mat(q, p2), fisherInv, gtC2t), rStarInv)
 			innov0 := sensors.WrapResidual(z2.Sub(reference.H(xPred0)), reference.AngleIndices())
 			da = m2.MulVec(innov0)
-			pa = m2.Mul(rStar).Mul(m2.T()).Symmetrize()
+			pa = mat.MulTInto(sc.Mat(q, q), mat.MulInto(sc.Mat(q, p2), m2, rStar), m2).Symmetrize()
 		}
 	}
 	if !daValid {
@@ -161,7 +188,7 @@ func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxP
 		// this reference (e.g. steering at standstill). Degrade to a
 		// standard EKF step: no compensation, d̂a pinned at zero with an
 		// uninformative covariance.
-		m2 = mat.New(q, reference.Dim())
+		m2 = sc.Mat(q, p2)
 		da = mat.NewVec(q)
 		pa = mat.Identity(q).Scale(1e6)
 	}
@@ -177,32 +204,48 @@ func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxP
 		}
 	}
 	xPred := plant.wrapState(model.F(xPrev, uComp))
-	gm2 := g.Mul(m2)
-	igm := mat.Identity(n).Sub(gm2.Mul(c2))
-	aBar := igm.Mul(a)
-	qBar := igm.Mul(plant.Q).Mul(igm.T()).Add(gm2.Mul(r2).Mul(gm2.T()))
-	pxPred := aBar.Mul(pxPrev).Mul(aBar.T()).Add(qBar).Symmetrize()
+	gm2 := mat.MulInto(sc.Mat(n, p2), g, m2)
+	// igm = I − G·M2·C2
+	igm := mat.IdentityInto(sc.Mat(n, n))
+	mat.SubInto(igm, igm, mat.MulInto(sc.Mat(n, n), gm2, c2))
+	aBar := mat.MulInto(sc.Mat(n, n), igm, a)
+	// qBar = igm·Q·igmᵀ + G·M2·R2·(G·M2)ᵀ
+	qBar := mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, n), igm, plant.Q), igm)
+	gm2r2 := mat.MulInto(sc.Mat(n, p2), gm2, r2)
+	mat.AddInto(qBar, qBar, mat.MulTInto(sc.Mat(n, n), gm2r2, gm2))
+	pxPred := mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, n), aBar, pxPrev), aBar)
+	mat.SymmetrizeInto(pxPred, mat.AddInto(pxPred, pxPred, qBar))
 
 	// --- Step 3: state estimation (lines 11–14) ---
 	// Cross covariance S = E[x̃_{k|k-1}·ξ2ᵀ] = −G·M2·R2.
-	s := gm2.Mul(r2).Scale(-1)
-	r2Tilde := c2.Mul(pxPred).Mul(c2.T()).Add(r2).
-		Add(c2.Mul(s)).Add(s.T().Mul(c2.T())).Symmetrize()
+	s := mat.ScaleInto(sc.Mat(n, p2), -1, gm2r2)
+	// r2Tilde = C2·pxPred·C2ᵀ + R2 + C2·S + Sᵀ·C2ᵀ
+	r2Tilde := mat.MulTInto(sc.Mat(p2, p2), mat.MulInto(sc.Mat(p2, n), c2, pxPred), c2)
+	mat.AddInto(r2Tilde, r2Tilde, r2)
+	c2s := mat.MulInto(sc.Mat(p2, p2), c2, s)
+	mat.AddInto(r2Tilde, r2Tilde, c2s)
+	mat.AddInto(r2Tilde, r2Tilde, mat.TInto(sc.Mat(p2, p2), c2s))
+	mat.SymmetrizeInto(r2Tilde, r2Tilde)
 	nu := sensors.WrapResidual(z2.Sub(reference.H(xPred)), reference.AngleIndices())
 
-	gainNumer := pxPred.Mul(c2.T()).Add(s)
+	gainNumer := mat.MulTInto(sc.Mat(n, p2), pxPred, c2)
+	mat.AddInto(gainNumer, gainNumer, s)
 	r2TildeInv, rank, pseudoDet, err := r2Tilde.PseudoInverseSym(0)
 	if err != nil {
 		return nil, fmt.Errorf("%w: innovation covariance: %v", ErrIllConditioned, err)
 	}
-	l := gainNumer.Mul(r2TildeInv)
+	l := mat.MulInto(sc.Mat(n, p2), gainNumer, r2TildeInv)
 
 	x := plant.wrapState(xPred.Add(l.MulVec(nu)))
-	ilc := mat.Identity(n).Sub(l.Mul(c2))
-	px := ilc.Mul(pxPred).Mul(ilc.T()).
-		Add(l.Mul(r2).Mul(l.T())).
-		Sub(ilc.Mul(s).Mul(l.T())).
-		Sub(l.Mul(s.T()).Mul(ilc.T())).Symmetrize()
+	// ilc = I − L·C2
+	ilc := mat.IdentityInto(sc.Mat(n, n))
+	mat.SubInto(ilc, ilc, mat.MulInto(sc.Mat(n, n), l, c2))
+	// Joseph form: px = ilc·pxPred·ilcᵀ + L·R2·Lᵀ − ilc·S·Lᵀ − L·Sᵀ·ilcᵀ
+	pxAcc := mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, n), ilc, pxPred), ilc)
+	mat.AddInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, p2), l, r2), l))
+	mat.SubInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, p2), ilc, s), l))
+	mat.SubInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulTInto(sc.Mat(n, n), l, s), ilc))
+	px := pxAcc.Symmetrize()
 
 	// --- Step 4: testing-sensor anomaly estimation (lines 15–16) ---
 	var ds mat.Vec
@@ -210,7 +253,9 @@ func NUISE(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.Vec, pxP
 	if testing != nil && testing.Dim() > 0 {
 		ds = sensors.WrapResidual(z1.Sub(testing.H(x)), testing.AngleIndices())
 		c1 := testing.C(x)
-		ps = c1.Mul(px).Mul(c1.T()).Add(testing.R()).Symmetrize()
+		p1 := testing.Dim()
+		ps = mat.MulTInto(sc.Mat(p1, p1), mat.MulInto(sc.Mat(p1, n), c1, px), c1).
+			Add(testing.R()).Symmetrize()
 	}
 
 	// --- Likelihood (lines 17–20) ---
@@ -269,10 +314,18 @@ func likelihoodOf(nu mat.Vec, pinv *mat.Mat, rank int, pseudoDet float64) (densi
 	if quad < 0 {
 		quad = 0 // guard tiny negative round-off
 	}
+	if pseudoDet < 0 {
+		// The pseudo-determinant is a product of eigenvalues kept by the
+		// PSD projection; a negative value means that projection failed
+		// and neither the density nor the normalized innovation behind
+		// the p-value can be trusted. Report zero so the engine floors
+		// the mode instead of weighting it by a silently wrong density.
+		return 0, 0
+	}
 	if cdf, err := stat.ChiSquareCDF(quad, rank); err == nil {
 		pValue = 1 - cdf
 	}
-	norm := math.Pow(2*math.Pi, float64(rank)/2) * math.Sqrt(math.Abs(pseudoDet))
+	norm := math.Pow(2*math.Pi, float64(rank)/2) * math.Sqrt(pseudoDet)
 	if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
 		return 0, pValue
 	}

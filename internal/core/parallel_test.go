@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"roboads/internal/mat"
+)
+
+// recordScenario pre-generates a full scenario (commands and readings,
+// with an IPS bias window) so two engines can replay byte-identical
+// inputs.
+func recordScenario(seed int64, steps int) (*testRig, []mat.Vec, []map[string]mat.Vec) {
+	rig := newTestRig(seed)
+	xTrue := mat.VecOf(0.8, 0.8, 0.2)
+	u := rig.model.WheelSpeeds(0.12, 0.2)
+	us := make([]mat.Vec, 0, steps)
+	readings := make([]map[string]mat.Vec, 0, steps)
+	for k := 0; k < steps; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		r := rig.readings(xTrue)
+		if k >= 30 && k < 70 {
+			r["ips"] = r["ips"].Add(mat.VecOf(0.07, 0, 0))
+		}
+		us = append(us, u)
+		readings = append(readings, r)
+	}
+	return rig, us, readings
+}
+
+func engineWithWorkers(t *testing.T, rig *testRig, workers int) *Engine {
+	t.Helper()
+	x0 := mat.VecOf(0.8, 0.8, 0.2)
+	u0 := rig.model.WheelSpeeds(0.1, 0)
+	modes, err := SingleReferenceModes(rig.plant.Model, rig.suite, x0, u0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultEngineConfig()
+	cfg.Workers = workers
+	eng, err := NewEngine(rig.plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func vecsEqual(a, b mat.Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The determinism guarantee: a parallel engine produces bit-for-bit the
+// same weights, selection, and estimates as the sequential path over a
+// full scenario, including an attack window that exercises the weight
+// floor, hysteresis, and resync logic.
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	rig, us, readings := recordScenario(21, 100)
+	seq := engineWithWorkers(t, rig, 1)
+	par := engineWithWorkers(t, rig, 4)
+	defer par.Close()
+
+	for k := range us {
+		outS, errS := seq.Step(us[k], readings[k])
+		outP, errP := par.Step(us[k], readings[k])
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("k=%d: sequential err %v, parallel err %v", k, errS, errP)
+		}
+		if errS != nil {
+			continue
+		}
+		if outS.Selected != outP.Selected {
+			t.Fatalf("k=%d: selected %d vs %d", k, outS.Selected, outP.Selected)
+		}
+		if !vecsEqual(mat.Vec(outS.Weights), mat.Vec(outP.Weights)) {
+			t.Fatalf("k=%d: weights diverged\nseq %v\npar %v", k, outS.Weights, outP.Weights)
+		}
+		if !vecsEqual(outS.Result.X, outP.Result.X) {
+			t.Fatalf("k=%d: state estimates diverged\nseq %v\npar %v", k, outS.Result.X, outP.Result.X)
+		}
+		if !outS.Result.Px.Equal(outP.Result.Px, 0) {
+			t.Fatalf("k=%d: covariances diverged", k)
+		}
+		for i := range outS.PerMode {
+			rs, rp := outS.PerMode[i], outP.PerMode[i]
+			if (rs == nil) != (rp == nil) {
+				t.Fatalf("k=%d mode %d: one path failed, the other didn't", k, i)
+			}
+			if rs == nil {
+				continue
+			}
+			if !vecsEqual(rs.X, rp.X) || rs.Likelihood != rp.Likelihood || rs.PValue != rp.PValue {
+				t.Fatalf("k=%d mode %d: per-mode results diverged", k, i)
+			}
+		}
+	}
+
+	xS, pxS := seq.State()
+	xP, pxP := par.State()
+	if !vecsEqual(xS, xP) || !pxS.Equal(pxP, 0) {
+		t.Fatalf("final consensus diverged: %v vs %v", xS, xP)
+	}
+}
+
+// A dropped sensor packet (reading missing from the map) must degrade
+// only the modes that depend on that sensor, not abort the bank: modes
+// referencing it sit the iteration out, modes merely testing it run
+// reference-only, and the next complete reading set restores everyone.
+func TestEngineStepMissingReadingDegradesBank(t *testing.T) {
+	rig := newTestRig(22)
+	eng := buildEngine(t, rig)
+	xTrue := mat.VecOf(0.8, 0.8, 0.2)
+	u := rig.model.WheelSpeeds(0.12, 0.1)
+	for k := 0; k < 10; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		if _, err := eng.Step(u, rig.readings(xTrue)); err != nil {
+			t.Fatalf("warmup k=%d: %v", k, err)
+		}
+	}
+
+	xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+	dropped := rig.readings(xTrue)
+	delete(dropped, "ips")
+	out, err := eng.Step(u, dropped)
+	if err != nil {
+		t.Fatalf("dropped packet sank the bank: %v", err)
+	}
+	modes := eng.Modes()
+	for i, m := range modes {
+		refUsesIPS := false
+		for _, name := range m.ReferenceNames {
+			if name == "ips" {
+				refUsesIPS = true
+			}
+		}
+		if refUsesIPS {
+			if out.PerMode[i] != nil {
+				t.Fatalf("mode %s ran without its reference reading", m.Name)
+			}
+			continue
+		}
+		if out.PerMode[i] == nil {
+			t.Fatalf("mode %s failed although its reference was present", m.Name)
+		}
+		// ips sits in this mode's testing block; the testing stack is
+		// incomplete, so the mode must have run reference-only.
+		if out.PerMode[i].Ds != nil {
+			t.Fatalf("mode %s produced d̂s from an incomplete testing stack", m.Name)
+		}
+	}
+	for _, name := range out.SelectedMode.ReferenceNames {
+		if name == "ips" {
+			t.Fatalf("selected mode %s references the dropped sensor", out.SelectedMode.Name)
+		}
+	}
+
+	// Full readings next iteration: every mode recovers.
+	xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+	out, err = eng.Step(u, rig.readings(xTrue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range modes {
+		if out.PerMode[i] == nil {
+			t.Fatalf("mode %s did not recover after the drop", m.Name)
+		}
+		if len(m.Testing) > 0 && out.PerMode[i].Ds == nil {
+			t.Fatalf("mode %s missing d̂s after recovery", m.Name)
+		}
+	}
+}
+
+// A negative pseudo-determinant means the PSD projection failed; the
+// density must be reported as zero (mode takes the floor), not computed
+// from |det|.
+func TestLikelihoodRejectsNegativePseudoDet(t *testing.T) {
+	nu := mat.VecOf(0.1, 0.2)
+	pinv := mat.Identity(2)
+	if density, pv := likelihoodOf(nu, pinv, 2, -1e-6); density != 0 || pv != 0 {
+		t.Fatalf("negative pseudo-det: density=%v p=%v, want 0, 0", density, pv)
+	}
+	if density, pv := likelihoodOf(nu, pinv, 2, 1.0); density <= 0 || pv <= 0 {
+		t.Fatalf("positive pseudo-det: density=%v p=%v, want > 0", density, pv)
+	}
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	rig := newTestRig(23)
+	eng := engineWithWorkers(t, rig, 4)
+	xTrue := mat.VecOf(0.8, 0.8, 0.2)
+	u := rig.model.WheelSpeeds(0.1, 0)
+	xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+	if _, err := eng.Step(u, rig.readings(xTrue)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // second close must be a no-op
+
+	seq := engineWithWorkers(t, rig, 1)
+	seq.Close() // sequential engines have no pool; Close is still safe
+}

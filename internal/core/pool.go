@@ -1,0 +1,34 @@
+package core
+
+import "sync"
+
+// workerPool is a fixed set of goroutines draining a job channel. The
+// engine creates one pool at construction and reuses it every Step, so
+// fan-out costs one channel send per mode instead of one goroutine spawn.
+// Closing the pool (Engine.Close) lets the workers exit; a pool is never
+// reopened.
+type workerPool struct {
+	jobs      chan func()
+	closeOnce sync.Once
+}
+
+// newWorkerPool starts workers goroutines waiting for jobs.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands a job to an idle worker, blocking until one picks it up.
+// The caller is responsible for its own completion tracking (the engine
+// uses a per-Step WaitGroup).
+func (p *workerPool) submit(job func()) { p.jobs <- job }
+
+// close releases the workers. Idempotent.
+func (p *workerPool) close() { p.closeOnce.Do(func() { close(p.jobs) }) }

@@ -194,7 +194,12 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 	dec.SensorAlarm = d.sensorWindow.Push(dec.SensorRaw)
 
 	// Actuator test (line 11). Skipped when the actuator anomaly was
-	// unobservable this iteration (NUISE degraded to a plain EKF step).
+	// unobservable this iteration (NUISE degraded to a plain EKF step) —
+	// and crucially the c-of-w window is *held*, not fed a negative: an
+	// uninformative iteration says nothing about the actuator, and
+	// pushing false would let a brief standstill dilute the window and
+	// mask an ongoing attack. ActuatorAlarm keeps reflecting the last
+	// confirmed state until observability returns.
 	if da := out.Result.Da; da.Len() > 0 && out.Result.DaValid {
 		quad, err := out.Result.Pa.InvQuadForm(da)
 		if err != nil {
@@ -207,8 +212,10 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 		}
 		dec.ActuatorThreshold = threshold
 		dec.ActuatorRaw = quad > threshold
+		dec.ActuatorAlarm = d.actuatorWindow.Push(dec.ActuatorRaw)
+	} else {
+		dec.ActuatorAlarm = d.actuatorWindow.Met()
 	}
-	dec.ActuatorAlarm = d.actuatorWindow.Push(dec.ActuatorRaw)
 	dec.Condition.Actuator = dec.ActuatorAlarm
 
 	// Per-sensor identification (lines 13–18). Every testing sensor's

@@ -1,0 +1,222 @@
+package mat
+
+import "fmt"
+
+// Destination ("Into") variants of the core operations, for hot loops
+// that reuse buffers instead of allocating (the NUISE step builds ~20
+// matrix temporaries per call; see internal/core). Every variant writes
+// its full result into dst and returns dst.
+//
+// Aliasing: the elementwise operations (AddInto, SubInto, ScaleInto,
+// SymmetrizeInto) accept dst aliasing either operand. The product
+// operations (MulInto, MulTInto, TMulInto, TInto, MulVecInto) do not —
+// dst must be a distinct matrix, which they verify by identity.
+//
+// Bit-compatibility: each variant accumulates in the same element order
+// as its allocating counterpart (Mul, Add, …, with explicit transposes),
+// so results are bit-for-bit identical — a requirement of the engine's
+// determinism guarantee.
+
+// MulInto stores a·b into dst and returns dst.
+func MulInto(dst, a, b *Mat) *Mat {
+	if a.cols != b.rows {
+		panic(fmt.Errorf("%w: %dx%d times %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustShape(dst, a.rows, b.cols)
+	mustDistinct(dst, a, b)
+	clear(dst.data)
+	for i := 0; i < a.rows; i++ {
+		rowOut := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k := 0; k < a.cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			rowB := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range rowB {
+				rowOut[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulTInto stores a·bᵀ into dst and returns dst.
+func MulTInto(dst, a, b *Mat) *Mat {
+	if a.cols != b.cols {
+		panic(fmt.Errorf("%w: %dx%d times transpose of %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustShape(dst, a.rows, b.rows)
+	mustDistinct(dst, a, b)
+	for i := 0; i < a.rows; i++ {
+		rowA := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			rowB := b.data[j*b.cols : (j+1)*b.cols]
+			var sum float64
+			for k, av := range rowA {
+				sum += av * rowB[k]
+			}
+			dst.data[i*dst.cols+j] = sum
+		}
+	}
+	return dst
+}
+
+// TMulInto stores aᵀ·b into dst and returns dst.
+func TMulInto(dst, a, b *Mat) *Mat {
+	if a.rows != b.rows {
+		panic(fmt.Errorf("%w: transpose of %dx%d times %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustShape(dst, a.cols, b.cols)
+	mustDistinct(dst, a, b)
+	clear(dst.data)
+	for k := 0; k < a.rows; k++ {
+		rowB := b.data[k*b.cols : (k+1)*b.cols]
+		for i := 0; i < a.cols; i++ {
+			av := a.data[k*a.cols+i]
+			if av == 0 {
+				continue
+			}
+			rowOut := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j, bv := range rowB {
+				rowOut[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// TInto stores aᵀ into dst and returns dst.
+func TInto(dst, a *Mat) *Mat {
+	mustShape(dst, a.cols, a.rows)
+	mustDistinct(dst, a, a)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+	return dst
+}
+
+// AddInto stores a + b into dst and returns dst. dst may alias a or b.
+func AddInto(dst, a, b *Mat) *Mat {
+	mustSameShape(a, b)
+	mustShape(dst, a.rows, a.cols)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return dst
+}
+
+// SubInto stores a − b into dst and returns dst. dst may alias a or b.
+func SubInto(dst, a, b *Mat) *Mat {
+	mustSameShape(a, b)
+	mustShape(dst, a.rows, a.cols)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto stores s·a into dst and returns dst. dst may alias a.
+func ScaleInto(dst *Mat, s float64, a *Mat) *Mat {
+	mustShape(dst, a.rows, a.cols)
+	for i := range dst.data {
+		dst.data[i] = s * a.data[i]
+	}
+	return dst
+}
+
+// SymmetrizeInto stores (a + aᵀ)/2 into dst and returns dst. dst may
+// alias a.
+func SymmetrizeInto(dst, a *Mat) *Mat {
+	mustSquare(a)
+	mustShape(dst, a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := i; j < a.cols; j++ {
+			v := 0.5 * (a.At(i, j) + a.At(j, i))
+			dst.Set(i, j, v)
+			dst.Set(j, i, v)
+		}
+	}
+	return dst
+}
+
+// IdentityInto stores the identity into the square matrix dst and
+// returns dst.
+func IdentityInto(dst *Mat) *Mat {
+	mustSquare(dst)
+	clear(dst.data)
+	for i := 0; i < dst.rows; i++ {
+		dst.Set(i, i, 1)
+	}
+	return dst
+}
+
+// MulVecInto stores a·v into dst and returns dst. dst must not alias v.
+func MulVecInto(dst Vec, a *Mat, v Vec) Vec {
+	if a.cols != len(v) {
+		panic(fmt.Errorf("%w: %dx%d times vector of length %d", ErrDimension, a.rows, a.cols, len(v)))
+	}
+	if len(dst) != a.rows {
+		panic(fmt.Errorf("%w: destination length %d, want %d", ErrDimension, len(dst), a.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var sum float64
+		for j, av := range row {
+			sum += av * v[j]
+		}
+		dst[i] = sum
+	}
+	return dst
+}
+
+func mustShape(m *Mat, rows, cols int) {
+	if m.rows != rows || m.cols != cols {
+		panic(fmt.Errorf("%w: destination is %dx%d, want %dx%d", ErrDimension, m.rows, m.cols, rows, cols))
+	}
+}
+
+func mustDistinct(dst, a, b *Mat) {
+	if dst == a || dst == b {
+		panic(fmt.Errorf("%w: destination aliases an operand", ErrDimension))
+	}
+}
+
+// Scratch is a reusable arena of matrices for allocation-free hot loops.
+// Mat hands out zeroed matrices; Reset makes every matrix handed out so
+// far reusable again. After one warm pass with a stable shape sequence,
+// further passes allocate nothing. A Scratch is not safe for concurrent
+// use; the engine keeps one per mode so each NUISE instance owns its
+// arena (modes never run concurrently with themselves).
+type Scratch struct {
+	mats []*Mat
+	next int
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset recycles every matrix handed out since the last Reset. Matrices
+// obtained before the Reset must no longer be referenced.
+func (s *Scratch) Reset() { s.next = 0 }
+
+// Mat returns a zeroed r×c matrix owned by the arena, reusing a
+// previously allocated one of the same shape when available.
+func (s *Scratch) Mat(r, c int) *Mat {
+	for i := s.next; i < len(s.mats); i++ {
+		if m := s.mats[i]; m.rows == r && m.cols == c {
+			s.mats[i], s.mats[s.next] = s.mats[s.next], m
+			s.next++
+			clear(m.data)
+			return m
+		}
+	}
+	m := New(r, c)
+	s.mats = append(s.mats, m)
+	last := len(s.mats) - 1
+	s.mats[s.next], s.mats[last] = s.mats[last], s.mats[s.next]
+	s.next++
+	return m
+}

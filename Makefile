@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench benchdiff ci
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,12 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|NUISEStep' -benchtime=1500x .
+
+# Regression guard: re-runs the benchmark command recorded in
+# BENCH_engine.json and fails if any tracked benchmark is >15% slower
+# (ns/op) than the recorded baseline. Authoritative on the recording
+# hardware; informational elsewhere (CI runs it with continue-on-error).
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json
 
 ci: build vet test race

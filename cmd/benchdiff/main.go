@@ -1,0 +1,168 @@
+// Command benchdiff guards against benchmark regressions: it re-runs the
+// benchmark command recorded in BENCH_engine.json (or parses a
+// pre-captured output file), compares every tracked benchmark's ns/op
+// against the recorded baseline, and exits nonzero when any regresses
+// beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff [-baseline BENCH_engine.json] [-input bench.out] [-threshold 0.15]
+//
+// With -input the tool only parses (useful in CI, where the run and the
+// comparison are separate steps); otherwise it executes the baseline's
+// recorded command via the shell. Benchmarks present in the baseline but
+// missing from the output are reported as warnings, not failures, so a
+// partial -bench filter does not trip the guard. Hardware varies between
+// the recording machine and CI runners — wire this as an informational
+// job there and treat it as authoritative only on the recording hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the parts of BENCH_engine.json the guard needs.
+type baselineFile struct {
+	Command    string                `json:"command"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line, stripping the
+// -GOMAXPROCS suffix go appends to benchmark names (Benchmark-8 etc.).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parseBenchOutput extracts name → ns/op from `go test -bench` output.
+// Later occurrences of the same benchmark (e.g. -count > 1) overwrite
+// earlier ones.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op %q for %s: %w", m[2], m[1], err)
+		}
+		out[m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// diffResult is one baseline benchmark's comparison outcome.
+type diffResult struct {
+	Name               string
+	Baseline, Current  float64 // ns/op; Current is 0 when Missing
+	Missing, Regressed bool
+}
+
+// compare evaluates every baseline benchmark against the current run.
+// A benchmark regresses when its ns/op exceeds baseline·(1+threshold).
+// Results come back sorted by name for stable output.
+func compare(baseline map[string]benchEntry, current map[string]float64, threshold float64) []diffResult {
+	results := make([]diffResult, 0, len(baseline))
+	for name, b := range baseline {
+		r := diffResult{Name: name, Baseline: b.NsPerOp}
+		if ns, ok := current[name]; ok {
+			r.Current = ns
+			r.Regressed = ns > b.NsPerOp*(1+threshold)
+		} else {
+			r.Missing = true
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline file with recorded command and benchmarks")
+	input := flag.String("input", "", "pre-captured `go test -bench` output to parse instead of running the command")
+	threshold := flag.Float64("threshold", 0.15, "allowed ns/op regression fraction before failing")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchdiff: parse %s: %w", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("benchdiff: %s has no benchmarks", *baselinePath)
+	}
+
+	var benchOut io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		benchOut = f
+	} else {
+		if base.Command == "" {
+			return fmt.Errorf("benchdiff: %s records no command; pass -input", *baselinePath)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: running %s\n", base.Command)
+		cmd := exec.Command("sh", "-c", base.Command)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("benchdiff: benchmark command failed: %w", err)
+		}
+		benchOut = strings.NewReader(string(out))
+	}
+
+	current, err := parseBenchOutput(benchOut)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("benchdiff: no benchmark lines in output")
+	}
+
+	failed := false
+	for _, r := range compare(base.Benchmarks, current, *threshold) {
+		switch {
+		case r.Missing:
+			fmt.Printf("WARN  %-55s baseline %9.0f ns/op, not in output\n", r.Name, r.Baseline)
+		case r.Regressed:
+			failed = true
+			fmt.Printf("FAIL  %-55s %9.0f -> %9.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+				r.Name, r.Baseline, r.Current, 100*(r.Current/r.Baseline-1), 100**threshold)
+		default:
+			fmt.Printf("ok    %-55s %9.0f -> %9.0f ns/op (%+.1f%%)\n",
+				r.Name, r.Baseline, r.Current, 100*(r.Current/r.Baseline-1))
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchdiff: regression beyond %.0f%%", 100**threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

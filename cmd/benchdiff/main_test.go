@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: roboads
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNUISEStep 	    1500	     17398 ns/op	   12336 B/op	     198 allocs/op
+BenchmarkNUISEStepScratch-8 	    1500	      6583.5 ns/op	    3016 B/op	      45 allocs/op
+BenchmarkEngineStepParallel/modes=3/workers=2 	    1500	     54115 ns/op
+PASS
+ok  	roboads	1.2s
+`
+	got, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkNUISEStep":                            17398,
+		"BenchmarkNUISEStepScratch":                     6583.5,
+		"BenchmarkEngineStepParallel/modes=3/workers=2": 54115,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchOutputRepeatedRunsKeepLast(t *testing.T) {
+	out := "BenchmarkX \t 100 \t 200 ns/op\nBenchmarkX \t 100 \t 300 ns/op\n"
+	got, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 300 {
+		t.Errorf("BenchmarkX = %v, want last run 300", got["BenchmarkX"])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := map[string]benchEntry{
+		"BenchmarkFast":    {NsPerOp: 1000},
+		"BenchmarkSlow":    {NsPerOp: 1000},
+		"BenchmarkEdge":    {NsPerOp: 1000},
+		"BenchmarkMissing": {NsPerOp: 1000},
+	}
+	current := map[string]float64{
+		"BenchmarkFast":  900,
+		"BenchmarkSlow":  1200,
+		"BenchmarkEdge":  1150, // exactly at the limit: not a regression
+		"BenchmarkExtra": 50,   // untracked benchmarks are ignored
+	}
+	results := compare(baseline, current, 0.15)
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	byName := make(map[string]diffResult)
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkFast"]; r.Regressed || r.Missing {
+		t.Errorf("BenchmarkFast flagged: %+v", r)
+	}
+	if r := byName["BenchmarkSlow"]; !r.Regressed {
+		t.Errorf("BenchmarkSlow not flagged: %+v", r)
+	}
+	if r := byName["BenchmarkEdge"]; r.Regressed {
+		t.Errorf("BenchmarkEdge at the threshold should pass: %+v", r)
+	}
+	if r := byName["BenchmarkMissing"]; !r.Missing || r.Regressed {
+		t.Errorf("BenchmarkMissing should warn, not fail: %+v", r)
+	}
+	// Sorted by name for stable output.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Name > results[i].Name {
+			t.Fatalf("results unsorted: %v before %v", results[i-1].Name, results[i].Name)
+		}
+	}
+}

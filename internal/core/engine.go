@@ -100,6 +100,15 @@ type Engine struct {
 	// keeps each arena's shape sequence stable across iterations.
 	pool    *workerPool
 	scratch []*mat.Scratch
+
+	// spd caches Cholesky factors of the covariances tested during one
+	// Step's weight update (per-sensor anomaly blocks, Pa), so the
+	// decision layer — handed the same cache via Output.SPD — never
+	// refactors a covariance the engine already factored. Reset at the
+	// top of every Step; touched only on the calling goroutine (the
+	// weight update runs after the bank gather), so the parallel bank
+	// never sees it.
+	spd *mat.CholCache
 }
 
 // Output is one control iteration's engine result.
@@ -120,6 +129,12 @@ type Output struct {
 	// SensorAnomalies is the per-testing-sensor split of the selected
 	// mode's d̂s.
 	SensorAnomalies []SensorAnomaly
+	// SPD caches Cholesky factorizations of the covariances in this
+	// output (per-sensor Ps blocks, Pa). The decision layer reuses it so
+	// each covariance is factored at most once per control iteration.
+	// The cache is owned by the engine and reset on its next Step (stale
+	// use is safe but recomputes); it is not safe for concurrent use.
+	SPD *mat.CholCache
 }
 
 // NewEngine builds an engine with the given hypothesis set and initial
@@ -160,6 +175,7 @@ func NewEngine(plant Plant, modes []*Mode, x0 mat.Vec, p0 *mat.Mat, cfg EngineCo
 		pxm:     pxm,
 		cfg:     cfg,
 		scratch: scratch,
+		spd:     mat.NewCholCache(),
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -237,6 +253,8 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 	// the floor from erasing relative mode history: likelihood weights
 	// below 1 (p-values always are) would otherwise drag every mode to
 	// ε within tens of iterations and reset the bank each step.
+	e.spd.Reset()
+	splits := make([][]SensorAnomaly, len(e.modes))
 	next := make([]float64, len(e.weights))
 	var sum float64
 	for i := range e.weights {
@@ -245,7 +263,9 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 			if e.cfg.WeightByDensity {
 				likelihood = perMode[i].Likelihood
 			} else {
-				likelihood = perMode[i].PValue * e.testingEvidence(e.modes[i], perMode[i])
+				evidence, split := e.testingEvidence(e.modes[i], perMode[i])
+				likelihood = perMode[i].PValue * evidence
+				splits[i] = split
 			}
 		}
 		next[i] = e.weights[i] * likelihood
@@ -330,9 +350,17 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 		Weights:      append([]float64(nil), e.weights...),
 		PerMode:      perMode,
 		Result:       res,
+		SPD:          e.spd,
 	}
 	if res.Ds != nil {
-		out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
+		// Reuse the split computed during the weight update when there
+		// was one: the decision layer then tests the exact covariance
+		// blocks the evidence terms factored, and the SPD cache hits.
+		if split := splits[selected]; split != nil {
+			out.SensorAnomalies = split
+		} else {
+			out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
+		}
 	}
 	e.k++
 	return out, nil
@@ -369,25 +397,32 @@ func (e *Engine) stepMode(i int, u mat.Vec, readings map[string]mat.Vec, perMode
 
 // testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over the
 // mode's testing sensors, times max(pvalue(d̂a), ActuatorPrior) (see
-// EngineConfig.AttackPrior and ActuatorPrior).
-func (e *Engine) testingEvidence(m *Mode, res *Result) float64 {
+// EngineConfig.AttackPrior and ActuatorPrior). It also returns the
+// per-sensor anomaly split it computed (nil when the mode has no
+// testing evidence) so Step can hand the same covariance blocks — and
+// their cached factors — to the decision layer.
+func (e *Engine) testingEvidence(m *Mode, res *Result) (float64, []SensorAnomaly) {
 	evidence := 1.0
+	var split []SensorAnomaly
 	if e.cfg.AttackPrior > 0 && res.Ds != nil {
-		for _, sa := range m.SplitDs(res.Ds, res.Ps) {
-			evidence *= flooredPValue(sa.Ps, sa.Ds, e.cfg.AttackPrior)
+		split = m.SplitDs(res.Ds, res.Ps)
+		for _, sa := range split {
+			evidence *= flooredPValue(e.spd, sa.Ps, sa.Ds, e.cfg.AttackPrior)
 		}
 	}
 	if e.cfg.ActuatorPrior > 0 && res.Da != nil {
-		evidence *= flooredPValue(res.Pa, res.Da, e.cfg.ActuatorPrior)
+		evidence *= flooredPValue(e.spd, res.Pa, res.Da, e.cfg.ActuatorPrior)
 	}
-	return evidence
+	return evidence, split
 }
 
 // flooredPValue returns max(P(χ²_n > vᵀcov⁻¹v), floor), degrading to the
-// floor when the covariance is singular.
-func flooredPValue(cov *mat.Mat, v mat.Vec, floor float64) float64 {
+// floor when the covariance is singular. The quad form goes through the
+// SPD factor cache: covariances tested again later in the iteration
+// (e.g. by the decision maker) reuse the factor.
+func flooredPValue(spd *mat.CholCache, cov *mat.Mat, v mat.Vec, floor float64) float64 {
 	pv := 0.0
-	if quad, err := cov.InvQuadForm(v); err == nil && quad >= 0 {
+	if quad, err := spd.InvQuadForm(cov, v); err == nil && quad >= 0 {
 		if cdf, err := stat.ChiSquareCDF(quad, v.Len()); err == nil {
 			pv = 1 - cdf
 		}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"roboads/internal/dynamics"
 	"roboads/internal/mat"
@@ -160,41 +161,60 @@ func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.V
 	// rStar = C2·pTilde·C2ᵀ + R2
 	rStar := mat.MulTInto(sc.Mat(p2, p2), mat.MulInto(sc.Mat(p2, n), c2, pTilde), c2)
 	mat.SymmetrizeInto(rStar, mat.AddInto(rStar, rStar, r2))
-	rStarInv, err := rStar.Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("%w: R* inversion: %v", ErrIllConditioned, err)
-	}
 	c2g := mat.MulInto(sc.Mat(p2, q), c2, g)
-	gtC2t := mat.TInto(sc.Mat(q, p2), c2g)
-	fisher := mat.MulInto(sc.Mat(q, q), mat.MulInto(sc.Mat(q, p2), gtC2t, rStarInv), c2g)
+	// R* = C2·P̃·C2ᵀ + R2 is SPD whenever the reference noise is, so the
+	// fast path factors it once and solves; never forms R*⁻¹. A
+	// factorization failure (degenerate reference) falls back to an LU
+	// solve with the historical error semantics.
+	var rsInvC2g *mat.Mat // R*⁻¹·C2·G, shared by the Fisher matrix and M2
+	rStarChol := sc.Mat(p2, p2)
+	if mat.CholFactorInto(rStarChol, rStar) {
+		rsInvC2g = mat.CholSolveMatInto(sc.Mat(p2, q), rStarChol, c2g)
+	} else {
+		solved, err := rStar.SolveMat(c2g)
+		if err != nil {
+			return nil, fmt.Errorf("%w: R* inversion: %v", ErrIllConditioned, err)
+		}
+		rsInvC2g = solved
+	}
+	// fisher = Gᵀ·C2ᵀ·R*⁻¹·C2·G
+	fisher := mat.TMulInto(sc.Mat(q, q), c2g, rsInvC2g)
 	daValid := fisherConditioned(fisher)
 	var m2 *mat.Mat
 	var da mat.Vec
 	var pa *mat.Mat
 	if daValid {
-		fisherInv, err := fisher.Inverse()
-		if err != nil {
-			daValid = false
+		// m2 = fisher⁻¹·Gᵀ·C2ᵀ·R*⁻¹ = fisher⁻¹·(R*⁻¹·C2·G)ᵀ (q×p2)
+		rsInvC2gT := mat.TInto(sc.Mat(q, p2), rsInvC2g)
+		fisherChol := sc.Mat(q, q)
+		if mat.CholFactorInto(fisherChol, fisher) {
+			m2 = mat.CholSolveMatInto(sc.Mat(q, p2), fisherChol, rsInvC2gT)
+		} else if solved, err := fisher.SolveMat(rsInvC2gT); err == nil {
+			m2 = solved
 		} else {
-			// m2 = fisher⁻¹·Gᵀ·C2ᵀ·R*⁻¹ (q×p2)
-			m2 = mat.MulInto(sc.Mat(q, p2), mat.MulInto(sc.Mat(q, p2), fisherInv, gtC2t), rStarInv)
-			innov0 := sensors.WrapResidual(z2.Sub(reference.H(xPred0)), reference.AngleIndices())
-			da = m2.MulVec(innov0)
-			pa = mat.MulTInto(sc.Mat(q, q), mat.MulInto(sc.Mat(q, p2), m2, rStar), m2).Symmetrize()
+			daValid = false
 		}
 	}
-	if !daValid {
+	if daValid {
+		innov0 := sensors.WrapResidual(mat.SubVecInto(sc.Vec(p2), z2, reference.H(xPred0)), reference.AngleIndices())
+		da = m2.MulVec(innov0)
+		paAcc := mat.MulTInto(sc.Mat(q, q), mat.MulInto(sc.Mat(q, p2), m2, rStar), m2)
+		pa = mat.SymmetrizeInto(mat.New(q, q), paAcc)
+	} else {
 		// rank(C2·G) < dim(u): the actuator anomaly is unobservable from
 		// this reference (e.g. steering at standstill). Degrade to a
 		// standard EKF step: no compensation, d̂a pinned at zero with an
 		// uninformative covariance.
 		m2 = sc.Mat(q, p2)
 		da = mat.NewVec(q)
-		pa = mat.Identity(q).Scale(1e6)
+		pa = mat.New(q, q)
+		for i := 0; i < q; i++ {
+			pa.Set(i, i, 1e6)
+		}
 	}
 
 	// --- Step 2: compensated state prediction (lines 7–10) ---
-	uComp := u.Add(da)
+	uComp := mat.AddVecInto(sc.Vec(len(u)), u, da)
 	implausible := false
 	if daValid {
 		for i, bound := range plant.UMax {
@@ -230,13 +250,81 @@ func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.V
 
 	gainNumer := mat.MulTInto(sc.Mat(n, p2), pxPred, c2)
 	mat.AddInto(gainNumer, gainNumer, s)
-	r2TildeInv, rank, pseudoDet, err := r2Tilde.PseudoInverseSym(0)
-	if err != nil {
-		return nil, fmt.Errorf("%w: innovation covariance: %v", ErrIllConditioned, err)
+	// SPD fast path: factor the innovation covariance once; the factor's
+	// diagonal yields the (pseudo-)log-determinant and its solves yield
+	// both the gain L and the likelihood exponent — no explicit inverse,
+	// no eigendecomposition. Which factorization applies depends on the
+	// step's own structure:
+	//
+	//   - daValid=false: no actuator degrees of freedom were consumed, so
+	//     R̃2 = C2·P̃·C2ᵀ + R2 is SPD outright and factors directly.
+	//   - daValid=true: R̃2 is *structurally* rank p2−q. The deflation
+	//     identity R̃2 = R* − C2·G·F⁻¹·(C2·G)ᵀ (F the Fisher matrix of
+	//     step 1) gives R̃2·(R*)⁻¹·C2·G = 0, so null(R̃2) is the known
+	//     q-dimensional space (R*)⁻¹·range(C2·G) — exactly why Algorithm 2
+	//     line 20 is stated with pseudo-inverse and pseudo-determinant.
+	//     Instead of discovering the null space eigenvalue by eigenvalue
+	//     (the historical cyclic-Jacobi PseudoInverseSym), we deflate:
+	//     with Z an orthonormal complement of range(C2·G), the range of
+	//     R̃2 is R*·range(Z); orthonormalizing U = orth(R*·Z) and
+	//     Cholesky-factoring the SPD core Uᵀ·R̃2·U yields the exact
+	//     Moore–Penrose quantities R̃2† = U·(Uᵀ·R̃2·U)⁻¹·Uᵀ and
+	//     pdet(R̃2) = det(Uᵀ·R̃2·U). (Using Z directly would preserve the
+	//     quad form but bias the pseudo-determinant by the principal
+	//     angles between range(Z) and range(R̃2) — see RangeBasisInto.)
+	//
+	// Any factorization failure (rank deficiency beyond the structural
+	// one — e.g. a noise-free reference row duplicating another) falls
+	// back to the Jacobi path, unchanged from the historical
+	// implementation, so detection semantics on singular inputs hold.
+	var l *mat.Mat
+	var likelihood, pValue float64
+	solved := false
+	if !forceJacobiLikelihood {
+		if !daValid {
+			r2TildeChol := sc.Mat(p2, p2)
+			if mat.CholFactorInto(r2TildeChol, r2Tilde) {
+				// l = gainNumer·R̃2⁻¹ = (R̃2⁻¹·gainNumerᵀ)ᵀ
+				lt := mat.CholSolveMatInto(sc.Mat(p2, n), r2TildeChol, mat.TInto(sc.Mat(p2, n), gainNumer))
+				l = mat.TInto(sc.Mat(n, p2), lt)
+				quad := mat.CholInvQuadForm(r2TildeChol, nu, sc.Vec(p2))
+				likelihood, pValue = likelihoodFromLog(quad, p2, mat.CholLogDet(r2TildeChol))
+				solved = true
+			}
+		} else if r := p2 - q; r > 0 {
+			z := sc.Mat(p2, r)
+			basis := sc.Mat(p2, r)
+			if mat.RangeComplementInto(z, c2g, sc.Mat(p2, q)) &&
+				mat.RangeBasisInto(basis, mat.MulInto(sc.Mat(p2, r), rStar, z), sc.Mat(p2, r)) {
+				basisT := mat.TInto(sc.Mat(r, p2), basis)
+				ru := mat.MulInto(sc.Mat(r, r), basisT, mat.MulInto(sc.Mat(p2, r), r2Tilde, basis))
+				mat.SymmetrizeInto(ru, ru)
+				ruChol := sc.Mat(r, r)
+				if mat.CholFactorInto(ruChol, ru) {
+					// l = gainNumer·R̃2† = (gainNumer·U)·Ru⁻¹·Uᵀ
+					w := mat.MulInto(sc.Mat(n, r), gainNumer, basis)
+					l = mat.MulInto(sc.Mat(n, p2), w, mat.CholSolveMatInto(sc.Mat(r, p2), ruChol, basisT))
+					uNu := mat.MulVecInto(sc.Vec(r), basisT, nu)
+					quad := mat.CholInvQuadForm(ruChol, uNu, sc.Vec(r))
+					likelihood, pValue = likelihoodFromLog(quad, r, mat.CholLogDet(ruChol))
+					solved = true
+				}
+			}
+		}
 	}
-	l := mat.MulInto(sc.Mat(n, p2), gainNumer, r2TildeInv)
+	if !solved {
+		atomic.AddInt64(&nuiseJacobiFallbacks, 1)
+		r2TildeInv, rank, pseudoDet, err := r2Tilde.PseudoInverseSym(0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: innovation covariance: %v", ErrIllConditioned, err)
+		}
+		l = mat.MulInto(sc.Mat(n, p2), gainNumer, r2TildeInv)
+		likelihood, pValue = likelihoodOf(nu, r2TildeInv, rank, pseudoDet)
+	}
 
-	x := plant.wrapState(xPred.Add(l.MulVec(nu)))
+	// xPred came fresh from model.F (never arena-owned), so the update
+	// can land in place and the sum double as the Result's state.
+	x := plant.wrapState(mat.AddVecInto(xPred, xPred, mat.MulVecInto(sc.Vec(n), l, nu)))
 	// ilc = I − L·C2
 	ilc := mat.IdentityInto(sc.Mat(n, n))
 	mat.SubInto(ilc, ilc, mat.MulInto(sc.Mat(n, n), l, c2))
@@ -245,7 +333,10 @@ func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.V
 	mat.AddInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, p2), l, r2), l))
 	mat.SubInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulInto(sc.Mat(n, p2), ilc, s), l))
 	mat.SubInto(pxAcc, pxAcc, mat.MulTInto(sc.Mat(n, n), mat.MulTInto(sc.Mat(n, n), l, s), ilc))
-	px := pxAcc.Symmetrize()
+	// The Result owns its matrices (the arena is reused next iteration),
+	// so the symmetrized covariances land in fresh allocations — but via
+	// the Into variants, with all intermediates on scratch.
+	px := mat.SymmetrizeInto(mat.New(n, n), pxAcc)
 
 	// --- Step 4: testing-sensor anomaly estimation (lines 15–16) ---
 	var ds mat.Vec
@@ -254,12 +345,10 @@ func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.V
 		ds = sensors.WrapResidual(z1.Sub(testing.H(x)), testing.AngleIndices())
 		c1 := testing.C(x)
 		p1 := testing.Dim()
-		ps = mat.MulTInto(sc.Mat(p1, p1), mat.MulInto(sc.Mat(p1, n), c1, px), c1).
-			Add(testing.R()).Symmetrize()
+		psAcc := mat.MulTInto(sc.Mat(p1, p1), mat.MulInto(sc.Mat(p1, n), c1, px), c1)
+		mat.AddInto(psAcc, psAcc, testing.R())
+		ps = mat.SymmetrizeInto(mat.New(p1, p1), psAcc)
 	}
-
-	// --- Likelihood (lines 17–20) ---
-	likelihood, pValue := likelihoodOf(nu, r2TildeInv, rank, pseudoDet)
 
 	res := &Result{
 		X:           x,
@@ -281,38 +370,70 @@ func NUISEScratch(plant Plant, reference, testing sensors.Sensor, u, xPrev mat.V
 }
 
 // fisherConditioned reports whether the q×q information matrix
-// Gᵀ·C2ᵀ·R*⁻¹·C2·G is invertible with a usable condition number.
+// Gᵀ·C2ᵀ·R*⁻¹·C2·G is invertible with a usable condition number. The
+// control dimension is 1 or 2 for every model in this repo, where the
+// symmetric eigenvalues have a closed form; larger q falls back to the
+// Jacobi eigendecomposition.
 func fisherConditioned(fisher *mat.Mat) bool {
-	eig, _, err := fisher.EigenSym()
-	if err != nil {
-		return false
+	var minEig, maxEig float64
+	switch fisher.Rows() {
+	case 1:
+		minEig = math.Abs(fisher.At(0, 0))
+		maxEig = minEig
+	case 2:
+		// Eigenvalues of [[a,b],[b,c]]: (a+c)/2 ± √(((a−c)/2)² + b²).
+		a, b, c := fisher.At(0, 0), fisher.At(0, 1), fisher.At(1, 1)
+		mean, root := (a+c)/2, math.Hypot((a-c)/2, b)
+		minEig = math.Abs(mean - root)
+		maxEig = math.Abs(mean + root)
+		if minEig > maxEig {
+			minEig, maxEig = maxEig, minEig
+		}
+	default:
+		eig, _, err := fisher.EigenSym()
+		if err != nil {
+			return false
+		}
+		minEig = math.Inf(1)
+		for _, lambda := range eig {
+			l := math.Abs(lambda)
+			if l < minEig {
+				minEig = l
+			}
+			if l > maxEig {
+				maxEig = l
+			}
+		}
 	}
-	minEig, maxEig := math.Inf(1), 0.0
-	for _, lambda := range eig {
-		a := math.Abs(lambda)
-		if a < minEig {
-			minEig = a
-		}
-		if a > maxEig {
-			maxEig = a
-		}
+	if math.IsNaN(minEig) || math.IsNaN(maxEig) {
+		return false
 	}
 	return maxEig > 0 && minEig > 1e-10*maxEig
 }
+
+// forceJacobiLikelihood is a test hook: when set, NUISE skips the
+// Cholesky fast path for the innovation covariance and always runs the
+// PseudoInverseSym fallback. The agreement property tests flip it to
+// prove the two paths compute the same estimates and likelihood ratios.
+var forceJacobiLikelihood bool
+
+// nuiseJacobiFallbacks counts, race-safely, how many NUISE steps took
+// the PseudoInverseSym fallback (including forced ones). Tests read it
+// to prove the fallback engages on inputs rank-deficient beyond the
+// structural p2−q deficiency; it is never read on the hot path.
+var nuiseJacobiFallbacks int64
 
 // likelihoodOf evaluates the Gaussian likelihood of Algorithm 2 line 20
 // with pseudo-inverse and pseudo-determinant,
 //
 //	N_k = exp(−νᵀ·(P_{k|k-1})†·ν / 2) / ((2π)^{n/2}·|P_{k|k-1}|₊^{1/2})
 //
-// together with the chi-square p-value of the same normalized innovation.
+// together with the chi-square p-value of the same normalized
+// innovation. It is the rank-deficient fallback of the NUISE step; the
+// full-rank path computes the same quantities from the Cholesky factor.
 func likelihoodOf(nu mat.Vec, pinv *mat.Mat, rank int, pseudoDet float64) (density, pValue float64) {
 	if rank == 0 {
 		return 0, 0
-	}
-	quad := pinv.QuadForm(nu)
-	if quad < 0 {
-		quad = 0 // guard tiny negative round-off
 	}
 	if pseudoDet < 0 {
 		// The pseudo-determinant is a product of eigenvalues kept by the
@@ -322,12 +443,29 @@ func likelihoodOf(nu mat.Vec, pinv *mat.Mat, rank int, pseudoDet float64) (densi
 		// the mode instead of weighting it by a silently wrong density.
 		return 0, 0
 	}
+	return likelihoodFromLog(pinv.QuadForm(nu), rank, math.Log(pseudoDet))
+}
+
+// likelihoodFromLog evaluates the Gaussian density and chi-square
+// p-value from the Mahalanobis statistic, its rank, and the
+// (pseudo-)log-determinant of the innovation covariance. The
+// normalization is assembled entirely in log space and only the final
+// density is exponentiated: the historical form
+// (2π)^{rank/2}·√det over/underflowed for large rank or extreme
+// determinants, silently zeroing (or NaN-ing) likelihoods that are
+// perfectly representable.
+func likelihoodFromLog(quad float64, rank int, logDet float64) (density, pValue float64) {
+	if quad < 0 {
+		quad = 0 // guard tiny negative round-off
+	}
 	if cdf, err := stat.ChiSquareCDF(quad, rank); err == nil {
 		pValue = 1 - cdf
 	}
-	norm := math.Pow(2*math.Pi, float64(rank)/2) * math.Sqrt(pseudoDet)
-	if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+	logDensity := -quad/2 - float64(rank)/2*math.Log(2*math.Pi) - logDet/2
+	if math.IsNaN(logDensity) || math.IsInf(logDensity, 1) {
+		// +Inf can only come from a zero (pseudo-)determinant: a
+		// singular covariance has no density; keep the p-value.
 		return 0, pValue
 	}
-	return math.Exp(-quad/2) / norm, pValue
+	return math.Exp(logDensity), pValue
 }

@@ -119,6 +119,10 @@ type Decider struct {
 	perSensor      map[string]*SlidingWindow
 	thresholds     map[int]float64 // sensor-side quantiles by dof
 	actThresholds  map[int]float64 // actuator-side quantiles by dof
+	// spd is the fallback SPD factor cache for the χ² statistics when
+	// the engine output does not carry one (Output.SPD); it is reset
+	// every Decide so entries never outlive their covariances.
+	spd *mat.CholCache
 }
 
 // NewDecider returns a decision maker with the given parameters.
@@ -130,6 +134,7 @@ func NewDecider(cfg Config) *Decider {
 		perSensor:      make(map[string]*SlidingWindow),
 		thresholds:     make(map[int]float64),
 		actThresholds:  make(map[int]float64),
+		spd:            mat.NewCholCache(),
 	}
 }
 
@@ -176,9 +181,19 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 		SensorAnomalies: out.SensorAnomalies,
 	}
 
+	// Every χ² statistic below is vᵀ·cov⁻¹·v against an SPD covariance.
+	// The engine already factored most of them during its weight update
+	// and hands the cache along in Output.SPD; reuse it so each
+	// covariance is factored at most once per control iteration.
+	spd := out.SPD
+	if spd == nil {
+		d.spd.Reset()
+		spd = d.spd
+	}
+
 	// Aggregate sensor test (line 10).
 	if ds := out.Result.Ds; ds != nil && ds.Len() > 0 {
-		quad, err := out.Result.Ps.InvQuadForm(ds)
+		quad, err := spd.InvQuadForm(out.Result.Ps, ds)
 		if err != nil {
 			// Singular Ps: treat as non-informative rather than alarming.
 			quad = 0
@@ -201,7 +216,7 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 	// mask an ongoing attack. ActuatorAlarm keeps reflecting the last
 	// confirmed state until observability returns.
 	if da := out.Result.Da; da.Len() > 0 && out.Result.DaValid {
-		quad, err := out.Result.Pa.InvQuadForm(da)
+		quad, err := spd.InvQuadForm(out.Result.Pa, da)
 		if err != nil {
 			quad = 0
 		}
@@ -223,7 +238,7 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 	// selected mode are hypothesized clean and push a negative.
 	tested := make(map[string]bool, len(out.SensorAnomalies))
 	for _, sa := range out.SensorAnomalies {
-		quad, err := sa.Ps.InvQuadForm(sa.Ds)
+		quad, err := spd.InvQuadForm(sa.Ps, sa.Ds)
 		if err != nil {
 			quad = 0
 		}

@@ -1,0 +1,453 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a well-conditioned SPD matrix Gᵀ·G + I·n from the
+// deterministic quick RNG.
+func randomSPD(rng func() float64, n int) *Mat {
+	g := randomMat(rng, n, n)
+	m := TMulInto(New(n, n), g, g)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+float64(n))
+	}
+	return m
+}
+
+func maxAbsDiff(a, b *Mat) float64 {
+	return a.Sub(b).MaxAbs()
+}
+
+// CholFactorInto must agree bit-for-bit with the allocating Cholesky():
+// both accumulate in the same element order.
+func TestPropertyCholFactorMatchesCholesky(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for n := 1; n <= 12; n++ {
+			m := randomSPD(rng, n)
+			l := New(n, n)
+			if !CholFactorInto(l, m) {
+				return false
+			}
+			want, err := m.Cholesky()
+			if err != nil {
+				return false
+			}
+			if !bitEqual(l, want) {
+				return false
+			}
+			// In-place: dst aliasing m must produce the same factor.
+			alias := m.Clone()
+			if !CholFactorInto(alias, alias) || !bitEqual(alias, l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The factor must reconstruct the input: L·Lᵀ = M to relative precision,
+// with a zeroed strict upper triangle.
+func TestPropertyCholFactorRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for n := 1; n <= 12; n++ {
+			m := randomSPD(rng, n)
+			l := New(n, n)
+			if !CholFactorInto(l, m) {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if l.At(i, j) != 0 {
+						return false
+					}
+				}
+			}
+			if maxAbsDiff(MulTInto(New(n, n), l, l), m) > 1e-9*math.Max(1, m.MaxAbs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Solves against the factor must satisfy the original system, match the
+// LU solve to tight tolerance, and support dst aliasing b.
+func TestPropertyCholSolveResiduals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for n := 1; n <= 12; n++ {
+			m := randomSPD(rng, n)
+			l := New(n, n)
+			if !CholFactorInto(l, m) {
+				return false
+			}
+			scale := math.Max(1, m.MaxAbs())
+
+			b := make(Vec, n)
+			for i := range b {
+				b[i] = rng()
+			}
+			x := CholSolveVecInto(make(Vec, n), l, b)
+			res := m.MulVec(x).Sub(b)
+			if res.MaxAbs() > 1e-9*scale {
+				return false
+			}
+			// Aliasing dst == b.
+			ba := b.Clone()
+			CholSolveVecInto(ba, l, ba)
+			for i := range x {
+				if x[i] != ba[i] {
+					return false
+				}
+			}
+
+			bm := randomMat(rng, n, n+1)
+			xm := CholSolveMatInto(New(n, n+1), l, bm)
+			if maxAbsDiff(m.Mul(xm), bm) > 1e-9*scale*math.Max(1, bm.MaxAbs()) {
+				return false
+			}
+			// Aliasing dst == b, and column-consistency with the vector solve.
+			bma := bm.Clone()
+			CholSolveMatInto(bma, l, bma)
+			if !bitEqual(bma, xm) {
+				return false
+			}
+			lu, err := m.SolveMat(bm)
+			if err != nil || maxAbsDiff(lu, xm) > 1e-9*math.Max(1, lu.MaxAbs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The one-substitution Mahalanobis statistic must match the explicit
+// LU-based InvQuadForm and never go negative; the log-determinant must
+// match the LU determinant.
+func TestPropertyCholQuadFormAndLogDet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for n := 1; n <= 12; n++ {
+			m := randomSPD(rng, n)
+			l := New(n, n)
+			if !CholFactorInto(l, m) {
+				return false
+			}
+			v := make(Vec, n)
+			for i := range v {
+				v[i] = rng()
+			}
+			got := CholInvQuadForm(l, v, make(Vec, n))
+			if got < 0 {
+				return false
+			}
+			want, err := m.InvQuadForm(v)
+			if err != nil || math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				return false
+			}
+			// nil work buffer allocates but must agree exactly.
+			if CholInvQuadForm(l, v, nil) != got {
+				return false
+			}
+			logDet := math.Log(m.Det())
+			if math.Abs(CholLogDet(l)-logDet) > 1e-9*math.Max(1, math.Abs(logDet)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Non-PD inputs must be rejected, not silently factored: indefinite,
+// rank-deficient, zero, and NaN-contaminated matrices.
+func TestCholFactorRejectsNonPD(t *testing.T) {
+	indefinite := Diag(1, -1, 2)
+	if CholFactorInto(New(3, 3), indefinite) {
+		t.Error("factored an indefinite matrix")
+	}
+	// Rank-1 PSD: outer product of a single vector.
+	v := VecOf(1, 2, 3)
+	rankDef := v.Outer(v)
+	if CholFactorInto(New(3, 3), rankDef) {
+		t.Error("factored a rank-deficient matrix")
+	}
+	if CholFactorInto(New(2, 2), New(2, 2)) {
+		t.Error("factored the zero matrix")
+	}
+	nan := Diag(1, 1)
+	nan.Set(1, 1, math.NaN())
+	if CholFactorInto(New(2, 2), nan) {
+		t.Error("factored a NaN-contaminated matrix")
+	}
+	// Near-singular relative to its own scale: pivots below
+	// cholPivotTol·maxDiag must fail even when strictly positive.
+	tiny := Diag(1, 1e-14)
+	if CholFactorInto(New(2, 2), tiny) {
+		t.Error("factored a matrix with a pivot below the relative floor")
+	}
+}
+
+// RangeComplementInto must produce an orthonormal basis of the
+// orthogonal complement of range(m), and reject rank-deficient m.
+func TestPropertyRangeComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for p := 2; p <= 12; p++ {
+			for q := 1; q < p; q++ {
+				m := randomMat(rng, p, q)
+				z := New(p, p-q)
+				if !RangeComplementInto(z, m, New(p, q)) {
+					return false
+				}
+				// Zᵀ·Z = I.
+				ztz := TMulInto(New(p-q, p-q), z, z)
+				if maxAbsDiff(ztz, Identity(p-q)) > 1e-12 {
+					return false
+				}
+				// Zᵀ·m = 0.
+				if TMulInto(New(p-q, q), z, m).MaxAbs() > 1e-12*math.Max(1, m.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeComplementRejectsRankDeficient(t *testing.T) {
+	// Two proportional columns: rank 1 < 2.
+	m := New(4, 2)
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, float64(i+1))
+		m.Set(i, 1, 2*float64(i+1))
+	}
+	if RangeComplementInto(New(4, 2), m, New(4, 2)) {
+		t.Error("accepted a rank-deficient input")
+	}
+	if RangeComplementInto(New(3, 2), New(3, 1), New(3, 1)) {
+		t.Error("accepted a zero input")
+	}
+}
+
+// RangeBasisInto must produce an orthonormal basis that spans range(m)
+// exactly (U·Uᵀ·m = m), support dst aliasing m, and reject
+// rank-deficient inputs.
+func TestPropertyRangeBasis(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for p := 2; p <= 12; p++ {
+			for q := 1; q <= p; q++ {
+				m := randomMat(rng, p, q)
+				u := New(p, q)
+				if !RangeBasisInto(u, m, New(p, q)) {
+					return false
+				}
+				// Uᵀ·U = I.
+				utu := TMulInto(New(q, q), u, u)
+				if maxAbsDiff(utu, Identity(q)) > 1e-12 {
+					return false
+				}
+				// Projecting m onto range(U) is the identity: range(U) ⊇ range(m).
+				proj := u.Mul(TMulInto(New(q, q), u, m))
+				if maxAbsDiff(proj, m) > 1e-12*math.Max(1, m.MaxAbs()) {
+					return false
+				}
+				// Aliasing dst == m must produce the same basis.
+				alias := m.Clone()
+				if !RangeBasisInto(alias, alias, New(p, q)) || !bitEqual(alias, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Rank-deficient: proportional columns.
+	m := New(4, 2)
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, float64(i+1))
+		m.Set(i, 1, -3*float64(i+1))
+	}
+	if RangeBasisInto(New(4, 2), m, New(4, 2)) {
+		t.Error("accepted a rank-deficient input")
+	}
+}
+
+// The deflation identity behind the NUISE fast path, on matrices with
+// the step's actual structure M = R* − B·F⁻¹·Bᵀ (F = Bᵀ·(R*)⁻¹·B): the
+// null space of M is (R*)⁻¹·range(B), so its range is R*·range(Z) for Z
+// the orthonormal complement of range(B). With U = orth(R*·Z),
+// U·(Uᵀ·M·U)⁻¹·Uᵀ equals the Moore–Penrose pseudo-inverse and
+// det(Uᵀ·M·U) the pseudo-determinant. The basis choice is load-bearing:
+// deflating with Z itself preserves the quad form on range(M) but
+// under-counts the determinant by det(Zᵀ·U)² ≤ 1 — asserted below as a
+// strict inequality check against the U-based value.
+func TestPropertyDeflatedPseudoInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		for p := 3; p <= 8; p++ {
+			q := 1 + p%2 // alternate q = 1, 2
+			r := p - q
+			b := randomMat(rng, p, q)
+			rStar := randomSPD(rng, p)
+			// M = R* − B·F⁻¹·Bᵀ with F = Bᵀ·(R*)⁻¹·B.
+			rsInvB, err := rStar.SolveMat(b)
+			if err != nil {
+				return false
+			}
+			f := TMulInto(New(q, q), b, rsInvB)
+			fInvBt, err := f.SolveMat(b.T())
+			if err != nil {
+				return false
+			}
+			m := rStar.Sub(b.Mul(fInvBt))
+			m = SymmetrizeInto(m, m)
+
+			z := New(p, r)
+			if !RangeComplementInto(z, b, New(p, q)) {
+				return false
+			}
+			u := New(p, r)
+			if !RangeBasisInto(u, rStar.Mul(z), New(p, r)) {
+				return false
+			}
+			ru := TMulInto(New(r, r), u, m.Mul(u))
+			rul := New(r, r)
+			if !CholFactorInto(rul, ru) {
+				return false
+			}
+			inv := CholSolveMatInto(New(r, r), rul, Identity(r))
+			deflated := MulTInto(New(p, p), MulInto(New(p, r), u, inv), u)
+
+			pinv, rank, pdet, err := m.PseudoInverseSym(0)
+			if err != nil || rank != r {
+				return false
+			}
+			scale := math.Max(1, pinv.MaxAbs())
+			if maxAbsDiff(deflated, pinv) > 1e-9*scale {
+				return false
+			}
+			logPdet := math.Log(pdet)
+			if math.Abs(CholLogDet(rul)-logPdet) > 1e-9*math.Max(1, math.Abs(logPdet)) {
+				return false
+			}
+			// The Z-deflated determinant must under-count: det(Zᵀ·M·Z) ≤ pdet.
+			rz := TMulInto(New(r, r), z, m.Mul(z))
+			rzl := New(r, r)
+			if !CholFactorInto(rzl, rz) {
+				return false
+			}
+			if CholLogDet(rzl) > logPdet+1e-9*math.Max(1, math.Abs(logPdet)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholCache(t *testing.T) {
+	c := NewCholCache()
+	m := Diag(4, 9)
+	l1, ok := c.Factor(m)
+	if !ok || l1 == nil {
+		t.Fatal("SPD matrix failed to factor")
+	}
+	if l1.At(0, 0) != 2 || l1.At(1, 1) != 3 {
+		t.Errorf("factor = %v", l1)
+	}
+	l2, ok := c.Factor(m)
+	if !ok || l2 != l1 {
+		t.Error("second Factor call did not return the cached factor")
+	}
+	quad, err := c.InvQuadForm(m, VecOf(2, 3))
+	if err != nil || math.Abs(quad-2) > 1e-12 {
+		t.Errorf("InvQuadForm = %v, %v; want 2", quad, err)
+	}
+
+	// A non-PD matrix caches its failure and falls back to LU semantics.
+	sing := Diag(1, 0)
+	if _, ok := c.Factor(sing); ok {
+		t.Error("singular matrix factored")
+	}
+	if _, err := c.InvQuadForm(sing, VecOf(1, 1)); err == nil {
+		t.Error("singular InvQuadForm did not error")
+	}
+	// Indefinite but invertible: the LU fallback must still answer.
+	indef := Diag(1, -1)
+	quad, err = c.InvQuadForm(indef, VecOf(1, 1))
+	if err != nil || math.Abs(quad-0) > 1e-12 {
+		t.Errorf("LU fallback quad = %v, %v; want 0", quad, err)
+	}
+
+	c.Reset()
+	l3, ok := c.Factor(m)
+	if !ok || l3 == l1 {
+		t.Error("Reset did not drop the cached factor")
+	}
+}
+
+// The vector Into helpers must match their allocating counterparts
+// bit-for-bit, including when dst aliases an operand.
+func TestVecIntoVariantsMatchAllocating(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newQuickRNG(seed)
+		a := Vec{rng(), rng(), rng(), rng()}
+		b := Vec{rng(), rng(), rng(), rng()}
+		sum, diff := a.Add(b), a.Sub(b)
+		got := AddVecInto(make(Vec, 4), a, b)
+		for i := range sum {
+			if got[i] != sum[i] {
+				return false
+			}
+		}
+		got = SubVecInto(make(Vec, 4), a, b)
+		for i := range diff {
+			if got[i] != diff[i] {
+				return false
+			}
+		}
+		aa := a.Clone()
+		AddVecInto(aa, aa, b)
+		for i := range sum {
+			if aa[i] != sum[i] {
+				return false
+			}
+		}
+		ab := a.Clone()
+		SubVecInto(ab, ab, b)
+		for i := range diff {
+			if ab[i] != diff[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

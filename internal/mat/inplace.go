@@ -172,6 +172,28 @@ func MulVecInto(dst Vec, a *Mat, v Vec) Vec {
 	return dst
 }
 
+// AddVecInto stores a + b into dst and returns dst. dst may alias a or b.
+func AddVecInto(dst, a, b Vec) Vec {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Errorf("%w: vector add %d + %d into %d", ErrDimension, len(a), len(b), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// SubVecInto stores a − b into dst and returns dst. dst may alias a or b.
+func SubVecInto(dst, a, b Vec) Vec {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Errorf("%w: vector sub %d - %d into %d", ErrDimension, len(a), len(b), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
 func mustShape(m *Mat, rows, cols int) {
 	if m.rows != rows || m.cols != cols {
 		panic(fmt.Errorf("%w: destination is %dx%d, want %dx%d", ErrDimension, m.rows, m.cols, rows, cols))
@@ -193,14 +215,17 @@ func mustDistinct(dst, a, b *Mat) {
 type Scratch struct {
 	mats []*Mat
 	next int
+
+	vecs  []Vec
+	vnext int
 }
 
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// Reset recycles every matrix handed out since the last Reset. Matrices
-// obtained before the Reset must no longer be referenced.
-func (s *Scratch) Reset() { s.next = 0 }
+// Reset recycles every matrix and vector handed out since the last
+// Reset. Buffers obtained before the Reset must no longer be referenced.
+func (s *Scratch) Reset() { s.next, s.vnext = 0, 0 }
 
 // Mat returns a zeroed r×c matrix owned by the arena, reusing a
 // previously allocated one of the same shape when available.
@@ -219,4 +244,23 @@ func (s *Scratch) Mat(r, c int) *Mat {
 	s.mats[s.next], s.mats[last] = s.mats[last], s.mats[s.next]
 	s.next++
 	return m
+}
+
+// Vec returns a zeroed length-n vector owned by the arena, reusing a
+// previously allocated one of the same length when available.
+func (s *Scratch) Vec(n int) Vec {
+	for i := s.vnext; i < len(s.vecs); i++ {
+		if v := s.vecs[i]; len(v) == n {
+			s.vecs[i], s.vecs[s.vnext] = s.vecs[s.vnext], v
+			s.vnext++
+			clear(v)
+			return v
+		}
+	}
+	v := make(Vec, n)
+	s.vecs = append(s.vecs, v)
+	last := len(s.vecs) - 1
+	s.vecs[s.vnext], s.vecs[last] = s.vecs[last], s.vecs[s.vnext]
+	s.vnext++
+	return v
 }

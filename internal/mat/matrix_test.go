@@ -475,9 +475,12 @@ func TestPropertyPseudoInversePenroseAxioms(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		// Penrose axioms 1 and 2 for symmetric A.
-		ax1 := a.Mul(pinv).Mul(a).Equal(a, 1e-7)
-		ax2 := pinv.Mul(a).Mul(pinv).Equal(pinv, 1e-7)
+		// Penrose axioms 1 and 2 for symmetric A, at tolerances relative
+		// to each side's scale: near-singular draws keep eigenvalues just
+		// above the rank cutoff, whose reciprocals make pinv (and the
+		// axiom residuals) arbitrarily large in absolute terms.
+		ax1 := a.Mul(pinv).Mul(a).Equal(a, 1e-7*math.Max(1, a.MaxAbs()))
+		ax2 := pinv.Mul(a).Mul(pinv).Equal(pinv, 1e-7*math.Max(1, pinv.MaxAbs()))
 		return ax1 && ax2
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

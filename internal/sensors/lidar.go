@@ -19,8 +19,10 @@ import (
 // convex arena boundary keeps h continuous in the pose while remaining
 // nonlinear — the second nonlinearity (besides the kinematics)
 // exercising the paper's per-iteration relinearization. The Jacobian is
-// computed numerically: the beam/wall assignment makes h piecewise, with
-// no useful closed form.
+// evaluated in closed form against the wall each beam terminates on:
+// the range to a fixed wall line is smooth in the pose, and only the
+// beam→wall assignment is piecewise (where no consistent derivative
+// exists anyway).
 type Lidar struct {
 	// Map is the known arena the beams range against.
 	Map *world.Map
@@ -34,6 +36,8 @@ type Lidar struct {
 	SigmaTheta float64
 	// NStates is the robot state dimension.
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*Lidar)(nil)
@@ -69,32 +73,59 @@ func (s *Lidar) H(x mat.Vec) mat.Vec {
 	return append(out, x[2])
 }
 
-// C implements Sensor via central differences on H.
+// C implements Sensor, differentiating each beam's range against the
+// wall it terminates on. With the beam direction û = (cos φ, sin φ),
+// φ = θ + beam, and the hit wall's edge vector e, the raycast solves
+// t = ((A − o) × e) / (û × e) for the origin o — so
+//
+//	∂t/∂o = (−e_y, e_x) / (û × e),   ∂t/∂θ = −t·(û' × e)/(û × e),
+//
+// with û' = dû/dφ = (−sin φ, cos φ). One raycast per beam replaces the
+// historical central differences (seven full H evaluations, 21
+// raycasts); the values agree to O(h²) ≈ 1e-10 away from beam→wall
+// reassignment boundaries, where no derivative is meaningful. A beam
+// clipped at MaxRange is locally constant and contributes a zero row.
 func (s *Lidar) C(x mat.Vec) *mat.Mat {
-	const h = 1e-5
+	mustStateLen(s.Name(), x, 3)
 	out := mat.New(s.Dim(), s.NStates)
-	base := s.H(x)
-	for j := 0; j < s.NStates && j < len(x); j++ {
-		xp, xm := x.Clone(), x.Clone()
-		xp[j] += h
-		xm[j] -= h
-		fp, fm := s.H(xp), s.H(xm)
-		for i := range base {
-			out.Set(i, j, (fp[i]-fm[i])/(2*h))
+	origin := world.Point{X: x[0], Y: x[1]}
+	for i, beam := range s.BeamAngles {
+		phi := x[2] + beam
+		t, wall, ok := s.Map.RaycastWallsSeg(origin, phi, s.MaxRange)
+		if !ok {
+			continue
 		}
+		sin, cos := math.Sincos(phi)
+		ex, ey := wall.B.X-wall.A.X, wall.B.Y-wall.A.Y
+		den := cos*ey - sin*ex
+		if den == 0 {
+			continue
+		}
+		out.Set(i, 0, -ey/den)
+		out.Set(i, 1, ex/den)
+		out.Set(i, 2, -t*(-sin*ey-cos*ex)/den)
 	}
+	out.Set(s.Dim()-1, 2, 1)
 	return out
 }
 
 // R implements Sensor.
 func (s *Lidar) R() *mat.Mat {
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
 	d := make([]float64, s.Dim())
 	for i := range s.BeamAngles {
 		d[i] = s.SigmaRange * s.SigmaRange
 	}
 	d[len(d)-1] = s.SigmaTheta * s.SigmaTheta
-	return mat.Diag(d...)
+	return cacheMat(&s.consts.r, mat.Diag(d...))
 }
 
 // AngleIndices implements Sensor: the trailing heading component.
-func (s *Lidar) AngleIndices() []int { return []int{s.Dim() - 1} }
+func (s *Lidar) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
+	return cacheInts(&s.consts.angles, []int{s.Dim() - 1})
+}

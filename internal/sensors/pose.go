@@ -17,6 +17,8 @@ type IPS struct {
 	// NStates is the robot state dimension (3 for diff drive, 4 for
 	// bicycle); the Jacobian needs it.
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*IPS)(nil)
@@ -39,22 +41,33 @@ func (s *IPS) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1], x[2])
 }
 
-// C implements Sensor.
+// C implements Sensor. The Jacobian is state-independent and cached.
 func (s *IPS) C(x mat.Vec) *mat.Mat {
+	if m := s.consts.c.Load(); m != nil {
+		return m
+	}
 	c := mat.New(3, s.NStates)
 	c.Set(0, 0, 1)
 	c.Set(1, 1, 1)
 	c.Set(2, 2, 1)
-	return c
+	return cacheMat(&s.consts.c, c)
 }
 
 // R implements Sensor.
 func (s *IPS) R() *mat.Mat {
-	return mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta)
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
+	return cacheMat(&s.consts.r, mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta))
 }
 
 // AngleIndices implements Sensor.
-func (s *IPS) AngleIndices() []int { return []int{2} }
+func (s *IPS) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
+	return cacheInts(&s.consts.angles, []int{2})
+}
 
 // WheelEncoder models the wheel-encoder odometry workflow: the sensing
 // workflow integrates per-wheel encoder ticks into a dead-reckoned pose,
@@ -70,6 +83,8 @@ type WheelEncoder struct {
 	SigmaTheta float64
 	// NStates is the robot state dimension.
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*WheelEncoder)(nil)
@@ -92,22 +107,33 @@ func (s *WheelEncoder) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1], x[2])
 }
 
-// C implements Sensor.
+// C implements Sensor. The Jacobian is state-independent and cached.
 func (s *WheelEncoder) C(x mat.Vec) *mat.Mat {
+	if m := s.consts.c.Load(); m != nil {
+		return m
+	}
 	c := mat.New(3, s.NStates)
 	c.Set(0, 0, 1)
 	c.Set(1, 1, 1)
 	c.Set(2, 2, 1)
-	return c
+	return cacheMat(&s.consts.c, c)
 }
 
 // R implements Sensor.
 func (s *WheelEncoder) R() *mat.Mat {
-	return mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta)
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
+	return cacheMat(&s.consts.r, mat.Diag(s.SigmaPos*s.SigmaPos, s.SigmaPos*s.SigmaPos, s.SigmaTheta*s.SigmaTheta))
 }
 
 // AngleIndices implements Sensor.
-func (s *WheelEncoder) AngleIndices() []int { return []int{2} }
+func (s *WheelEncoder) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
+	return cacheInts(&s.consts.angles, []int{2})
+}
 
 // GPS reads position only: z = (px, py). Used in the §VI grouping
 // discussion and the examples.
@@ -116,6 +142,8 @@ type GPS struct {
 	Sigma float64
 	// NStates is the robot state dimension.
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*GPS)(nil)
@@ -137,16 +165,24 @@ func (s *GPS) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1])
 }
 
-// C implements Sensor.
+// C implements Sensor. The Jacobian is state-independent and cached.
 func (s *GPS) C(x mat.Vec) *mat.Mat {
+	if m := s.consts.c.Load(); m != nil {
+		return m
+	}
 	c := mat.New(2, s.NStates)
 	c.Set(0, 0, 1)
 	c.Set(1, 1, 1)
-	return c
+	return cacheMat(&s.consts.c, c)
 }
 
 // R implements Sensor.
-func (s *GPS) R() *mat.Mat { return mat.Diag(s.Sigma*s.Sigma, s.Sigma*s.Sigma) }
+func (s *GPS) R() *mat.Mat {
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
+	return cacheMat(&s.consts.r, mat.Diag(s.Sigma*s.Sigma, s.Sigma*s.Sigma))
+}
 
 // AngleIndices implements Sensor.
 func (s *GPS) AngleIndices() []int { return nil }
@@ -159,6 +195,8 @@ type Magnetometer struct {
 	Sigma float64
 	// NStates is the robot state dimension.
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*Magnetometer)(nil)
@@ -180,18 +218,31 @@ func (s *Magnetometer) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[2])
 }
 
-// C implements Sensor.
+// C implements Sensor. The Jacobian is state-independent and cached.
 func (s *Magnetometer) C(x mat.Vec) *mat.Mat {
+	if m := s.consts.c.Load(); m != nil {
+		return m
+	}
 	c := mat.New(1, s.NStates)
 	c.Set(0, 2, 1)
-	return c
+	return cacheMat(&s.consts.c, c)
 }
 
 // R implements Sensor.
-func (s *Magnetometer) R() *mat.Mat { return mat.Diag(s.Sigma * s.Sigma) }
+func (s *Magnetometer) R() *mat.Mat {
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
+	return cacheMat(&s.consts.r, mat.Diag(s.Sigma*s.Sigma))
+}
 
 // AngleIndices implements Sensor.
-func (s *Magnetometer) AngleIndices() []int { return []int{0} }
+func (s *Magnetometer) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
+	return cacheInts(&s.consts.angles, []int{0})
+}
 
 // IMU models the Tamiya's inertial unit as processed by its navigation
 // workflow: heading and longitudinal speed, z = (θ, v). It requires the
@@ -204,6 +255,8 @@ type IMU struct {
 	SigmaV float64
 	// NStates is the robot state dimension (must be ≥ 4).
 	NStates int
+
+	consts sensorConsts
 }
 
 var _ Sensor = (*IMU)(nil)
@@ -225,18 +278,29 @@ func (s *IMU) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[2], x[3])
 }
 
-// C implements Sensor.
+// C implements Sensor. The Jacobian is state-independent and cached.
 func (s *IMU) C(x mat.Vec) *mat.Mat {
+	if m := s.consts.c.Load(); m != nil {
+		return m
+	}
 	c := mat.New(2, s.NStates)
 	c.Set(0, 2, 1)
 	c.Set(1, 3, 1)
-	return c
+	return cacheMat(&s.consts.c, c)
 }
 
 // R implements Sensor.
 func (s *IMU) R() *mat.Mat {
-	return mat.Diag(s.SigmaTheta*s.SigmaTheta, s.SigmaV*s.SigmaV)
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
+	return cacheMat(&s.consts.r, mat.Diag(s.SigmaTheta*s.SigmaTheta, s.SigmaV*s.SigmaV))
 }
 
 // AngleIndices implements Sensor.
-func (s *IMU) AngleIndices() []int { return []int{0} }
+func (s *IMU) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
+	return cacheInts(&s.consts.angles, []int{0})
+}

@@ -12,6 +12,7 @@ package sensors
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"roboads/internal/dynamics"
 	"roboads/internal/mat"
@@ -29,15 +30,51 @@ type Sensor interface {
 	// H evaluates the measurement function h(x).
 	H(x mat.Vec) mat.Vec
 
-	// C returns the Jacobian ∂h/∂x evaluated at x.
+	// C returns the Jacobian ∂h/∂x evaluated at x. Implementations whose
+	// Jacobian is state-independent may return a shared cached matrix;
+	// callers must treat the result as read-only.
 	C(x mat.Vec) *mat.Mat
 
 	// R returns the measurement noise covariance (constant per sensor).
+	// Implementations may return a shared cached matrix; callers must
+	// treat the result as read-only.
 	R() *mat.Mat
 
 	// AngleIndices lists the components of the reading that are angles;
-	// residuals at these indices must be wrapped to (−π, π].
+	// residuals at these indices must be wrapped to (−π, π]. The result
+	// may be shared and must be treated as read-only.
 	AngleIndices() []int
+}
+
+// sensorConsts caches a sensor's constant outputs — the noise covariance
+// R, a state-independent Jacobian C, and the angle index list — so the
+// estimator hot loop does not rebuild the same small objects every step.
+// The first call freezes the value: configure a sensor fully before its
+// first use. Caching is safe under concurrent first use (the engine's
+// parallel mode bank shares sensors across goroutines): racing builders
+// converge on the first stored pointer, and the stable pointer identity
+// is what lets the engine's CholCache reuse covariance factors.
+type sensorConsts struct {
+	r, c   atomic.Pointer[mat.Mat]
+	angles atomic.Pointer[[]int]
+}
+
+// cacheMat publishes m as the frozen value of p, returning the winner
+// when another goroutine got there first.
+func cacheMat(p *atomic.Pointer[mat.Mat], m *mat.Mat) *mat.Mat {
+	if p.CompareAndSwap(nil, m) {
+		return m
+	}
+	return p.Load()
+}
+
+// cacheInts publishes v as the frozen value of p, returning the winner
+// when another goroutine got there first.
+func cacheInts(p *atomic.Pointer[[]int], v []int) []int {
+	if p.CompareAndSwap(nil, &v) {
+		return v
+	}
+	return *p.Load()
 }
 
 // ErrEmptyStack indicates an attempt to stack zero sensors.
@@ -57,9 +94,10 @@ func WrapResidual(r mat.Vec, angleIdx []int) mat.Vec {
 // (workflows run in isolation, so their noises are independent —
 // §II-A).
 type Stacked struct {
-	parts []Sensor
-	dim   int
-	name  string
+	parts  []Sensor
+	dim    int
+	name   string
+	consts sensorConsts
 }
 
 var _ Sensor = (*Stacked)(nil)
@@ -130,19 +168,27 @@ func (s *Stacked) C(x mat.Vec) *mat.Mat {
 	return out
 }
 
-// R implements Sensor with a block-diagonal covariance.
+// R implements Sensor with a block-diagonal covariance, assembled once
+// and cached (the parts are fixed at construction).
 func (s *Stacked) R() *mat.Mat {
+	if m := s.consts.r.Load(); m != nil {
+		return m
+	}
 	out := mat.New(s.dim, s.dim)
 	off := 0
 	for _, p := range s.parts {
 		out.SetSubmatrix(off, off, p.R())
 		off += p.Dim()
 	}
-	return out
+	return cacheMat(&s.consts.r, out)
 }
 
-// AngleIndices implements Sensor, offsetting each component's indices.
+// AngleIndices implements Sensor, offsetting each component's indices;
+// the combined list is assembled once and cached.
 func (s *Stacked) AngleIndices() []int {
+	if v := s.consts.angles.Load(); v != nil {
+		return *v
+	}
 	var out []int
 	off := 0
 	for _, p := range s.parts {
@@ -151,7 +197,7 @@ func (s *Stacked) AngleIndices() []int {
 		}
 		off += p.Dim()
 	}
-	return out
+	return cacheInts(&s.consts.angles, out)
 }
 
 // Observable reports whether the state is reconstructible from the given

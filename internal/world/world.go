@@ -158,16 +158,38 @@ func (m *Map) Raycast(origin Point, theta, maxRange float64) (dist float64, ok b
 // pose — the property the LiDAR measurement model relies on (the paper's
 // workflow extracts "distances from surrounding walls").
 func (m *Map) RaycastWalls(origin Point, theta, maxRange float64) (dist float64, ok bool) {
-	dir := Point{math.Cos(theta), math.Sin(theta)}
+	dist, _, ok = m.RaycastWallsSeg(origin, theta, maxRange)
+	return dist, ok
+}
+
+// RaycastWallsSeg is RaycastWalls returning also the wall segment the
+// beam terminates on, so measurement models can differentiate the range
+// in closed form (the range to a fixed wall line is smooth in the pose;
+// only the beam→wall assignment is piecewise). When ok is false the
+// segment is zero. The walls are visited in Rect.Edges order and no
+// heap allocation is performed, making this the hot-loop form.
+func (m *Map) RaycastWallsSeg(origin Point, theta, maxRange float64) (dist float64, wall Segment, ok bool) {
+	sin, cos := math.Sincos(theta)
+	dir := Point{cos, sin}
+	r := m.Bounds
+	a := r.Min
+	b := Point{r.Max.X, r.Min.Y}
+	c := r.Max
+	d := Point{r.Min.X, r.Max.Y}
+	segs := [4]Segment{{a, b}, {b, c}, {c, d}, {d, a}}
 	best := maxRange
 	hit := false
-	for _, seg := range m.Bounds.Edges() {
+	for _, seg := range segs {
 		if t, k := raySegment(origin, dir, seg); k && t < best {
 			best = t
+			wall = seg
 			hit = true
 		}
 	}
-	return best, hit
+	if !hit {
+		wall = Segment{}
+	}
+	return best, wall, hit
 }
 
 // raySegment intersects the ray origin + t·dir (t ≥ 0) with a segment,

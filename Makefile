@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench benchdiff ci
+.PHONY: build vet staticcheck test race bench benchdiff benchoverhead ci
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is not vendored; CI installs it with `go install`. Locally
+# this target is a no-op (with a note) when the binary is absent.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 \
+		&& staticcheck ./... \
+		|| echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+
 test:
 	$(GO) test ./...
 
-# The parallel mode bank and the decision windows are the concurrency-
-# sensitive surfaces; run them under the race detector.
+# The parallel mode bank, the decision windows, and the lock-free
+# telemetry registry are the concurrency-sensitive surfaces; run them
+# under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/detect/...
+	$(GO) test -race ./internal/core/... ./internal/detect/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|NUISEStep' -benchtime=1500x .
@@ -25,5 +33,15 @@ bench:
 # hardware; informational elsewhere (CI runs it with continue-on-error).
 benchdiff:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json
+
+# Telemetry overhead gate: the nil-Observer engine path (and the
+# enabled-path pin BenchmarkEngineStepTelemetry) must stay within 5% of
+# the recorded baseline — the telemetry layer is contractually free when
+# disabled. The 5% threshold is tighter than single-run noise on shared
+# hardware, so the gate compares the fastest of three long runs (-best).
+benchoverhead:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json -threshold 0.05 -best \
+		-only '^BenchmarkEngineStep(Telemetry)?$$' \
+		-command "$(GO) test -run xxx -bench '^BenchmarkEngineStep(Telemetry)?$$' -benchtime=20000x -count=3 ."
 
 ci: build vet test race

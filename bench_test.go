@@ -24,6 +24,7 @@ import (
 	"roboads/internal/sensors"
 	"roboads/internal/sim"
 	"roboads/internal/stat"
+	"roboads/internal/telemetry"
 	"roboads/internal/world"
 )
 
@@ -77,6 +78,44 @@ func BenchmarkEngineStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stat.NewRNG(1)
+	xTrue := x0.Clone()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+		readings := map[string]mat.Vec{}
+		for _, s := range suite {
+			readings[s.Name()] = s.H(xTrue)
+		}
+		if _, err := eng.Step(u, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStepTelemetry is BenchmarkEngineStep with a live
+// telemetry observer attached — the enabled-path overhead pin. The gap
+// to BenchmarkEngineStep is the full instrumentation cost (timestamps,
+// histogram updates, snapshot upkeep); the benchoverhead CI job holds
+// the disabled path (BenchmarkEngineStep itself) to within 5% of the
+// recorded baseline.
+func BenchmarkEngineStepTelemetry(b *testing.B) {
+	plant, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := telemetry.New(telemetry.Options{})
+	cfg := core.DefaultEngineConfig()
+	cfg.Observer = tel
+	eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,14 +7,19 @@
 // Usage:
 //
 //	benchdiff [-baseline BENCH_engine.json] [-input bench.out] [-threshold 0.15]
+//	          [-only REGEX] [-command CMD]
 //
 // With -input the tool only parses (useful in CI, where the run and the
 // comparison are separate steps); otherwise it executes the baseline's
-// recorded command via the shell. Benchmarks present in the baseline but
-// missing from the output are reported as warnings, not failures, so a
-// partial -bench filter does not trip the guard. Hardware varies between
-// the recording machine and CI runners — wire this as an informational
-// job there and treat it as authoritative only on the recording hardware.
+// recorded command — or the -command override — via the shell. -only
+// restricts the comparison to baseline benchmarks matching the regex, so
+// a focused gate (e.g. the telemetry-overhead job holding just
+// BenchmarkEngineStep to 5%) does not warn about every other benchmark.
+// Benchmarks present in the baseline but missing from the output are
+// reported as warnings, not failures, so a partial -bench filter does
+// not trip the guard. Hardware varies between the recording machine and
+// CI runners — wire this as an informational job there and treat it as
+// authoritative only on the recording hardware.
 package main
 
 import (
@@ -47,8 +52,9 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 // parseBenchOutput extracts name → ns/op from `go test -bench` output.
 // Later occurrences of the same benchmark (e.g. -count > 1) overwrite
-// earlier ones.
-func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+// earlier ones; with best, the fastest occurrence wins instead — the
+// standard noise-robust reduction for a tight gate on shared hardware.
+func parseBenchOutput(r io.Reader, best bool) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -61,9 +67,34 @@ func parseBenchOutput(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: bad ns/op %q for %s: %w", m[2], m[1], err)
 		}
+		if prev, ok := out[m[1]]; best && ok && prev < ns {
+			continue
+		}
 		out[m[1]] = ns
 	}
 	return out, sc.Err()
+}
+
+// filterBaseline drops baseline benchmarks not matching the -only regex
+// (in place). An empty pattern keeps everything; a pattern matching
+// nothing is an error, since the gate would silently pass.
+func filterBaseline(benchmarks map[string]benchEntry, pattern string) error {
+	if pattern == "" {
+		return nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("benchdiff: bad -only regex: %w", err)
+	}
+	for name := range benchmarks {
+		if !re.MatchString(name) {
+			delete(benchmarks, name)
+		}
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("benchdiff: -only %q matches no baseline benchmark", pattern)
+	}
+	return nil
 }
 
 // diffResult is one baseline benchmark's comparison outcome.
@@ -96,6 +127,9 @@ func run() error {
 	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline file with recorded command and benchmarks")
 	input := flag.String("input", "", "pre-captured `go test -bench` output to parse instead of running the command")
 	threshold := flag.Float64("threshold", 0.15, "allowed ns/op regression fraction before failing")
+	only := flag.String("only", "", "regex restricting the comparison to matching baseline benchmarks")
+	command := flag.String("command", "", "shell command to run instead of the baseline's recorded one")
+	best := flag.Bool("best", false, "with repeated runs (-count > 1), compare the fastest occurrence of each benchmark instead of the last")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -109,6 +143,9 @@ func run() error {
 	if len(base.Benchmarks) == 0 {
 		return fmt.Errorf("benchdiff: %s has no benchmarks", *baselinePath)
 	}
+	if err := filterBaseline(base.Benchmarks, *only); err != nil {
+		return err
+	}
 
 	var benchOut io.Reader
 	if *input != "" {
@@ -119,11 +156,15 @@ func run() error {
 		defer f.Close()
 		benchOut = f
 	} else {
-		if base.Command == "" {
-			return fmt.Errorf("benchdiff: %s records no command; pass -input", *baselinePath)
+		shellCmd := base.Command
+		if *command != "" {
+			shellCmd = *command
 		}
-		fmt.Fprintf(os.Stderr, "benchdiff: running %s\n", base.Command)
-		cmd := exec.Command("sh", "-c", base.Command)
+		if shellCmd == "" {
+			return fmt.Errorf("benchdiff: %s records no command; pass -input or -command", *baselinePath)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: running %s\n", shellCmd)
+		cmd := exec.Command("sh", "-c", shellCmd)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
 		if err != nil {
@@ -132,7 +173,7 @@ func run() error {
 		benchOut = strings.NewReader(string(out))
 	}
 
-	current, err := parseBenchOutput(benchOut)
+	current, err := parseBenchOutput(benchOut, *best)
 	if err != nil {
 		return err
 	}

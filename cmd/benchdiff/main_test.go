@@ -16,7 +16,7 @@ BenchmarkEngineStepParallel/modes=3/workers=2 	    1500	     54115 ns/op
 PASS
 ok  	roboads	1.2s
 `
-	got, err := parseBenchOutput(strings.NewReader(out))
+	got, err := parseBenchOutput(strings.NewReader(out), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ ok  	roboads	1.2s
 
 func TestParseBenchOutputRepeatedRunsKeepLast(t *testing.T) {
 	out := "BenchmarkX \t 100 \t 200 ns/op\nBenchmarkX \t 100 \t 300 ns/op\n"
-	got, err := parseBenchOutput(strings.NewReader(out))
+	got, err := parseBenchOutput(strings.NewReader(out), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,5 +84,51 @@ func TestCompare(t *testing.T) {
 		if results[i-1].Name > results[i].Name {
 			t.Fatalf("results unsorted: %v before %v", results[i-1].Name, results[i].Name)
 		}
+	}
+}
+
+func TestFilterBaseline(t *testing.T) {
+	mk := func() map[string]benchEntry {
+		return map[string]benchEntry{
+			"BenchmarkEngineStep":          {NsPerOp: 100},
+			"BenchmarkEngineStepTelemetry": {NsPerOp: 110},
+			"BenchmarkNUISEStep":           {NsPerOp: 50},
+		}
+	}
+
+	b := mk()
+	if err := filterBaseline(b, ""); err != nil || len(b) != 3 {
+		t.Fatalf("empty pattern: len=%d err=%v", len(b), err)
+	}
+
+	b = mk()
+	if err := filterBaseline(b, `^BenchmarkEngineStep$`); err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 {
+		t.Fatalf("anchored filter kept %d entries: %v", len(b), b)
+	}
+	if _, ok := b["BenchmarkEngineStep"]; !ok {
+		t.Fatalf("wrong survivor: %v", b)
+	}
+
+	b = mk()
+	if err := filterBaseline(b, "NoSuchBenchmark"); err == nil {
+		t.Fatal("no-match pattern accepted")
+	}
+	b = mk()
+	if err := filterBaseline(b, "("); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestParseBenchOutputBestKeepsFastest(t *testing.T) {
+	out := "BenchmarkX \t 100 \t 200 ns/op\nBenchmarkX \t 100 \t 300 ns/op\nBenchmarkX \t 100 \t 250 ns/op\n"
+	got, err := parseBenchOutput(strings.NewReader(out), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 200 {
+		t.Errorf("BenchmarkX = %v, want fastest run 200", got["BenchmarkX"])
 	}
 }

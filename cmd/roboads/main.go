@@ -23,15 +23,23 @@
 //	report   [-o FILE] [-trials N]   regenerate the full markdown reproduction report
 //	record   -scenario N [-o FILE]   record a mission's monitor inputs as a trace
 //	replay   [-i FILE]               replay a trace through a fresh detector
+//	serve    [-addr A] [-scenario N] run missions in a loop with live telemetry
+//	                                 (/metrics, /snapshot, /debug/pprof)
 //	all      [-trials N] [-seed S]   run everything above (except fig6 TSV)
+//
+// run and replay also accept -telemetry ADDR to expose the same HTTP
+// surface for the duration of the command.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"roboads/internal/attack"
 	"roboads/internal/core"
@@ -62,14 +70,29 @@ func run(args []string) error {
 	plot := fs.String("plot", "a", "fig7 plot: a|b|c|d")
 	output := fs.String("o", "", "output file (record; default stdout)")
 	input := fs.String("i", "", "input trace file (replay; default stdin)")
-	workers := fs.Int("workers", 0, "mode-bank worker goroutines (run/replay): 0 = GOMAXPROCS, <=1 sequential; output is identical either way")
+	workers := fs.Int("workers", 0, "mode-bank worker goroutines (run/replay/serve): 0 = GOMAXPROCS, <=1 sequential; output is identical either way")
+	telemetryAddr := fs.String("telemetry", "", "serve /metrics, /snapshot and /debug/pprof on this address during run/replay (e.g. 127.0.0.1:8080)")
+	addr := fs.String("addr", "127.0.0.1:8080", "telemetry listen address (serve)")
+	missions := fs.Int("missions", 0, "missions to run back to back (serve); 0 = loop until interrupted")
+	interval := fs.Duration("interval", 0, "sleep per control iteration (serve); 0 = full speed")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 
 	switch sub {
 	case "run":
-		return runScenario(*scenarioID, *seed, *workers)
+		return runScenario(*scenarioID, *seed, *workers, *telemetryAddr)
+	case "serve":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return serveScenario(ctx, serveOptions{
+			addr:       *addr,
+			scenarioID: *scenarioID,
+			seed:       *seed,
+			workers:    *workers,
+			missions:   *missions,
+			interval:   *interval,
+		})
 	case "table2":
 		result, err := eval.Table2(*trials, *seed)
 		if err != nil {
@@ -151,7 +174,7 @@ func run(args []string) error {
 	case "record":
 		return recordTrace(*scenarioID, *seed, *output)
 	case "replay":
-		return replayTrace(*input, *workers)
+		return replayTrace(*input, *workers, *telemetryAddr)
 	case "related":
 		result, err := eval.RelatedWork(*trials, *seed)
 		if err != nil {
@@ -168,19 +191,30 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|serve|all> [flags]`)
 }
 
-func runScenario(id int, seed int64, workers int) error {
+func runScenario(id int, seed int64, workers int, telemetryAddr string) error {
 	scenario, err := scenarioByID(id)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scenario %v — %s\n", &scenario, scenario.Description)
 
+	tel, shutdown, err := attachTelemetry(telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
 	ecfg := core.DefaultEngineConfig()
 	ecfg.Workers = workers
-	run, err := eval.RunKheperaScenario(scenario, seed, detect.DefaultConfig(), eval.KheperaDetectorWith(ecfg))
+	cfg := detect.DefaultConfig()
+	if tel != nil {
+		ecfg.Observer = tel
+		cfg.Observer = tel
+	}
+	run, err := eval.RunKheperaScenario(scenario, seed, cfg, eval.KheperaDetectorWith(ecfg))
 	if err != nil {
 		return err
 	}
@@ -386,11 +420,14 @@ func recordTrace(scenarioID int, seed int64, output string) error {
 		return err
 	}
 	for _, rec := range records {
-		if err := recorder.Record(rec.K, rec.UPlanned, rec.Readings); err != nil {
+		// Stamp frames with mission time so replay can reproduce the
+		// recorded arrival cadence in the frame-gap histogram.
+		tNanos := int64(float64(rec.K) * sim.KheperaDt * 1e9)
+		if err := recorder.RecordAt(rec.K, tNanos, rec.UPlanned, rec.Readings); err != nil {
 			return err
 		}
 	}
-	if err := recorder.Flush(); err != nil {
+	if err := recorder.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d iterations of %v\n", len(records), &scenario)
@@ -399,7 +436,7 @@ func recordTrace(scenarioID int, seed int64, output string) error {
 
 // replayTrace feeds a recorded Khepera trace through a fresh detector
 // and prints the condition timeline.
-func replayTrace(input string, workers int) error {
+func replayTrace(input string, workers int, telemetryAddr string) error {
 	in := os.Stdin
 	if input != "" {
 		f, err := os.Open(input)
@@ -416,13 +453,37 @@ func replayTrace(input string, workers int) error {
 	if err != nil {
 		return err
 	}
-	ecfg := core.DefaultEngineConfig()
-	ecfg.Workers = workers
-	det, err := eval.KheperaDetectorWith(ecfg)(setup, detect.DefaultConfig())
+	tel, shutdown, err := attachTelemetry(telemetryAddr)
 	if err != nil {
 		return err
 	}
-	reports, err := trace.Replay(in, det)
+	defer shutdown()
+	ecfg := core.DefaultEngineConfig()
+	ecfg.Workers = workers
+	cfg := detect.DefaultConfig()
+	if tel != nil {
+		ecfg.Observer = tel
+		cfg.Observer = tel
+	}
+	det, err := eval.KheperaDetectorWith(ecfg)(setup, cfg)
+	if err != nil {
+		return err
+	}
+	// With telemetry attached, recorded frame timestamps reproduce the
+	// mission's arrival cadence in the frame-gap histogram.
+	var observe func(*trace.Frame)
+	if tel != nil {
+		prev := int64(-1)
+		observe = func(f *trace.Frame) {
+			if prev >= 0 && f.TNanos > 0 {
+				tel.FrameGap(f.TNanos - prev)
+			}
+			if f.TNanos > 0 {
+				prev = f.TNanos
+			}
+		}
+	}
+	reports, err := trace.ReplayObserve(in, det, observe)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"time"
+
+	"roboads/internal/core"
+	"roboads/internal/detect"
+	"roboads/internal/eval"
+	"roboads/internal/sim"
+	"roboads/internal/telemetry"
+)
+
+// serveOptions configures the live telemetry server.
+type serveOptions struct {
+	addr       string
+	scenarioID int
+	seed       int64
+	workers    int
+	// missions bounds the number of missions run back to back; 0 loops
+	// until the context is cancelled. Each mission uses seed+mission.
+	missions int
+	// interval paces the control loop (sleep per iteration); 0 runs at
+	// full speed.
+	interval time.Duration
+	// onReady, when set, receives the bound listen address once the
+	// HTTP surface is up (tests bind to 127.0.0.1:0).
+	onReady func(net.Addr)
+	// quiet suppresses the stderr event log.
+	quiet bool
+}
+
+// serveScenario runs Table II missions in a loop with full telemetry
+// attached and the HTTP surface (/metrics, /snapshot, /debug/pprof,
+// /debug/vars) live on opts.addr. It returns when the context is
+// cancelled or, with missions > 0, after that many missions.
+func serveScenario(ctx context.Context, opts serveOptions) error {
+	scenario, err := scenarioByID(opts.scenarioID)
+	if err != nil {
+		return err
+	}
+
+	topts := telemetry.Options{
+		// The compact per-step Debug record would be noise at mission
+		// rate; sample it 1-in-50 and leave Info (mode switches, alarm
+		// edges, condition changes) unsampled.
+		SampleEvery: map[slog.Level]int{slog.LevelDebug: 50},
+	}
+	if !opts.quiet {
+		topts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
+	tel := telemetry.New(topts)
+
+	srv, addr, err := tel.Serve(opts.addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if !opts.quiet {
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", addr)
+	}
+	if opts.onReady != nil {
+		opts.onReady(addr)
+	}
+
+	ecfg := core.DefaultEngineConfig()
+	ecfg.Workers = opts.workers
+	ecfg.Observer = tel
+	cfg := detect.DefaultConfig()
+	cfg.Observer = tel
+
+	for mission := 0; opts.missions == 0 || mission < opts.missions; mission++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		setup, err := sim.NewKhepera(sim.LabMission(), &scenario, opts.seed+int64(mission))
+		if err != nil {
+			return err
+		}
+		det, err := eval.KheperaDetectorWith(ecfg)(setup, cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < eval.MaxIterations; i++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			step, err := setup.Sim.Step()
+			if err != nil {
+				break // mission over
+			}
+			if _, err := det.Step(step.UPlanned, step.Readings); err != nil {
+				return err
+			}
+			if step.Done {
+				break
+			}
+			if opts.interval > 0 {
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(opts.interval):
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// attachTelemetry starts a telemetry server for the run/replay
+// subcommands' -telemetry flag. The returned shutdown func is a no-op
+// when addr is empty (telemetry disabled, nil Telemetry).
+func attachTelemetry(addr string) (*telemetry.Telemetry, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	tel := telemetry.New(telemetry.Options{
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})),
+		SampleEvery: map[slog.Level]int{slog.LevelDebug: 50},
+	})
+	srv, bound, err := tel.Serve(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry listening on http://%s\n", bound)
+	return tel, func() { srv.Close() }, nil
+}

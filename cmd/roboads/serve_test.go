@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrape fetches a path from the serve endpoint and returns the body.
+func scrape(t *testing.T, addr net.Addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr.String() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of an exact (unlabeled) series from a
+// Prometheus text exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(exposition)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parse %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// The live serve endpoint, scraped mid-run: step-latency and mode-switch
+// series must show a running mission under an attack scenario.
+func TestServeExposesLiveMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission run in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		// IPS spoofing (scenario 1) forces the selector off the IPS
+		// reference mode at attack onset, so mode switches are
+		// guaranteed; missions == 0 loops until the scrape cancels.
+		done <- serveScenario(ctx, serveOptions{
+			addr:       "127.0.0.1:0",
+			scenarioID: 1,
+			seed:       11,
+			quiet:      true,
+			onReady:    func(a net.Addr) { ready <- a },
+		})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-ctx.Done():
+		t.Fatal("timed out waiting for serve to bind")
+	}
+
+	// Poll /metrics until the mission has visibly progressed.
+	var exposition string
+	for {
+		exposition = scrape(t, addr, "/metrics")
+		steps := metricValue(t, exposition, "roboads_engine_steps_total")
+		switches := metricValue(t, exposition, "roboads_engine_mode_switches_total")
+		latencies := metricValue(t, exposition, "roboads_engine_step_seconds_count")
+		if steps > 0 && switches > 0 && latencies > 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("metrics never progressed; last exposition:\n%s", exposition)
+		case err := <-done:
+			t.Fatalf("serve exited early: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if !strings.Contains(exposition, "# TYPE roboads_engine_step_seconds histogram") {
+		t.Fatalf("missing step latency histogram:\n%s", exposition)
+	}
+
+	// The rest of the surface answers while the mission is running.
+	snap := scrape(t, addr, "/snapshot")
+	if !strings.Contains(snap, `"selectedMode"`) || !strings.Contains(snap, `"metrics"`) {
+		t.Fatalf("/snapshot = %s", snap)
+	}
+	if !strings.Contains(scrape(t, addr, "/debug/vars"), `"roboads"`) {
+		t.Fatal("/debug/vars missing roboads var")
+	}
+	if scrape(t, addr, "/debug/pprof/") == "" {
+		t.Fatal("/debug/pprof/ empty")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not stop after cancel")
+	}
+}
+
+// serve with a bounded mission count terminates on its own.
+func TestServeBoundedMissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission run in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var addr net.Addr
+	err := serveScenario(ctx, serveOptions{
+		addr:       "127.0.0.1:0",
+		scenarioID: 0,
+		seed:       5,
+		missions:   1,
+		quiet:      true,
+		onReady:    func(a net.Addr) { addr = a },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == nil {
+		t.Fatal("onReady never called")
+	}
+}
+
+// The -telemetry flag on run exposes the surface for the command's
+// duration; a bad address fails fast.
+func TestAttachTelemetry(t *testing.T) {
+	tel, shutdown, err := attachTelemetry("")
+	if err != nil || tel != nil {
+		t.Fatalf("disabled: tel=%v err=%v", tel, err)
+	}
+	shutdown()
+
+	tel, shutdown, err = attachTelemetry("127.0.0.1:0")
+	if err != nil || tel == nil {
+		t.Fatalf("enabled: tel=%v err=%v", tel, err)
+	}
+	shutdown()
+
+	if _, _, err = attachTelemetry("256.0.0.1:bad"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

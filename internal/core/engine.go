@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"roboads/internal/mat"
 	"roboads/internal/stat"
@@ -59,6 +60,13 @@ type EngineConfig struct {
 	// mode index, and every downstream loop iterates in fixed mode
 	// order, so scheduling cannot influence a single float.
 	Workers int
+	// Observer receives instrumentation events (per-Step wall time,
+	// per-mode latency, pool queue wait, dropped readings, weight-floor
+	// hits, mode switches). Nil disables instrumentation entirely: the
+	// hot path then pays one nil check per site and takes no timestamps.
+	// Observation is read-only and cannot perturb engine output; see the
+	// Observer contract.
+	Observer Observer
 }
 
 // DefaultEngineConfig returns the configuration used by the experiments.
@@ -109,6 +117,15 @@ type Engine struct {
 	// weight update runs after the bank gather), so the parallel bank
 	// never sees it.
 	spd *mat.CholCache
+
+	// obs is EngineConfig.Observer; nil when instrumentation is off.
+	// sensorNames is the union of every mode's reference and testing
+	// workflow names, precomputed so the dropped-reading check is one
+	// map lookup per sensor per Step. stats is the reused StepStats
+	// record handed to the observer (borrowed, never retained).
+	obs         Observer
+	sensorNames []string
+	stats       StepStats
 }
 
 // Output is one control iteration's engine result.
@@ -176,6 +193,22 @@ func NewEngine(plant Plant, modes []*Mode, x0 mat.Vec, p0 *mat.Mat, cfg EngineCo
 		cfg:     cfg,
 		scratch: scratch,
 		spd:     mat.NewCholCache(),
+		obs:     cfg.Observer,
+	}
+	seen := make(map[string]bool)
+	for _, m := range modes {
+		for _, name := range m.ReferenceNames {
+			if !seen[name] {
+				seen[name] = true
+				e.sensorNames = append(e.sensorNames, name)
+			}
+		}
+		for _, name := range m.testingNames {
+			if !seen[name] {
+				seen[name] = true
+				e.sensorNames = append(e.sensorNames, name)
+			}
+		}
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -230,20 +263,56 @@ var ErrAllModesFailed = errors.New("core: all modes failed")
 // and runs reference-only (no d̂s) when only its testing block is — it
 // never sinks the whole bank.
 func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
+	// Instrumentation preamble: only when an observer is attached does
+	// the step take timestamps or sample the fallback counter. The
+	// obs == nil path must stay branch-predictable and timestamp-free —
+	// it is pinned by the BenchmarkEngineStep regression gate.
+	obs := e.obs
+	var stepStart time.Time
+	var fallbacks0 int64
+	if obs != nil {
+		stepStart = time.Now()
+		fallbacks0 = JacobiFallbacks()
+		for _, name := range e.sensorNames {
+			if _, ok := readings[name]; !ok {
+				obs.DroppedReading(name)
+			}
+		}
+	}
+
 	perMode := make([]*Result, len(e.modes))
 	if e.pool == nil {
-		for i := range e.modes {
-			e.stepMode(i, u, readings, perMode)
+		if obs == nil {
+			for i := range e.modes {
+				e.stepMode(i, u, readings, perMode)
+			}
+		} else {
+			for i := range e.modes {
+				modeStart := time.Now()
+				e.stepMode(i, u, readings, perMode)
+				obs.ModeStep(i, e.modes[i].Name, time.Since(modeStart).Nanoseconds(), perMode[i] != nil)
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(len(e.modes))
 		for i := range e.modes {
 			i := i
-			e.pool.submit(func() {
-				defer wg.Done()
-				e.stepMode(i, u, readings, perMode)
-			})
+			if obs == nil {
+				e.pool.submit(func() {
+					defer wg.Done()
+					e.stepMode(i, u, readings, perMode)
+				})
+			} else {
+				submitted := time.Now()
+				e.pool.submit(func() {
+					defer wg.Done()
+					started := time.Now()
+					obs.PoolWait(started.Sub(submitted).Nanoseconds())
+					e.stepMode(i, u, readings, perMode)
+					obs.ModeStep(i, e.modes[i].Name, time.Since(started).Nanoseconds(), perMode[i] != nil)
+				})
+			}
 		}
 		wg.Wait()
 	}
@@ -271,12 +340,14 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 		next[i] = e.weights[i] * likelihood
 		sum += next[i]
 	}
+	floorHits := 0
 	if sum > 0 {
 		var floored float64
 		for i := range next {
 			next[i] /= sum
 			if next[i] < e.cfg.Epsilon {
 				next[i] = e.cfg.Epsilon
+				floorHits++
 			}
 			floored += next[i]
 		}
@@ -318,6 +389,7 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 	if selected < 0 {
 		return nil, ErrAllModesFailed
 	}
+	switched := e.k > 0 && selected != e.selected
 	e.selected = selected
 
 	// The selected mode's posterior is the consensus estimate
@@ -361,6 +433,28 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 		} else {
 			out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
 		}
+	}
+	if obs != nil {
+		failed := 0
+		for _, r := range perMode {
+			if r == nil {
+				failed++
+			}
+		}
+		e.stats = StepStats{
+			Iteration:       e.k,
+			WallNanos:       time.Since(stepStart).Nanoseconds(),
+			Selected:        selected,
+			SelectedName:    e.modes[selected].Name,
+			Switched:        switched,
+			FloorHits:       floorHits,
+			ModesFailed:     failed,
+			JacobiFallbacks: JacobiFallbacks() - fallbacks0,
+			Weights:         e.weights,
+			PValue:          res.PValue,
+			Likelihood:      res.Likelihood,
+		}
+		obs.EngineStep(&e.stats)
 	}
 	e.k++
 	return out, nil

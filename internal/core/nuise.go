@@ -423,6 +423,14 @@ var forceJacobiLikelihood bool
 // structural p2−q deficiency; it is never read on the hot path.
 var nuiseJacobiFallbacks int64
 
+// JacobiFallbacks returns the process-wide count of NUISE steps that
+// abandoned the Cholesky fast path for the Jacobi PseudoInverseSym
+// fallback since process start. Silent fallback engagement is a
+// performance regression (the Jacobi path is ~2× slower per step), so
+// the engine samples this around every instrumented Step and surfaces
+// the delta through Observer.EngineStep; a clean run must report zero.
+func JacobiFallbacks() int64 { return atomic.LoadInt64(&nuiseJacobiFallbacks) }
+
 // likelihoodOf evaluates the Gaussian likelihood of Algorithm 2 line 20
 // with pseudo-inverse and pseudo-determinant,
 //

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"roboads/internal/mat"
@@ -28,6 +29,10 @@ func recordScenario(seed int64, steps int) (*testRig, []mat.Vec, []map[string]ma
 }
 
 func engineWithWorkers(t *testing.T, rig *testRig, workers int) *Engine {
+	return engineWithObserver(t, rig, workers, nil)
+}
+
+func engineWithObserver(t *testing.T, rig *testRig, workers int, obs Observer) *Engine {
 	t.Helper()
 	x0 := mat.VecOf(0.8, 0.8, 0.2)
 	u0 := rig.model.WheelSpeeds(0.1, 0)
@@ -37,12 +42,25 @@ func engineWithWorkers(t *testing.T, rig *testRig, workers int) *Engine {
 	}
 	cfg := DefaultEngineConfig()
 	cfg.Workers = workers
+	cfg.Observer = obs
 	eng, err := NewEngine(rig.plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return eng
 }
+
+// countingObserver is a race-safe Observer stub: it counts every hook
+// invocation the way a real telemetry sink would, without perturbing
+// the engine.
+type countingObserver struct {
+	steps, modeSteps, poolWaits, drops atomic.Int64
+}
+
+func (c *countingObserver) EngineStep(*StepStats)             { c.steps.Add(1) }
+func (c *countingObserver) ModeStep(int, string, int64, bool) { c.modeSteps.Add(1) }
+func (c *countingObserver) PoolWait(int64)                    { c.poolWaits.Add(1) }
+func (c *countingObserver) DroppedReading(string)             { c.drops.Add(1) }
 
 func vecsEqual(a, b mat.Vec) bool {
 	if len(a) != len(b) {
@@ -59,11 +77,14 @@ func vecsEqual(a, b mat.Vec) bool {
 // The determinism guarantee: a parallel engine produces bit-for-bit the
 // same weights, selection, and estimates as the sequential path over a
 // full scenario, including an attack window that exercises the weight
-// floor, hysteresis, and resync logic.
+// floor, hysteresis, and resync logic. Both engines run with an observer
+// attached: telemetry is strictly read-only, so it must not perturb
+// the output on either path.
 func TestEngineParallelMatchesSequential(t *testing.T) {
 	rig, us, readings := recordScenario(21, 100)
-	seq := engineWithWorkers(t, rig, 1)
-	par := engineWithWorkers(t, rig, 4)
+	seqObs, parObs := &countingObserver{}, &countingObserver{}
+	seq := engineWithObserver(t, rig, 1, seqObs)
+	par := engineWithObserver(t, rig, 4, parObs)
 	defer par.Close()
 
 	for k := range us {
@@ -105,6 +126,20 @@ func TestEngineParallelMatchesSequential(t *testing.T) {
 	xP, pxP := par.State()
 	if !vecsEqual(xS, xP) || !pxS.Equal(pxP, 0) {
 		t.Fatalf("final consensus diverged: %v vs %v", xS, xP)
+	}
+
+	// Both observers saw the full mission: one EngineStep per iteration,
+	// one ModeStep per mode per iteration, and — parallel path only —
+	// one PoolWait per submitted mode job.
+	steps, modes := int64(len(us)), int64(3*len(us))
+	if seqObs.steps.Load() != steps || parObs.steps.Load() != steps {
+		t.Fatalf("EngineStep counts = %d/%d, want %d", seqObs.steps.Load(), parObs.steps.Load(), steps)
+	}
+	if seqObs.modeSteps.Load() != modes || parObs.modeSteps.Load() != modes {
+		t.Fatalf("ModeStep counts = %d/%d, want %d", seqObs.modeSteps.Load(), parObs.modeSteps.Load(), modes)
+	}
+	if seqObs.poolWaits.Load() != 0 || parObs.poolWaits.Load() != modes {
+		t.Fatalf("PoolWait counts = %d/%d, want 0/%d", seqObs.poolWaits.Load(), parObs.poolWaits.Load(), modes)
 	}
 }
 

@@ -26,6 +26,10 @@ type Config struct {
 	// ActuatorWindow and ActuatorCriteria are the c-of-w parameters for
 	// actuator alarms. Paper optimum: 3 of 6.
 	ActuatorWindow, ActuatorCriteria int
+	// Observer receives per-Decide instrumentation (test statistics,
+	// window fill levels, condition transitions). Nil disables the hook;
+	// observation is read-only and cannot change detection output.
+	Observer Observer
 }
 
 // DefaultConfig returns the parameters the paper selects in §V-F.
@@ -123,6 +127,15 @@ type Decider struct {
 	// the engine output does not carry one (Output.SPD); it is reset
 	// every Decide so entries never outlive their covariances.
 	spd *mat.CholCache
+
+	// obs is Config.Observer; nil when instrumentation is off. stats is
+	// the reused DecisionStats record handed to it, and prevCond the
+	// previous iteration's condition for transition detection (tracked
+	// only while an observer is attached).
+	obs      Observer
+	stats    DecisionStats
+	prevCond Condition
+	prevSet  bool
 }
 
 // NewDecider returns a decision maker with the given parameters.
@@ -135,6 +148,7 @@ func NewDecider(cfg Config) *Decider {
 		thresholds:     make(map[int]float64),
 		actThresholds:  make(map[int]float64),
 		spd:            mat.NewCholCache(),
+		obs:            cfg.Observer,
 	}
 }
 
@@ -215,7 +229,9 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 	// pushing false would let a brief standstill dilute the window and
 	// mask an ongoing attack. ActuatorAlarm keeps reflecting the last
 	// confirmed state until observability returns.
+	actuatorHeld := true
 	if da := out.Result.Da; da.Len() > 0 && out.Result.DaValid {
+		actuatorHeld = false
 		quad, err := spd.InvQuadForm(out.Result.Pa, da)
 		if err != nil {
 			quad = 0
@@ -259,6 +275,30 @@ func (d *Decider) Decide(out *core.Output) (*Decision, error) {
 		}
 	}
 	sort.Strings(dec.Condition.Sensors)
+
+	if d.obs != nil {
+		changed := !d.prevSet || !dec.Condition.Equal(d.prevCond)
+		d.prevCond, d.prevSet = dec.Condition, true
+		d.stats = DecisionStats{
+			Iteration:          dec.Iteration,
+			Mode:               dec.Mode,
+			Condition:          dec.Condition.String(),
+			ConditionChanged:   changed,
+			SensorStat:         dec.SensorStat,
+			SensorThreshold:    dec.SensorThreshold,
+			SensorRaw:          dec.SensorRaw,
+			SensorAlarm:        dec.SensorAlarm,
+			ActuatorStat:       dec.ActuatorStat,
+			ActuatorThreshold:  dec.ActuatorThreshold,
+			ActuatorRaw:        dec.ActuatorRaw,
+			ActuatorAlarm:      dec.ActuatorAlarm,
+			ActuatorHeld:       actuatorHeld,
+			SensorWindowFill:   d.sensorWindow.Fill(),
+			ActuatorWindowFill: d.actuatorWindow.Fill(),
+			PerSensor:          dec.PerSensorStats,
+		}
+		d.obs.Decision(&d.stats)
+	}
 	return dec, nil
 }
 

@@ -52,6 +52,15 @@ func (w *SlidingWindow) Push(outcome bool) bool {
 // Met reports whether the window condition currently holds.
 func (w *SlidingWindow) Met() bool { return w.positive >= w.criteria }
 
+// Fill returns the window fill level in [0,1]: how many of the Size
+// slots hold a pushed outcome. Telemetry gauges report it so operators
+// can see how far a window is from rendering confirmed decisions (e.g.
+// right after a Reset or at mission start).
+func (w *SlidingWindow) Fill() float64 { return float64(w.filled) / float64(w.size) }
+
+// Size returns the configured window size w.
+func (w *SlidingWindow) Size() int { return w.size }
+
 // Reset clears the window history.
 func (w *SlidingWindow) Reset() {
 	for i := range w.buf {

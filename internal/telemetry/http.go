@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarTarget is the registry the process-wide /debug/vars "roboads"
+// variable reads from. expvar.Publish is global and panics on duplicate
+// names, so the publication happens once per process and always follows
+// the most recently served Telemetry instance.
+var (
+	expvarOnce   sync.Once
+	expvarTarget atomic.Pointer[Registry]
+)
+
+func publishExpvar(reg *Registry) {
+	expvarTarget.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("roboads", expvar.Func(func() any {
+			if r := expvarTarget.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the telemetry HTTP surface:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/snapshot     JSON dump of current weights, window states, last decision
+//	/debug/vars   expvar (includes the registry under "roboads")
+//	/debug/pprof  the standard pprof index and profiles
+func (t *Telemetry) Handler() http.Handler {
+	publishExpvar(t.reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry HTTP server on addr (e.g. ":8080" or
+// "127.0.0.1:0") in a background goroutine and returns the server and
+// its bound address. The caller shuts it down with srv.Close or
+// srv.Shutdown.
+func (t *Telemetry) Serve(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: t.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

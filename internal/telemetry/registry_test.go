@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	// Get-or-create returns the same instance.
+	if reg.Counter("test_total", "help") != c {
+		t.Fatal("counter not deduplicated")
+	}
+	if got := reg.CounterValue("test_total"); got != 5 {
+		t.Fatalf("CounterValue = %d", got)
+	}
+	if got := reg.CounterValue("absent_total"); got != 0 {
+		t.Fatalf("absent CounterValue = %d", got)
+	}
+
+	g := reg.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+	if reg.Gauge("test_gauge", "help") != g {
+		t.Fatal("gauge not deduplicated")
+	}
+	if got := reg.GaugeValue("test_gauge"); got != 2.5 {
+		t.Fatalf("GaugeValue = %v", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "help", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); got != 0.5555 {
+		t.Fatalf("sum = %v", got)
+	}
+	snap := h.snapshot()
+	if snap.Count != 4 || snap.Max != 0.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.P50 <= 0 || snap.P99 < snap.P50 {
+		t.Fatalf("quantiles: %+v", snap)
+	}
+}
+
+func TestHistogramRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("wrap_seconds", "help", []float64{1})
+	for i := 0; i < 3*ringSize; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != int64(3*ringSize) {
+		t.Fatalf("count = %d", got)
+	}
+	// The ring only retains the most recent observations, so the P50 of
+	// the snapshot reflects the tail of the stream, not its start.
+	snap := h.snapshot()
+	if snap.P50 < float64(2*ringSize) {
+		t.Fatalf("ring P50 = %v, want tail of the stream", snap.P50)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("roboads_steps_total", "Steps.").Add(7)
+	reg.Counter(`roboads_dropped_total{sensor="ips"}`, "Drops.").Inc()
+	reg.Counter(`roboads_dropped_total{sensor="lidar"}`, "Drops.").Add(2)
+	reg.Gauge("roboads_weight", "Weight.").Set(0.75)
+	h := reg.Histogram("roboads_lat_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE roboads_steps_total counter",
+		"roboads_steps_total 7",
+		`roboads_dropped_total{sensor="ips"} 1`,
+		`roboads_dropped_total{sensor="lidar"} 2`,
+		"# TYPE roboads_weight gauge",
+		"roboads_weight 0.75",
+		"# TYPE roboads_lat_seconds histogram",
+		`roboads_lat_seconds_bucket{le="0.01"} 1`,
+		`roboads_lat_seconds_bucket{le="0.1"} 2`,
+		`roboads_lat_seconds_bucket{le="+Inf"} 3`,
+		"roboads_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Labeled series share one TYPE line per base name.
+	if n := strings.Count(out, "# TYPE roboads_dropped_total counter"); n != 1 {
+		t.Fatalf("got %d TYPE lines for labeled counter, want 1\n%s", n, out)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "h").Add(3)
+	reg.Gauge("b", "h").Set(1.5)
+	reg.Histogram("c_seconds", "h", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	counters := snap["counters"].(map[string]int64)
+	if counters["a_total"] != 3 {
+		t.Fatalf("a_total = %v", counters["a_total"])
+	}
+	gauges := snap["gauges"].(map[string]float64)
+	if gauges["b"] != 1.5 {
+		t.Fatalf("b = %v", gauges["b"])
+	}
+	hists := snap["histograms"].(map[string]HistogramSnapshot)
+	if hists["c_seconds"].Count != 1 {
+		t.Fatalf("c_seconds = %+v", hists["c_seconds"])
+	}
+}
+
+// The registry and all instrument types must be safe under concurrent
+// mixed use (run with -race).
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Counter("conc_total", "h").Inc()
+				reg.Gauge("conc_gauge", "h").Set(float64(i))
+				reg.Histogram("conc_seconds", "h", LatencyBuckets()).Observe(float64(i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.CounterValue("conc_total"); got != 8*500 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := reg.HistogramCount("conc_seconds"); got != 8*500 {
+		t.Fatalf("histogram count = %d", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,14 @@ import (
 type Frame struct {
 	// K is the control iteration index.
 	K int `json:"k"`
+	// TNanos is the frame's capture timestamp in nanoseconds on the
+	// recorder's clock (mission time for simulated recordings, wall
+	// time for live ones). Zero means the recorder supplied no
+	// timestamp — pre-timestamp traces decode with TNanos == 0, so the
+	// format version is unchanged. Replay uses consecutive timestamps
+	// to reproduce the recorded arrival cadence in the telemetry
+	// latency histograms.
+	TNanos int64 `json:"tNanos,omitempty"`
 	// U is the planned control command u_{k-1}.
 	U []float64 `json:"u"`
 	// Readings maps sensing workflow names to their readings z_k.
@@ -64,19 +72,35 @@ func NewRecorder(w io.Writer, header Header) *Recorder {
 	return &Recorder{w: bufio.NewWriter(w), header: header}
 }
 
-// Record appends one iteration.
-func (r *Recorder) Record(k int, u mat.Vec, readings map[string]mat.Vec) error {
-	if !r.wrote {
-		line, err := json.Marshal(r.header)
-		if err != nil {
-			return fmt.Errorf("trace: encode header: %w", err)
-		}
-		if _, err := r.w.Write(append(line, '\n')); err != nil {
-			return err
-		}
-		r.wrote = true
+// writeHeader emits the header line once.
+func (r *Recorder) writeHeader() error {
+	if r.wrote {
+		return nil
 	}
-	frame := Frame{K: k, U: u, Readings: make(map[string][]float64, len(readings))}
+	line, err := json.Marshal(r.header)
+	if err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	r.wrote = true
+	return nil
+}
+
+// Record appends one iteration with no timestamp.
+func (r *Recorder) Record(k int, u mat.Vec, readings map[string]mat.Vec) error {
+	return r.RecordAt(k, 0, u, readings)
+}
+
+// RecordAt appends one iteration stamped with the capture time tNanos
+// (nanoseconds on the recorder's clock; see Frame.TNanos). Pass 0 to
+// record without a timestamp.
+func (r *Recorder) RecordAt(k int, tNanos int64, u mat.Vec, readings map[string]mat.Vec) error {
+	if err := r.writeHeader(); err != nil {
+		return err
+	}
+	frame := Frame{K: k, TNanos: tNanos, U: u, Readings: make(map[string][]float64, len(readings))}
 	for name, z := range readings {
 		frame.Readings[name] = z
 	}
@@ -90,8 +114,20 @@ func (r *Recorder) Record(k int, u mat.Vec, readings map[string]mat.Vec) error {
 	return nil
 }
 
-// Flush flushes buffered frames to the underlying writer.
-func (r *Recorder) Flush() error { return r.w.Flush() }
+// Flush writes the header if no frame has been recorded yet and flushes
+// buffered output to the underlying writer. Emitting the header here
+// makes an empty mission a valid zero-frame trace rather than an empty
+// file that fails replay with ErrBadHeader.
+func (r *Recorder) Flush() error {
+	if err := r.writeHeader(); err != nil {
+		return err
+	}
+	return r.w.Flush()
+}
+
+// Close finalizes the stream. It is Flush under a name that reads
+// naturally in defer position; the underlying writer is not closed.
+func (r *Recorder) Close() error { return r.Flush() }
 
 // Reader consumes a trace stream.
 type Reader struct {
@@ -141,7 +177,17 @@ func (r *Reader) Next() (*Frame, error) {
 
 // Replay feeds every frame of a trace through a detector and returns the
 // per-iteration reports — offline detection over a recorded mission.
+// When an error occurs mid-stream the reports accumulated so far are
+// returned alongside it.
 func Replay(src io.Reader, detector *detect.Detector) ([]*detect.Report, error) {
+	return ReplayObserve(src, detector, nil)
+}
+
+// ReplayObserve is Replay with a per-frame hook: observe (if non-nil) is
+// called with each decoded frame before it is stepped through the
+// detector, letting callers derive inter-frame timing (Frame.TNanos
+// gaps) or progress without re-reading the stream.
+func ReplayObserve(src io.Reader, detector *detect.Detector, observe func(*Frame)) ([]*detect.Report, error) {
 	reader, err := NewReader(src)
 	if err != nil {
 		return nil, err
@@ -154,6 +200,9 @@ func Replay(src io.Reader, detector *detect.Detector) ([]*detect.Report, error) 
 		}
 		if err != nil {
 			return reports, err
+		}
+		if observe != nil {
+			observe(frame)
 		}
 		readings := make(map[string]mat.Vec, len(frame.Readings))
 		for name, z := range frame.Readings {

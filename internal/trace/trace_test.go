@@ -166,3 +166,191 @@ func buildDetector(t *testing.T, setup *sim.KheperaSetup) *detect.Detector {
 	}
 	return detect.NewDetector(eng, detect.DefaultConfig())
 }
+
+// An empty mission — Flush (or Close) without a single Record — must
+// still produce a valid zero-frame trace, not an empty file that fails
+// replay with ErrBadHeader.
+func TestEmptyMissionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sampleHeader())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("zero-frame trace failed to open: %v", err)
+	}
+	if h := reader.Header(); h.Robot != "khepera" || h.Version != FormatVersion {
+		t.Fatalf("header = %+v", h)
+	}
+	if _, err := reader.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+
+	// And through the full Replay path: zero reports, nil error.
+	var buf2 bytes.Buffer
+	rec2 := NewRecorder(&buf2, sampleHeader())
+	if err := rec2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	setup := cleanSetup(t, 1)
+	reports, err := Replay(&buf2, buildDetector(t, setup))
+	if err != nil {
+		t.Fatalf("replay of empty mission: %v", err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("got %d reports from empty mission", len(reports))
+	}
+}
+
+func TestRecordAtRoundTripsTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sampleHeader())
+	readings := map[string]mat.Vec{
+		"ips":   mat.VecOf(1, 2, 3),
+		"lidar": mat.VecOf(1, 2, 3, 0.5),
+	}
+	for k := 0; k < 3; k++ {
+		if err := rec.RecordAt(k, int64(k)*100_000_000, mat.VecOf(0.1, 0.2), readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		frame, err := reader.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame.TNanos != int64(k)*100_000_000 {
+			t.Fatalf("frame %d TNanos = %d", k, frame.TNanos)
+		}
+	}
+}
+
+// A frame that fails detector.Step mid-stream must surface the reports
+// accumulated before the failure alongside the error.
+func TestReplayMidStreamStepFailure(t *testing.T) {
+	setup := cleanSetup(t, 7)
+	var buf bytes.Buffer
+	// Header promises no sensors, so the reader's frame check passes
+	// even for the final empty frame; the detector still fails it
+	// because every mode loses its reference readings.
+	rec := NewRecorder(&buf, Header{Robot: "khepera", Dt: sim.KheperaDt})
+	const good = 5
+	for i := 0; i < good; i++ {
+		step, err := setup.Sim.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Record(step.K, step.UPlanned, step.Readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Record(good, mat.VecOf(0.1, 0.2), map[string]mat.Vec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := Replay(&buf, buildDetector(t, setup))
+	if err == nil {
+		t.Fatal("want mid-stream error, got nil")
+	}
+	if !errors.Is(err, core.ErrAllModesFailed) {
+		t.Fatalf("err = %v, want ErrAllModesFailed", err)
+	}
+	if len(reports) != good {
+		t.Fatalf("got %d accumulated reports, want %d", len(reports), good)
+	}
+}
+
+// A trace whose final JSON line is truncated (e.g. the recording process
+// died mid-write) must surface a decode error, not a silent clean EOF.
+func TestReplayTruncatedFinalLine(t *testing.T) {
+	setup := cleanSetup(t, 7)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Robot: "khepera", Dt: sim.KheperaDt})
+	for i := 0; i < 3; i++ {
+		step, err := setup.Sim.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Record(step.K, step.UPlanned, step.Readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"k":3,"u":[0.1,0.2],"readings":{"ips":[1.0,`)
+
+	reports, err := Replay(&buf, buildDetector(t, setup))
+	if err == nil {
+		t.Fatal("want decode error for truncated final line, got nil")
+	}
+	if !strings.Contains(err.Error(), "decode frame") {
+		t.Fatalf("err = %v, want frame decode error", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d accumulated reports, want 3", len(reports))
+	}
+}
+
+// ReplayObserve hands every decoded frame to the hook before stepping it.
+func TestReplayObserveSeesFrames(t *testing.T) {
+	setup := cleanSetup(t, 7)
+	names := make([]string, len(setup.Suite))
+	for i, s := range setup.Suite {
+		names[i] = s.Name()
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Robot: "khepera", Dt: sim.KheperaDt, Sensors: names})
+	const n = 4
+	for i := 0; i < n; i++ {
+		step, err := setup.Sim.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.RecordAt(step.K, int64(step.K)*int64(sim.KheperaDt*1e9), step.UPlanned, step.Readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ks []int
+	var stamps []int64
+	reports, err := ReplayObserve(&buf, buildDetector(t, setup), func(f *Frame) {
+		ks = append(ks, f.K)
+		stamps = append(stamps, f.TNanos)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n || len(ks) != n {
+		t.Fatalf("reports = %d, observed = %d, want %d", len(reports), len(ks), n)
+	}
+	for i := 1; i < n; i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("timestamps not increasing: %v", stamps)
+		}
+	}
+}
+
+func cleanSetup(t *testing.T, seed int64) *sim.KheperaSetup {
+	t.Helper()
+	clean := attack.CleanScenario()
+	setup, err := sim.NewKhepera(sim.LabMission(), &clean, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setup
+}

@@ -50,6 +50,7 @@ import (
 	"roboads/internal/sensors"
 	"roboads/internal/sim"
 	"roboads/internal/stat"
+	"roboads/internal/telemetry"
 	"roboads/internal/trace"
 	"roboads/internal/world"
 )
@@ -220,6 +221,47 @@ var (
 	NewTraceReader = trace.NewReader
 	// ReplayTrace feeds a recorded mission through a detector offline.
 	ReplayTrace = trace.Replay
+)
+
+// Telemetry types (DESIGN.md §9). A *Telemetry implements both observer
+// hooks: set it as EngineConfig.Observer and DetectorConfig.Observer,
+// then expose it over HTTP with Serve or Handler. A nil observer
+// disables instrumentation entirely.
+type (
+	// Telemetry aggregates metrics, sampled logs, and the HTTP surface.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configures logging and histogram buckets.
+	TelemetryOptions = telemetry.Options
+	// TelemetrySnapshot is the /snapshot document: iteration, selected
+	// mode, last decision, and a full metrics dump.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// NewTelemetry builds a telemetry hub; the zero Options gives metrics
+// and the HTTP surface with logging disabled.
+var NewTelemetry = telemetry.New
+
+// Metric names served by a Telemetry (DESIGN.md §9 is the inventory).
+const (
+	MetricStepSeconds      = telemetry.MetricStepSeconds
+	MetricModeSeconds      = telemetry.MetricModeSeconds
+	MetricPoolWaitSeconds  = telemetry.MetricPoolWaitSeconds
+	MetricFrameGapSeconds  = telemetry.MetricFrameGapSeconds
+	MetricStepsTotal       = telemetry.MetricStepsTotal
+	MetricModeSwitches     = telemetry.MetricModeSwitches
+	MetricFloorHits        = telemetry.MetricFloorHits
+	MetricModeFailures     = telemetry.MetricModeFailures
+	MetricJacobiFallbacks  = telemetry.MetricJacobiFallbacks
+	MetricDroppedReadings  = telemetry.MetricDroppedReadings
+	MetricDecisionsTotal   = telemetry.MetricDecisionsTotal
+	MetricConditionChanges = telemetry.MetricConditionChanges
+	MetricAlarmEdges       = telemetry.MetricAlarmEdges
+	MetricTopWeight        = telemetry.MetricTopWeight
+	MetricSecondWeight     = telemetry.MetricSecondWeight
+	MetricSensorStat       = telemetry.MetricSensorStat
+	MetricActuatorStat     = telemetry.MetricActuatorStat
+	MetricSensorWindow     = telemetry.MetricSensorWindow
+	MetricActuatorWindow   = telemetry.MetricActuatorWindow
 )
 
 // ErrMissionOver is returned by System.Step once the mission goal has

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff benchoverhead ci
+.PHONY: build vet staticcheck test race fleetsoak bench benchdiff benchoverhead ci
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,22 @@ staticcheck:
 test:
 	$(GO) test ./...
 
-# The parallel mode bank, the decision windows, and the lock-free
-# telemetry registry are the concurrency-sensitive surfaces; run them
-# under the race detector.
+# The parallel mode bank, the decision windows, the lock-free telemetry
+# registry, and the fleet session manager are the concurrency-sensitive
+# surfaces; run them under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/detect/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/detect/... ./internal/telemetry/... ./internal/fleet/...
+
+# Fleet soak: the multi-session service suite under the race detector —
+# N concurrent sessions bit-for-bit equal to N sequential detectors,
+# backpressure/eviction/drain, the 32-session live-server acceptance
+# run, and the remote trace replay round trip.
+fleetsoak:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) test -race -count=1 -run 'TestServeFleet|TestReplayRemote' ./cmd/roboads/
 
 bench:
-	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|NUISEStep' -benchtime=1500x .
+	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|FleetStep|NUISEStep' -benchtime=1500x .
 
 # Regression guard: re-runs the benchmark command recorded in
 # BENCH_engine.json and fails if any tracked benchmark is >15% slower
@@ -34,11 +42,14 @@ bench:
 benchdiff:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json
 
-# Telemetry overhead gate: the nil-Observer engine path (and the
+# Overhead gate: the nil-Observer, nil-fleet engine path (and the
 # enabled-path pin BenchmarkEngineStepTelemetry) must stay within 5% of
 # the recorded baseline — the telemetry layer is contractually free when
-# disabled. The 5% threshold is tighter than single-run noise on shared
-# hardware, so the gate compares the fastest of three long runs (-best).
+# disabled, and the fleet session service is a layer above the engine
+# (BenchmarkFleetStep pins its per-frame cost separately), so hosting a
+# fleet must not tax an in-process detector at all. The 5% threshold is
+# tighter than single-run noise on shared hardware, so the gate compares
+# the fastest of three long runs (-best).
 benchoverhead:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json -threshold 0.05 -best \
 		-only '^BenchmarkEngineStep(Telemetry)?$$' \

@@ -10,6 +10,7 @@ package roboads_test
 // doubles as a results table.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"roboads/internal/detect"
 	"roboads/internal/dynamics"
 	"roboads/internal/eval"
+	"roboads/internal/fleet"
 	"roboads/internal/mat"
 	"roboads/internal/sensors"
 	"roboads/internal/sim"
@@ -260,6 +262,44 @@ func BenchmarkEngineFleet(b *testing.B) {
 				wg.Wait()
 			}
 		})
+	}
+}
+
+// BenchmarkFleetStep measures the per-frame overhead of the fleet
+// session service around a hosted detector: one session stepped
+// synchronously through the manager, paying the queue hop, the worker
+// scheduling quantum, and the reply future on top of the detector step
+// itself (compare BenchmarkDetectorStep for the direct call). The
+// engine's own nil-fleet hot path is unaffected by the service layer
+// and stays under the 5% `make benchoverhead` gate.
+func BenchmarkFleetStep(b *testing.B) {
+	mgr, err := fleet.NewManager(fleet.Config{Build: fleet.DefaultBuilder()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Shutdown(context.Background())
+	info, err := mgr.Create(fleet.Spec{Robot: "khepera"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := eval.RobotProfile("khepera")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stat.NewRNG(7)
+	x := p.X0.Clone()
+	u := mat.VecOf(0.11, 0.13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = p.Model.F(x, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+		readings := map[string]mat.Vec{}
+		for _, s := range p.Suite {
+			readings[s.Name()] = s.H(x)
+		}
+		if _, err := mgr.Step(context.Background(), info.ID, u, readings); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

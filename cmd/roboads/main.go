@@ -22,9 +22,12 @@
 //	calibrate [-trials N] [-seed S]  auto-select decision parameters (§V-F as a tool)
 //	report   [-o FILE] [-trials N]   regenerate the full markdown reproduction report
 //	record   -scenario N [-o FILE]   record a mission's monitor inputs as a trace
-//	replay   [-i FILE]               replay a trace through a fresh detector
-//	serve    [-addr A] [-scenario N] run missions in a loop with live telemetry
-//	                                 (/metrics, /snapshot, /debug/pprof)
+//	replay   [-i FILE] [-remote A]   replay a trace through a fresh detector,
+//	                                 or stream it to a live serve fleet endpoint
+//	serve    [-addr A] [-scenario N] host the fleet session API (/v1/sessions)
+//	                                 with live telemetry (/metrics, /snapshot,
+//	                                 /debug/pprof); -scenario -1 skips the
+//	                                 local mission loop
 //	all      [-trials N] [-seed S]   run everything above (except fig6 TSV)
 //
 // run and replay also accept -telemetry ADDR to expose the same HTTP
@@ -70,11 +73,13 @@ func run(args []string) error {
 	plot := fs.String("plot", "a", "fig7 plot: a|b|c|d")
 	output := fs.String("o", "", "output file (record; default stdout)")
 	input := fs.String("i", "", "input trace file (replay; default stdin)")
+	remote := fs.String("remote", "", "replay against a live `roboads serve` fleet endpoint (e.g. 127.0.0.1:8080) instead of an in-process detector")
 	workers := fs.Int("workers", 0, "mode-bank worker goroutines (run/replay/serve): 0 = GOMAXPROCS, <=1 sequential; output is identical either way")
 	telemetryAddr := fs.String("telemetry", "", "serve /metrics, /snapshot and /debug/pprof on this address during run/replay (e.g. 127.0.0.1:8080)")
-	addr := fs.String("addr", "127.0.0.1:8080", "telemetry listen address (serve)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (serve)")
 	missions := fs.Int("missions", 0, "missions to run back to back (serve); 0 = loop until interrupted")
 	interval := fs.Duration("interval", 0, "sleep per control iteration (serve); 0 = full speed")
+	fleetIdle := fs.Duration("fleet-idle", 0, "evict fleet sessions idle this long (serve); 0 = 5m, negative = never")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -92,6 +97,7 @@ func run(args []string) error {
 			workers:    *workers,
 			missions:   *missions,
 			interval:   *interval,
+			fleetIdle:  *fleetIdle,
 		})
 	case "table2":
 		result, err := eval.Table2(*trials, *seed)
@@ -174,6 +180,9 @@ func run(args []string) error {
 	case "record":
 		return recordTrace(*scenarioID, *seed, *output)
 	case "replay":
+		if *remote != "" {
+			return replayRemote(*input, *remote)
+		}
 		return replayTrace(*input, *workers, *telemetryAddr)
 	case "related":
 		result, err := eval.RelatedWork(*trials, *seed)

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"roboads/internal/detect"
+	"roboads/internal/fleet"
+	"roboads/internal/trace"
+)
+
+// wireCondition parses a canonical condition string ("S0/A0",
+// "S{ips,lidar}/A1") back into a detect.Condition, so the remote
+// timeline renders in the same Table III code notation as local replay
+// and the two outputs diff clean.
+func wireCondition(s string) detect.Condition {
+	var c detect.Condition
+	sensors, actuator, ok := strings.Cut(s, "/")
+	if !ok {
+		return c
+	}
+	if rest, found := strings.CutPrefix(sensors, "S{"); found {
+		c.Sensors = strings.Split(strings.TrimSuffix(rest, "}"), ",")
+	}
+	c.Actuator = actuator == "A1"
+	return c
+}
+
+// replayRemote streams a recorded trace to a live `roboads serve` fleet
+// endpoint: it creates a session for the trace's robot, posts every
+// frame over the NDJSON ingest, prints the condition timeline from the
+// streamed reply lines, and closes the session. The hosted session is
+// built from the same robot profile as the local replay detector, so the
+// remote timeline is bit-for-bit the local one.
+func replayRemote(input, remote string) error {
+	in := os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	reader, err := trace.NewReader(in)
+	if err != nil {
+		return err
+	}
+	header := reader.Header()
+	base := strings.TrimSuffix(remote, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	info, err := createRemoteSession(base, header.Robot)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+info.ID, nil)
+		if err != nil {
+			return
+		}
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Frames ship as one NDJSON body — the trace minus its header line;
+	// the server steps them in order and streams a reply line each.
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	frames := 0
+	for {
+		frame, err := reader.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(frame); err != nil {
+			return err
+		}
+		frames++
+	}
+	resp, err := http.Post(base+"/v1/sessions/"+info.ID+"/frames", "application/x-ndjson", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote frames: status %d", resp.StatusCode)
+	}
+
+	replayed, prev := 0, ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var line fleet.ReplyLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("remote reply: %w", err)
+		}
+		if line.Error != "" || line.Report == nil {
+			return fmt.Errorf("remote frame %d: %s", line.K, line.Error)
+		}
+		replayed++
+		if line.Report.Condition != prev {
+			cond := detect.CodeString(wireCondition(line.Report.Condition))
+			fmt.Printf("k=%-4d %-8s mode=%s\n", line.Report.K, cond, line.Report.Mode)
+			prev = line.Report.Condition
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if replayed != frames {
+		return fmt.Errorf("remote replay: sent %d frames, got %d reports", frames, replayed)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d iterations remotely (session %s on %s)\n", replayed, info.ID, base)
+	return nil
+}
+
+func createRemoteSession(base, robot string) (fleet.SessionInfo, error) {
+	body, err := json.Marshal(fleet.CreateRequest{Robot: robot})
+	if err != nil {
+		return fleet.SessionInfo{}, err
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fleet.SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fleet.SessionInfo{}, fmt.Errorf("create remote session: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var info fleet.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fleet.SessionInfo{}, err
+	}
+	return info, nil
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"roboads/internal/core"
 	"roboads/internal/detect"
 	"roboads/internal/eval"
+	"roboads/internal/fleet"
 	"roboads/internal/sim"
 	"roboads/internal/telemetry"
 )
@@ -18,7 +20,7 @@ import (
 // serveOptions configures the live telemetry server.
 type serveOptions struct {
 	addr       string
-	scenarioID int
+	scenarioID int // negative: no local mission loop (fleet-only server)
 	seed       int64
 	workers    int
 	// missions bounds the number of missions run back to back; 0 loops
@@ -27,6 +29,13 @@ type serveOptions struct {
 	// interval paces the control loop (sleep per iteration); 0 runs at
 	// full speed.
 	interval time.Duration
+	// fleetIdle evicts fleet sessions idle this long; 0 defaults to
+	// 5 minutes, negative disables eviction.
+	fleetIdle time.Duration
+	// fleetQueue bounds each session's frame queue (0: fleet default).
+	fleetQueue int
+	// drain bounds the fleet drain on shutdown (0: 10 seconds).
+	drain time.Duration
 	// onReady, when set, receives the bound listen address once the
 	// HTTP surface is up (tests bind to 127.0.0.1:0).
 	onReady func(net.Addr)
@@ -34,16 +43,14 @@ type serveOptions struct {
 	quiet bool
 }
 
-// serveScenario runs Table II missions in a loop with full telemetry
-// attached and the HTTP surface (/metrics, /snapshot, /debug/pprof,
-// /debug/vars) live on opts.addr. It returns when the context is
-// cancelled or, with missions > 0, after that many missions.
+// serveScenario runs the monitor as a service: the fleet session API
+// (/v1/sessions) and the telemetry surface (/metrics, /snapshot,
+// /debug/pprof, /debug/vars) live on opts.addr, and — unless scenarioID
+// is negative — Table II missions loop locally to keep the engine-level
+// series moving. It returns when the context is cancelled or, with
+// missions > 0, after that many missions; on the way out the fleet
+// drains, so every accepted frame is answered before the process exits.
 func serveScenario(ctx context.Context, opts serveOptions) error {
-	scenario, err := scenarioByID(opts.scenarioID)
-	if err != nil {
-		return err
-	}
-
 	topts := telemetry.Options{
 		// The compact per-step Debug record would be noise at mission
 		// rate; sample it 1-in-50 and leave Info (mode switches, alarm
@@ -55,16 +62,55 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 	}
 	tel := telemetry.New(topts)
 
-	srv, addr, err := tel.Serve(opts.addr)
+	idle := opts.fleetIdle
+	if idle == 0 {
+		idle = 5 * time.Minute
+	} else if idle < 0 {
+		idle = 0
+	}
+	mgr, err := fleet.NewManager(fleet.Config{
+		QueueDepth:  opts.fleetQueue,
+		IdleTimeout: idle,
+		Build:       fleet.DefaultBuilder(),
+		Metrics:     tel.Registry(),
+	})
 	if err != nil {
 		return err
 	}
+
+	srv, addr, err := tel.ServeWith(opts.addr, map[string]http.Handler{"/v1/": mgr.Handler()})
+	if err != nil {
+		mgr.Shutdown(context.Background())
+		return err
+	}
 	defer srv.Close()
+	// Drain before the listener dies: the fleet stops accepting frames,
+	// answers everything already accepted, then in-flight HTTP streams
+	// finish under srv.Shutdown. Runs before the deferred srv.Close.
+	defer func() {
+		drain := opts.drain
+		if drain <= 0 {
+			drain = 10 * time.Second
+		}
+		dctx, dcancel := context.WithTimeout(context.Background(), drain)
+		defer dcancel()
+		mgr.Shutdown(dctx)
+		srv.Shutdown(dctx)
+	}()
 	if !opts.quiet {
-		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", addr)
+		fmt.Fprintf(os.Stderr, "serving on http://%s (/v1/sessions /metrics /snapshot /debug/pprof /debug/vars)\n", addr)
 	}
 	if opts.onReady != nil {
 		opts.onReady(addr)
+	}
+
+	if opts.scenarioID < 0 {
+		<-ctx.Done()
+		return nil
+	}
+	scenario, err := scenarioByID(opts.scenarioID)
+	if err != nil {
+		return err
 	}
 
 	ecfg := core.DefaultEngineConfig()

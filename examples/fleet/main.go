@@ -1,31 +1,33 @@
-// Fleet monitoring: run a warehouse fleet of robots concurrently, one
-// RoboADS detector per robot, and aggregate confirmed misbehaviors into
-// a single operations report — the deployment shape the paper's
-// warehouse-robot motivation implies.
+// Fleet monitoring over the session service: host one RoboADS detector
+// per robot behind the streaming ingest API (the `roboads serve`
+// surface), stream each robot's frames over HTTP, and aggregate the
+// confirmed misbehaviors into a single operations report — the
+// deployment shape the paper's warehouse-robot motivation implies.
 //
-// Each robot runs in its own goroutine with an independent random seed
-// and scenario; the monitor collects alarm events over a channel and
-// shuts down cleanly once every mission completes.
+// The example starts the fleet service in-process, then plays four
+// robots against it: each goroutine simulates its robot locally (with
+// its own detector, as a reference) and forwards every frame to its
+// hosted session with POST /v1/sessions/{id}/step, handling 429
+// backpressure with the Retry-After hint. The hosted sessions are built
+// from the same robot profile, so the remote verdicts match the local
+// ones exactly.
 //
 //	go run ./examples/fleet
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
-	"sort"
-	"sync"
+	"net/http"
+	"time"
 
 	"roboads"
 )
-
-// alarmEvent is one confirmed misbehavior on one robot.
-type alarmEvent struct {
-	robot     int
-	timeSec   float64
-	condition string
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -34,116 +36,204 @@ func main() {
 }
 
 func run() error {
-	// A six-robot fleet: most run clean missions, two are under attack.
+	// The service: a telemetry hub plus a fleet manager wired into its
+	// metric registry, mounted together on one listener — exactly what
+	// `roboads serve` runs.
+	tel := roboads.NewTelemetry(roboads.TelemetryOptions{})
+	mgr, err := roboads.NewFleet(roboads.FleetConfig{
+		Build:   roboads.DefaultFleetBuilder(),
+		Metrics: tel.Registry(),
+	})
+	if err != nil {
+		return err
+	}
+	srv, addr, err := tel.ServeWith("127.0.0.1:0", map[string]http.Handler{"/v1/": mgr.Handler()})
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr.String()
+	fmt.Printf("fleet service on %s\n", base)
+
+	// Four robots: two clean, one under IPS spoofing, one under wheel
+	// jamming. Each is monitored remotely through its hosted session.
 	scenarios := []roboads.Scenario{
 		roboads.CleanScenario(),
 		roboads.KheperaScenarios()[3], // robot 1: IPS spoofing
 		roboads.CleanScenario(),
 		roboads.KheperaScenarios()[1], // robot 3: wheel jamming
-		roboads.CleanScenario(),
-		roboads.CleanScenario(),
 	}
-
-	events := make(chan alarmEvent)
-	var wg sync.WaitGroup
-	errs := make([]error, len(scenarios))
-
+	type verdict struct {
+		condition string // first confirmed non-clean condition
+		atSec     float64
+		frames    int
+		err       error
+	}
+	verdicts := make([]verdict, len(scenarios))
+	done := make(chan int)
 	for i, scenario := range scenarios {
-		wg.Add(1)
 		go func(robot int, scenario roboads.Scenario) {
-			defer wg.Done()
-			errs[robot] = monitorRobot(robot, scenario, events)
+			defer func() { done <- robot }()
+			v := &verdicts[robot]
+			v.condition, v.atSec, v.frames, v.err = monitorRobot(base, robot, scenario)
 		}(i, scenario)
 	}
-
-	// Close the event stream once every robot has finished.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		wg.Wait()
-		close(events)
-	}()
-
-	// Aggregate: collect every alarm, then report only robots with a
-	// *sustained* alarm record — isolated one-iteration blips are the
-	// detector's (small) false positive rate, not an incident.
-	const sustainedAlarms = 10
-	counts := make(map[int]int)
-	firstAlarm := make(map[int]alarmEvent)
-	total := 0
-	for ev := range events {
-		total++
-		counts[ev.robot]++
-		if _, seen := firstAlarm[ev.robot]; !seen {
-			firstAlarm[ev.robot] = ev
-		}
+	for range scenarios {
+		<-done
 	}
-	for robot, n := range counts {
-		if n < sustainedAlarms {
-			delete(firstAlarm, robot)
-		}
-	}
-	<-done
-	for _, err := range errs {
-		if err != nil {
-			return err
+
+	fmt.Printf("fleet report: %d robots\n", len(scenarios))
+	for robot, v := range verdicts {
+		switch {
+		case v.err != nil:
+			return fmt.Errorf("robot %d: %w", robot, v.err)
+		case v.condition == "":
+			fmt.Printf("  robot %d: clean (%d frames streamed)\n", robot, v.frames)
+		default:
+			fmt.Printf("  robot %d: confirmed %s at t=%.1fs (%d frames streamed)\n",
+				robot, v.condition, v.atSec, v.frames)
 		}
 	}
 
-	fmt.Printf("fleet report: %d robots, %d alarm iterations\n", len(scenarios), total)
-	robots := make([]int, 0, len(firstAlarm))
-	for r := range firstAlarm {
-		robots = append(robots, r)
-	}
-	sort.Ints(robots)
-	for _, r := range robots {
-		ev := firstAlarm[r]
-		fmt.Printf("  robot %d: first confirmed %s at t=%.1fs\n", r, ev.condition, ev.timeSec)
-	}
-	for i := range scenarios {
-		if _, alarmed := firstAlarm[i]; !alarmed {
-			fmt.Printf("  robot %d: clean\n", i)
-		}
-	}
-	if len(firstAlarm) != 2 {
-		return fmt.Errorf("expected alarms on exactly robots 1 and 3, got %v", robots)
-	}
-	return nil
-}
-
-// monitorRobot drives one robot's warehouse mission to completion,
-// emitting an event for every confirmed misbehavior iteration.
-func monitorRobot(robot int, scenario roboads.Scenario, events chan<- alarmEvent) error {
-	// Each robot crosses the shelf rows to its own goal bay.
-	mission := roboads.Mission{
-		Map:          roboads.WarehouseArena(),
-		Start:        roboads.Point{X: 0.6, Y: 0.6 + 0.3*float64(robot%3)},
-		StartHeading: 0.4,
-		Goal:         roboads.Point{X: 7.2, Y: 5.2},
-	}
-	system, err := roboads.NewKheperaSystemWithMission(mission, scenario, int64(100+robot))
+	// The service's own view: the fleet gauges on /metrics.
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return err
 	}
-	for steps := 0; steps < 2500; steps++ {
-		rec, report, err := system.Step()
-		if errors.Is(err, roboads.ErrMissionOver) {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		confirmedSensor := report.Decision.SensorAlarm && !report.Decision.Condition.Clean()
-		if confirmedSensor || report.Decision.ActuatorAlarm {
-			events <- alarmEvent{
-				robot:     robot,
-				timeSec:   float64(rec.K) * system.Dt(),
-				condition: report.Decision.Condition.String(),
-			}
-		}
-		if rec.Done {
-			return nil
+	exposition, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{roboads.MetricFleetFrames, roboads.MetricFleetSessionsOpened} {
+		if !bytes.Contains(exposition, []byte(name)) {
+			return fmt.Errorf("/metrics missing %s", name)
 		}
 	}
-	return nil
+	fmt.Printf("service metrics: %s and %s exported on /metrics\n",
+		roboads.MetricFleetFrames, roboads.MetricFleetSessionsOpened)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		return err
+	}
+	return srv.Shutdown(ctx)
+}
+
+// monitorRobot simulates one robot's mission locally and mirrors every
+// frame into a hosted session, returning the first confirmed misbehavior
+// the *remote* detector reports. The local detector runs too, purely to
+// cross-check that the hosted verdicts are identical.
+func monitorRobot(base string, robot int, scenario roboads.Scenario) (condition string, atSec float64, frames int, err error) {
+	system, err := roboads.NewKheperaSystem(scenario, int64(100+robot))
+	if err != nil {
+		return "", 0, 0, err
+	}
+
+	info, err := createSession(base, "khepera")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+info.ID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Isolated one-iteration alarms are the detector's (small) false
+	// positive rate, not an incident; report only sustained records.
+	const sustainedAlarms = 10
+	streak := 0
+	for frames < 700 {
+		rec, localReport, err := system.Step()
+		if errors.Is(err, roboads.ErrMissionOver) {
+			break
+		}
+		if err != nil {
+			return "", 0, frames, err
+		}
+		line, err := stepRemote(base, info.ID, roboads.TraceFrame{
+			K:        rec.K,
+			U:        rec.UPlanned,
+			Readings: frameReadings(rec.Readings),
+		})
+		if err != nil {
+			return "", 0, frames, err
+		}
+		frames++
+		if got, want := line.Report.Condition, localReport.Decision.Condition.String(); got != want {
+			return "", 0, frames, fmt.Errorf("k=%d: remote verdict %q != local %q", rec.K, got, want)
+		}
+		alarmed := (line.Report.SensorAlarm || line.Report.ActuatorAlarm) && line.Report.Condition != "S0/A0"
+		if alarmed {
+			streak++
+			if condition == "" && streak >= sustainedAlarms {
+				condition = line.Report.Condition
+				atSec = float64(rec.K) * system.Dt()
+			}
+		} else {
+			streak = 0
+		}
+		if rec.Done {
+			break
+		}
+	}
+	return condition, atSec, frames, nil
+}
+
+// stepRemote posts one frame to the single-frame endpoint, honoring the
+// 429 backpressure contract: wait the hinted interval and resubmit.
+func stepRemote(base, id string, frame roboads.TraceFrame) (roboads.ReplyLine, error) {
+	body, err := json.Marshal(frame)
+	if err != nil {
+		return roboads.ReplyLine{}, err
+	}
+	for {
+		resp, err := http.Post(base+"/v1/sessions/"+id+"/step", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return roboads.ReplyLine{}, err
+		}
+		var line roboads.ReplyLine
+		decErr := json.NewDecoder(resp.Body).Decode(&line)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := time.Duration(line.RetryAfterMs) * time.Millisecond
+			if delay <= 0 {
+				delay = 25 * time.Millisecond
+			}
+			time.Sleep(delay)
+			continue
+		}
+		if decErr != nil {
+			return roboads.ReplyLine{}, fmt.Errorf("step k=%d: status %d: %v", frame.K, resp.StatusCode, decErr)
+		}
+		if line.Error != "" || line.Report == nil {
+			return roboads.ReplyLine{}, fmt.Errorf("step k=%d: %s", frame.K, line.Error)
+		}
+		return line, nil
+	}
+}
+
+func createSession(base, robot string) (roboads.SessionInfo, error) {
+	body, _ := json.Marshal(roboads.SessionRequest{Robot: robot})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return roboads.SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return roboads.SessionInfo{}, fmt.Errorf("create session: status %d: %s", resp.StatusCode, msg)
+	}
+	var info roboads.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return roboads.SessionInfo{}, err
+	}
+	return info, nil
+}
+
+func frameReadings(readings map[string]roboads.Vec) map[string][]float64 {
+	out := make(map[string][]float64, len(readings))
+	for name, z := range readings {
+		out[name] = z
+	}
+	return out
 }

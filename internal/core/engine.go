@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -263,6 +264,28 @@ var ErrAllModesFailed = errors.New("core: all modes failed")
 // and runs reference-only (no d̂s) when only its testing block is — it
 // never sinks the whole bank.
 func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
+	return e.StepContext(context.Background(), u, readings)
+}
+
+// StepContext is Step with cancellation: when ctx is cancelled the
+// iteration is abandoned and ctx.Err() returned. Cancellation is
+// all-or-nothing — per-mode results are gathered before any engine state
+// is committed, so an aborted StepContext leaves the weights, the mode
+// beliefs, and the iteration counter exactly as they were and the next
+// (Step or StepContext) call continues the mission bit-for-bit as if the
+// cancelled call never happened. A ctx without a Done channel
+// (context.Background, context.TODO) takes the identical code path as
+// Step, so the two entry points are pinned to the same outputs by the
+// determinism tests.
+func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
+	// cancellable gates every ctx check: the Done channel is nil for
+	// background contexts, keeping the plain-Step hot path free of
+	// ctx.Err() calls (the BenchmarkEngineStep regression gate pins it).
+	cancellable := ctx.Done() != nil
+	if cancellable && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
 	// Instrumentation preamble: only when an observer is attached does
 	// the step take timestamps or sample the fallback counter. The
 	// obs == nil path must stay branch-predictable and timestamp-free —
@@ -284,10 +307,16 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 	if e.pool == nil {
 		if obs == nil {
 			for i := range e.modes {
+				if cancellable && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				e.stepMode(i, u, readings, perMode)
 			}
 		} else {
 			for i := range e.modes {
+				if cancellable && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				modeStart := time.Now()
 				e.stepMode(i, u, readings, perMode)
 				obs.ModeStep(i, e.modes[i].Name, time.Since(modeStart).Nanoseconds(), perMode[i] != nil)
@@ -301,12 +330,22 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 			if obs == nil {
 				e.pool.submit(func() {
 					defer wg.Done()
+					// A cancelled fan-out still gathers every submitted
+					// job (the WaitGroup below), but queued jobs observe
+					// the cancellation here and skip their NUISE run, so
+					// an expensive bank drains in microseconds.
+					if cancellable && ctx.Err() != nil {
+						return
+					}
 					e.stepMode(i, u, readings, perMode)
 				})
 			} else {
 				submitted := time.Now()
 				e.pool.submit(func() {
 					defer wg.Done()
+					if cancellable && ctx.Err() != nil {
+						return
+					}
 					started := time.Now()
 					obs.PoolWait(started.Sub(submitted).Nanoseconds())
 					e.stepMode(i, u, readings, perMode)
@@ -315,6 +354,21 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 			}
 		}
 		wg.Wait()
+	}
+	if cancellable && ctx.Err() != nil {
+		// Nothing has been committed: perMode and the scratch arenas are
+		// the only things touched, and both are per-call / shape-stable.
+		return nil, ctx.Err()
+	}
+
+	// Commit each surviving mode's private belief. This runs serially
+	// after the gather (not inside stepMode) so that a cancelled
+	// StepContext above aborts with no partial per-mode state written.
+	for i, res := range perMode {
+		if res != nil {
+			e.xm[i] = res.X.Clone()
+			e.pxm[i] = res.Px.Clone()
+		}
 	}
 
 	// Weight update μ ← N·μ, normalize, then floor at ε and renormalize
@@ -461,12 +515,14 @@ func (e *Engine) Step(u mat.Vec, readings map[string]mat.Vec) (*Output, error) {
 }
 
 // stepMode runs mode i's NUISE for this iteration. It writes only index
-// i of perMode, e.xm, and e.pxm — disjoint slots per mode — so the bank
-// fans out without locks. Failure semantics mirror the weight floor: a
-// missing reference reading or a NUISE error leaves perMode[i] nil (the
-// mode sits out this iteration and takes the floor), while a missing
-// testing reading degrades the mode to a reference-only update (no d̂s)
-// rather than failing it.
+// i of perMode — disjoint slots per mode — so the bank fans out without
+// locks; the mode's private belief (e.xm, e.pxm) is read here but
+// committed serially after the gather, so an aborted StepContext leaves
+// it untouched. Failure semantics mirror the weight floor: a missing
+// reference reading or a NUISE error leaves perMode[i] nil (the mode
+// sits out this iteration and takes the floor), while a missing testing
+// reading degrades the mode to a reference-only update (no d̂s) rather
+// than failing it.
 func (e *Engine) stepMode(i int, u mat.Vec, readings map[string]mat.Vec, perMode []*Result) {
 	m := e.modes[i]
 	z2, err := stackReadings(readings, m.ReferenceNames)
@@ -485,8 +541,6 @@ func (e *Engine) stepMode(i int, u mat.Vec, readings map[string]mat.Vec, perMode
 		return
 	}
 	perMode[i] = res
-	e.xm[i] = res.X.Clone()
-	e.pxm[i] = res.Px.Clone()
 }
 
 // testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over the

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -333,9 +334,21 @@ type Report struct {
 }
 
 // Step processes one control iteration: the planned command u_{k-1} and
-// the latest readings z_k (Algorithm 1 lines 2–3).
+// the latest readings z_k (Algorithm 1 lines 2–3). It is StepContext
+// under context.Background() and shares its bit-for-bit output contract.
 func (d *Detector) Step(u mat.Vec, readings map[string]mat.Vec) (*Report, error) {
-	out, err := d.engine.Step(u, readings)
+	return d.StepContext(context.Background(), u, readings)
+}
+
+// StepContext is Step with cancellation: when ctx is cancelled the
+// iteration is abandoned and ctx.Err() returned. The abort is
+// all-or-nothing — neither the engine's mode bank nor the decision
+// windows advance, so the pipeline resumes bit-for-bit on the next call
+// (see core.Engine.StepContext). The decision layer runs after the
+// engine gather and is not itself interruptible; cancellation latency is
+// bounded by one mode-bank fan-out.
+func (d *Detector) StepContext(ctx context.Context, u mat.Vec, readings map[string]mat.Vec) (*Report, error) {
+	out, err := d.engine.StepContext(ctx, u, readings)
 	if err != nil {
 		return nil, err
 	}
@@ -348,3 +361,10 @@ func (d *Detector) Step(u mat.Vec, readings map[string]mat.Vec) (*Report, error)
 
 // State exposes the engine's fused state estimate.
 func (d *Detector) State() (mat.Vec, *mat.Mat) { return d.engine.State() }
+
+// Close releases the detector's engine resources (the mode-bank worker
+// pool). Safe to call more than once; the detector must not be stepped
+// afterwards. Detectors that are simply dropped are cleaned up by the
+// engine's finalizer, but deterministic shutdown — a fleet session being
+// closed, a service draining — should call Close.
+func (d *Detector) Close() { d.engine.Close() }

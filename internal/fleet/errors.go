@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors of the fleet API. Callers match them with errors.Is;
+// every error returned by Manager wraps exactly one of these (or is a
+// build error from the session Builder, returned verbatim by Create).
+var (
+	// ErrSessionNotFound reports an unknown, closed, or evicted session
+	// ID. A client holding a session that was idle-evicted sees this on
+	// its next frame and must create a new session.
+	ErrSessionNotFound = errors.New("fleet: session not found")
+	// ErrBackpressure reports a full per-session frame queue. The
+	// concrete error is a *BackpressureError carrying a retry hint; the
+	// frame was NOT accepted and the caller must resubmit it.
+	ErrBackpressure = errors.New("fleet: frame queue full")
+	// ErrClosed reports a manager that is draining or shut down, or a
+	// session closed while frames were still queued behind it.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrTooManySessions reports the MaxSessions cap; the client should
+	// retry creation later or close sessions it no longer needs.
+	ErrTooManySessions = errors.New("fleet: session limit reached")
+)
+
+// BackpressureError is the concrete rejection returned when a session's
+// frame queue is full. errors.Is(err, ErrBackpressure) matches it;
+// errors.As recovers the retry hint.
+type BackpressureError struct {
+	// SessionID is the session whose queue overflowed.
+	SessionID string
+	// RetryAfter is the suggested wait before resubmitting the frame
+	// (Config.RetryAfter). The HTTP layer maps it to a Retry-After
+	// header on a 429 response.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("fleet: session %s frame queue full (retry after %v)", e.SessionID, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) true for any BackpressureError.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }

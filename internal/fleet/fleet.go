@@ -1,0 +1,609 @@
+// Package fleet hosts many concurrent RoboADS detectors behind one
+// session manager — the §II-A deployment where the monitor runs remotely
+// from its robots, serving a whole fleet from one process. Each session
+// owns a private detector pipeline; frames submitted to a session are
+// queued in a bounded per-session buffer and stepped in order by a fixed
+// pool of shard workers, one frame per scheduling quantum, so a noisy
+// session cannot starve the rest. A full queue rejects the frame with an
+// explicit retry hint (ErrBackpressure) rather than buffering without
+// bound; idle sessions are evicted; shutdown drains every accepted frame
+// before closing a single detector.
+//
+// Determinism carries over from the engine: a session's report stream is
+// bit-for-bit the stream an in-process Detector would produce for the
+// same frames, regardless of how many sessions share the shard pool,
+// because each session's frames are serialized and detectors share no
+// state.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/telemetry"
+)
+
+// Metric names registered by a Manager (nil-safe: a private registry is
+// created when Config.Metrics is nil, so the names only surface when the
+// caller wires a shared registry, e.g. `roboads serve`).
+const (
+	// MetricSessionsLive gauges the number of live sessions.
+	MetricSessionsLive = "roboads_fleet_sessions_live"
+	// MetricQueueDepth gauges the total frames queued across sessions.
+	MetricQueueDepth = "roboads_fleet_queue_depth"
+	// MetricSessionsOpened counts sessions ever created.
+	MetricSessionsOpened = "roboads_fleet_sessions_opened_total"
+	// MetricEvictions counts idle-evicted sessions.
+	MetricEvictions = "roboads_fleet_evictions_total"
+	// MetricRejectedFrames counts frames rejected with backpressure.
+	MetricRejectedFrames = "roboads_fleet_rejected_frames_total"
+	// MetricFrames counts frames stepped through a detector.
+	MetricFrames = "roboads_fleet_frames_total"
+	// MetricFrameErrors counts frames whose detector step failed.
+	MetricFrameErrors = "roboads_fleet_frame_errors_total"
+	// MetricStepSeconds is the per-frame detector step latency histogram.
+	MetricStepSeconds = "roboads_fleet_frame_step_seconds"
+)
+
+// Stepper is the per-session detector contract: exactly the stepping
+// surface of *detect.Detector, abstracted so tests can inject slow or
+// failing pipelines. The Manager serializes all Stepper use per session.
+type Stepper interface {
+	StepContext(ctx context.Context, u mat.Vec, readings map[string]mat.Vec) (*detect.Report, error)
+	Close()
+}
+
+// Spec describes the session a client wants: which robot profile to
+// host and, optionally, how wide that session's own mode bank fans out.
+type Spec struct {
+	// Robot names the platform profile ("khepera", "tamiya").
+	Robot string `json:"robot"`
+	// Workers overrides the session engine's mode-bank worker count.
+	// 0 keeps the builder's default (sequential — fleet concurrency
+	// comes from the shard pool, not from intra-session fan-out).
+	// Mode-bank output is bit-for-bit independent of this knob.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SessionInfo identifies a live session. Robot, Sensors, and Dt mirror
+// the trace.Header fields (same JSON names), so a session advertises the
+// exact wire contract a recorded trace carries.
+type SessionInfo struct {
+	// ID is the manager-assigned session identifier.
+	ID string `json:"id"`
+	// Robot names the hosted platform profile.
+	Robot string `json:"robot"`
+	// Sensors lists the expected sensing workflow names per frame.
+	Sensors []string `json:"sensors"`
+	// Dt is the control period in seconds.
+	Dt float64 `json:"dtSeconds"`
+}
+
+// SessionStatus is SessionInfo plus live queue occupancy, as reported by
+// Manager.Sessions and GET /v1/sessions.
+type SessionStatus struct {
+	SessionInfo
+	// QueueDepth is the session's current frame backlog.
+	QueueDepth int `json:"queueDepth"`
+	// IdleSeconds is the time since the session last accepted or
+	// finished a frame.
+	IdleSeconds float64 `json:"idleSeconds"`
+}
+
+// Builder constructs the detector pipeline behind one session. The
+// returned SessionInfo needs Robot/Sensors/Dt only; the manager assigns
+// the ID.
+type Builder func(spec Spec) (Stepper, SessionInfo, error)
+
+// Config parameterizes a Manager. The zero value of every field has a
+// usable default except Build, which is required.
+type Config struct {
+	// Workers is the shard worker count — the number of frames the
+	// whole fleet steps concurrently. 0 resolves to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each session's frame backlog; a frame arriving
+	// at a full queue is rejected with ErrBackpressure. Default 32.
+	QueueDepth int
+	// MaxSessions caps live sessions; Create beyond it returns
+	// ErrTooManySessions. Default 1024.
+	MaxSessions int
+	// IdleTimeout evicts sessions with no frame activity for this long.
+	// 0 disables eviction.
+	IdleTimeout time.Duration
+	// RetryAfter is the hint carried by BackpressureError. Default 25ms.
+	RetryAfter time.Duration
+	// Build constructs each session's pipeline. Required.
+	Build Builder
+	// Metrics receives the fleet gauges and counters; nil uses a
+	// private registry (metrics still maintained, just not exported).
+	Metrics *telemetry.Registry
+}
+
+// Manager is the fleet session service. All methods are safe for
+// concurrent use. Shutdown may be called once; every other method
+// returns ErrClosed afterwards.
+type Manager struct {
+	cfg  Config
+	runq chan *session // capacity MaxSessions; ≤1 entry per session, so sends never block
+	wg   sync.WaitGroup
+
+	// gate orders frame acceptance against the shutdown state flip:
+	// Submit registers the frame in inflight under the read lock, and
+	// Shutdown flips state under the write lock, so by the time
+	// Shutdown's drain wait starts, every accepted frame is counted.
+	gate     sync.RWMutex
+	state    atomic.Int32
+	inflight sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	now         func() time.Time
+
+	queued atomic.Int64
+
+	mLive, mQueue                *telemetry.Gauge
+	mOpened, mEvicted, mRejected *telemetry.Counter
+	mFrames, mErrors             *telemetry.Counter
+	mStepSeconds                 *telemetry.Histogram
+}
+
+const (
+	stateRunning int32 = iota
+	stateDraining
+	stateClosed
+)
+
+// NewManager starts a fleet manager: its shard workers immediately and,
+// when Config.IdleTimeout is set, the eviction janitor.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("fleet: Config.Build is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 25 * time.Millisecond
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Manager{
+		cfg:      cfg,
+		runq:     make(chan *session, cfg.MaxSessions),
+		sessions: make(map[string]*session),
+		now:      time.Now,
+
+		mLive:        reg.Gauge(MetricSessionsLive, "Live fleet sessions."),
+		mQueue:       reg.Gauge(MetricQueueDepth, "Frames queued across all sessions."),
+		mOpened:      reg.Counter(MetricSessionsOpened, "Sessions ever created."),
+		mEvicted:     reg.Counter(MetricEvictions, "Sessions evicted for idleness."),
+		mRejected:    reg.Counter(MetricRejectedFrames, "Frames rejected with backpressure."),
+		mFrames:      reg.Counter(MetricFrames, "Frames stepped through a session detector."),
+		mErrors:      reg.Counter(MetricFrameErrors, "Frames whose detector step returned an error."),
+		mStepSeconds: reg.Histogram(MetricStepSeconds, "Per-frame detector step latency in seconds.", telemetry.LatencyBuckets()),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	if cfg.IdleTimeout > 0 {
+		m.janitorStop = make(chan struct{})
+		m.janitorDone = make(chan struct{})
+		interval := cfg.IdleTimeout / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		go m.janitor(interval)
+	}
+	return m, nil
+}
+
+// Create builds a new session from spec and returns its identity.
+func (m *Manager) Create(spec Spec) (SessionInfo, error) {
+	m.gate.RLock()
+	running := m.state.Load() == stateRunning
+	m.gate.RUnlock()
+	if !running {
+		return SessionInfo{}, ErrClosed
+	}
+	// Reserve the slot and the ID before the comparatively slow
+	// detector build, so concurrent Creates respect MaxSessions without
+	// serializing their builds.
+	m.mu.Lock()
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return SessionInfo{}, ErrTooManySessions
+	}
+	m.nextID++
+	id := fmt.Sprintf("s-%06d", m.nextID)
+	m.sessions[id] = nil // reserved: counts toward the cap, not yet steppable
+	m.mu.Unlock()
+
+	stepper, info, err := m.cfg.Build(spec)
+	if err != nil {
+		m.mu.Lock()
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		return SessionInfo{}, err
+	}
+	info.ID = id
+	s := &session{info: info, stepper: stepper, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	s.touch(m.now())
+
+	m.mu.Lock()
+	if m.state.Load() != stateRunning {
+		// Shutdown won the race while the detector was building; it has
+		// already collected the session map, so close this one here.
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		stepper.Close()
+		return SessionInfo{}, ErrClosed
+	}
+	m.sessions[id] = s
+	live := len(m.sessions)
+	m.mu.Unlock()
+	m.mOpened.Inc()
+	m.mLive.Set(float64(live))
+	return info, nil
+}
+
+// Info returns the identity of a live session.
+func (m *Manager) Info(id string) (SessionInfo, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return s.info, nil
+}
+
+// Sessions lists live sessions with their queue occupancy, sorted by ID.
+func (m *Manager) Sessions() []SessionStatus {
+	now := m.now()
+	m.mu.Lock()
+	out := make([]SessionStatus, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s == nil {
+			continue
+		}
+		out = append(out, SessionStatus{
+			SessionInfo: s.info,
+			QueueDepth:  len(s.frames),
+			IdleSeconds: now.Sub(time.Unix(0, s.lastActive.Load())).Seconds(),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Submit queues one frame on a session without waiting for its report.
+// On success the frame is accepted: it will be stepped (or, if the
+// session or manager closes first, answered with ErrClosed) and the
+// returned Pending resolves exactly once. On failure the frame was not
+// accepted; ErrBackpressure means the queue was full and the caller
+// should retry after the hinted delay.
+func (m *Manager) Submit(id string, u mat.Vec, readings map[string]mat.Vec) (*Pending, error) {
+	m.gate.RLock()
+	if m.state.Load() != stateRunning {
+		m.gate.RUnlock()
+		return nil, ErrClosed
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		m.gate.RUnlock()
+		return nil, err
+	}
+	job := frameJob{u: u, readings: readings, reply: make(chan frameResult, 1)}
+	m.inflight.Add(1)
+	m.gate.RUnlock()
+
+	if err := s.push(job, m.cfg.RetryAfter); err != nil {
+		m.inflight.Done()
+		if errors.Is(err, ErrBackpressure) {
+			m.mRejected.Inc()
+		}
+		return nil, err
+	}
+	s.touch(m.now())
+	m.mQueue.Set(float64(m.queued.Add(1)))
+	m.schedule(s)
+	return &Pending{reply: job.reply}, nil
+}
+
+// Step submits one frame and waits for its report. A ctx expiry abandons
+// the wait only: the frame was accepted and still steps (the session
+// stays consistent); its report is discarded.
+func (m *Manager) Step(ctx context.Context, id string, u mat.Vec, readings map[string]mat.Vec) (*detect.Report, error) {
+	p, err := m.Submit(id, u, readings)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// Close tears one session down. Frames already queued are answered with
+// ErrClosed; the frame a shard worker is currently stepping completes
+// first.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	delete(m.sessions, id)
+	live := len(m.sessions)
+	m.mu.Unlock()
+	m.mLive.Set(float64(live))
+	m.closeSession(s)
+	return nil
+}
+
+// Shutdown drains and stops the manager: new sessions and frames are
+// rejected with ErrClosed immediately, every already-accepted frame is
+// stepped and answered, then all session detectors and shard workers are
+// closed. If ctx expires before the drain completes, remaining queued
+// frames are answered with ErrClosed instead of being stepped and
+// ctx.Err() is returned. Calling Shutdown more than once returns
+// ErrClosed.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.gate.Lock()
+	flipped := m.state.CompareAndSwap(stateRunning, stateDraining)
+	m.gate.Unlock()
+	if !flipped {
+		return ErrClosed
+	}
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+		<-m.janitorDone
+	}
+
+	var drainErr error
+	drained := make(chan struct{})
+	go func() { m.inflight.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+
+	m.mu.Lock()
+	victims := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			victims = append(victims, s)
+		}
+	}
+	m.sessions = make(map[string]*session)
+	m.mu.Unlock()
+	for _, s := range victims {
+		m.closeSession(s)
+	}
+	// Now finite even on a timed-out drain: queued frames were answered
+	// by closeSession, and each worker finishes at most one step.
+	m.inflight.Wait()
+	m.state.Store(stateClosed)
+	close(m.runq)
+	m.wg.Wait()
+	m.mLive.Set(0)
+	return drainErr
+}
+
+func (m *Manager) lookup(id string) (*session, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// schedule puts a session on the run queue unless it is already there.
+// The CAS keeps the invariant of at most one queue entry per session,
+// which in turn keeps runq (capacity MaxSessions) send-nonblocking.
+func (m *Manager) schedule(s *session) {
+	if s.scheduled.CompareAndSwap(false, true) {
+		m.runq <- s
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for s := range m.runq {
+		m.serve(s)
+	}
+}
+
+// serve steps at most one queued frame — the scheduling quantum that
+// keeps a deep-backlog session from starving the others — then
+// reschedules the session if its queue is still non-empty. The
+// Store(false)-then-recheck order closes the missed-wakeup race with a
+// concurrent Submit: any push that misses this worker's recheck sees
+// scheduled == false and wins the schedule CAS itself.
+func (m *Manager) serve(s *session) {
+	select {
+	case job := <-s.frames:
+		m.mQueue.Set(float64(m.queued.Add(-1)))
+		m.process(s, job)
+	default:
+	}
+	s.scheduled.Store(false)
+	if len(s.frames) > 0 {
+		m.schedule(s)
+	}
+}
+
+// process steps one frame through the session detector. The step runs
+// under the session's step mutex, which Close/Shutdown also take before
+// closing the detector, so a stepper is never closed mid-step.
+func (m *Manager) process(s *session, job frameJob) {
+	start := time.Now()
+	var rep *detect.Report
+	var err error
+	s.stepMu.Lock()
+	if s.isClosed() {
+		err = fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+	} else {
+		rep, err = s.stepper.StepContext(context.Background(), job.u, job.readings)
+		m.mFrames.Inc()
+		if err != nil {
+			m.mErrors.Inc()
+		}
+		m.mStepSeconds.Observe(time.Since(start).Seconds())
+	}
+	s.stepMu.Unlock()
+	s.touch(m.now())
+	job.reply <- frameResult{report: rep, err: err}
+	m.inflight.Done()
+}
+
+// closeSession marks the session closed (rejecting new pushes), answers
+// every queued frame with ErrClosed, and closes the detector once any
+// in-flight step finishes.
+func (m *Manager) closeSession(s *session) {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	for drained := false; !drained; {
+		select {
+		case job := <-s.frames:
+			m.mQueue.Set(float64(m.queued.Add(-1)))
+			job.reply <- frameResult{err: fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)}
+			m.inflight.Done()
+		default:
+			drained = true
+		}
+	}
+	s.stepMu.Lock()
+	s.stepper.Close()
+	s.stepMu.Unlock()
+}
+
+func (m *Manager) janitor(interval time.Duration) {
+	defer close(m.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-t.C:
+			m.evictIdle()
+		}
+	}
+}
+
+// evictIdle closes sessions whose last activity predates IdleTimeout.
+// Sessions with queued or in-flight frames are never evicted.
+func (m *Manager) evictIdle() {
+	cutoff := m.now().Add(-m.cfg.IdleTimeout).UnixNano()
+	m.mu.Lock()
+	var victims []*session
+	for id, s := range m.sessions {
+		if s == nil {
+			continue
+		}
+		if s.lastActive.Load() <= cutoff && len(s.frames) == 0 && !s.scheduled.Load() {
+			delete(m.sessions, id)
+			victims = append(victims, s)
+		}
+	}
+	live := len(m.sessions)
+	m.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	for _, s := range victims {
+		m.closeSession(s)
+		m.mEvicted.Inc()
+	}
+	m.mLive.Set(float64(live))
+}
+
+// Pending is an accepted frame's pending report.
+type Pending struct {
+	reply chan frameResult
+}
+
+// Wait blocks until the frame's report is ready or ctx expires. The
+// frame steps either way; expiry only abandons the wait.
+func (p *Pending) Wait(ctx context.Context) (*detect.Report, error) {
+	select {
+	case r := <-p.reply:
+		return r.report, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type frameJob struct {
+	u        mat.Vec
+	readings map[string]mat.Vec
+	reply    chan frameResult // buffered (cap 1): the worker's reply never blocks on an abandoned waiter
+}
+
+type frameResult struct {
+	report *detect.Report
+	err    error
+}
+
+// session is one hosted detector. closeMu orders frame pushes against
+// the closed flag; stepMu serializes detector use (one shard worker at a
+// time, and never concurrently with Stepper.Close).
+type session struct {
+	info       SessionInfo
+	stepper    Stepper
+	frames     chan frameJob
+	scheduled  atomic.Bool
+	lastActive atomic.Int64 // UnixNano of last accepted or finished frame
+	closeMu    sync.RWMutex
+	closed     bool
+	stepMu     sync.Mutex
+}
+
+func (s *session) isClosed() bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.closed
+}
+
+func (s *session) touch(t time.Time) { s.lastActive.Store(t.UnixNano()) }
+
+func (s *session) push(job frameJob, retryAfter time.Duration) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+	}
+	select {
+	case s.frames <- job:
+		return nil
+	default:
+		return &BackpressureError{SessionID: s.info.ID, RetryAfter: retryAfter}
+	}
+}

@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/trace"
+)
+
+// Handler returns the fleet's HTTP API:
+//
+//	POST   /v1/sessions             create a session (CreateRequest → SessionInfo)
+//	GET    /v1/sessions             list sessions ([]SessionStatus)
+//	POST   /v1/sessions/{id}/step   step one trace.Frame (→ ReplyLine)
+//	POST   /v1/sessions/{id}/frames stream trace.Frame NDJSON in, ReplyLine NDJSON out
+//	DELETE /v1/sessions/{id}        close a session
+//
+// Frames use the trace wire format (trace.Frame, no header line), so a
+// recorded trace body replays against a live session verbatim. The
+// streaming endpoint steps frames strictly in order, one report line per
+// frame, and absorbs backpressure server-side; the single-frame /step
+// endpoint surfaces backpressure as 429 with a Retry-After header.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", m.handleStep)
+	mux.HandleFunc("POST /v1/sessions/{id}/frames", m.handleFrames)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
+	return mux
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode create request: %w", err))
+		return
+	}
+	info, err := m.Create(Spec{Robot: req.Robot, Workers: req.Workers})
+	switch {
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(info)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m.Sessions())
+}
+
+func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	err := m.Close(r.PathValue("id"))
+	if errors.Is(err, ErrSessionNotFound) {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStep steps exactly one frame. Backpressure is the caller's to
+// handle: a full queue answers 429 with a Retry-After header and the
+// frame must be resubmitted.
+func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var frame trace.Frame
+	if err := json.NewDecoder(r.Body).Decode(&frame); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode frame: %w", err))
+		return
+	}
+	rep, err := m.Step(r.Context(), id, mat.Vec(frame.U), frameReadings(&frame))
+	if err != nil {
+		var bp *BackpressureError
+		switch {
+		case errors.As(err, &bp):
+			ms := bp.RetryAfter.Milliseconds()
+			w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error(), RetryAfterMs: ms})
+		case errors.Is(err, ErrSessionNotFound):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusGone, err)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error()})
+		}
+		return
+	}
+	wire := NewWireReport(rep)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ReplyLine{K: wire.K, Report: &wire})
+}
+
+// handleFrames is the streaming ingest: trace.Frame NDJSON in, one
+// ReplyLine out per frame, flushed as produced. Frames step strictly in
+// submission order. Full duplex lets a client stream frames and read
+// reports concurrently over HTTP/1.1.
+func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := m.Info(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex() // best-effort; serial clients work regardless
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+
+	dec := json.NewDecoder(r.Body)
+	enc := json.NewEncoder(w)
+	for {
+		var frame trace.Frame
+		if err := dec.Decode(&frame); err != nil {
+			if !errors.Is(err, io.EOF) {
+				enc.Encode(ReplyLine{Error: "decode frame: " + err.Error(), Closed: true})
+				rc.Flush()
+			}
+			return
+		}
+		rep, err := m.stepRetrying(r.Context(), id, &frame)
+		line := ReplyLine{K: frame.K}
+		if err != nil {
+			line.Error = err.Error()
+			line.Closed = errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound)
+		} else {
+			wire := NewWireReport(rep)
+			line.K = wire.K
+			line.Report = &wire
+		}
+		if encErr := enc.Encode(line); encErr != nil {
+			return // client went away
+		}
+		rc.Flush()
+		if line.Closed || errors.Is(err, context.Canceled) {
+			return
+		}
+	}
+}
+
+// stepRetrying steps one frame, absorbing backpressure with the hinted
+// delay: the streaming endpoint promises in-order per-frame replies, so
+// a full queue (other writers sharing the session) is waited out rather
+// than surfaced.
+func (m *Manager) stepRetrying(ctx context.Context, id string, frame *trace.Frame) (*detect.Report, error) {
+	u := mat.Vec(frame.U)
+	readings := frameReadings(frame)
+	for {
+		p, err := m.Submit(id, u, readings)
+		if err == nil {
+			return p.Wait(ctx)
+		}
+		var bp *BackpressureError
+		if !errors.As(err, &bp) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(bp.RetryAfter):
+		}
+	}
+}
+
+func frameReadings(frame *trace.Frame) map[string]mat.Vec {
+	readings := make(map[string]mat.Vec, len(frame.Readings))
+	for name, z := range frame.Readings {
+		readings[name] = mat.Vec(z)
+	}
+	return readings
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"roboads/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	if cfg.Build == nil {
+		cfg.Build = DefaultBuilder()
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return m, srv
+}
+
+func createSession(t *testing.T, base, robot string) SessionInfo {
+	t.Helper()
+	body, _ := json.Marshal(CreateRequest{Robot: robot})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var info SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// streamFrames posts frames as one NDJSON body to the streaming ingest
+// and decodes the per-frame reply lines.
+func streamFrames(t *testing.T, base, id string, frames []trace.Frame) []ReplyLine {
+	t.Helper()
+	var body strings.Builder
+	enc := json.NewEncoder(&body)
+	for _, frame := range frames {
+		if err := enc.Encode(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/frames", base, id),
+		"application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frames status = %d", resp.StatusCode)
+	}
+	var lines []ReplyLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var line ReplyLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decode reply line: %v", err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestHTTPSessionLifecycle exercises create → list → step → delete and
+// the error statuses around them.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	info := createSession(t, srv.URL, "khepera")
+	if info.Robot != "khepera" || len(info.Sensors) == 0 || info.Dt <= 0 {
+		t.Fatalf("session info = %+v", info)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []SessionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("session list = %+v", list)
+	}
+
+	frame := kheperaFrames(t, 7, 1)[0]
+	body, _ := json.Marshal(frame)
+	resp, err = http.Post(fmt.Sprintf("%s/v1/sessions/%s/step", srv.URL, info.ID),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line ReplyLine
+	if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || line.Report == nil || line.Error != "" {
+		t.Fatalf("step reply status=%d line=%+v", resp.StatusCode, line)
+	}
+	if line.Report.K != frame.K || len(line.Report.X) == 0 {
+		t.Fatalf("step report = %+v", line.Report)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", srv.URL, info.ID), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status = %d", resp.StatusCode)
+	}
+
+	// Creating an unknown robot is a client error.
+	body, _ = json.Marshal(CreateRequest{Robot: "roomba"})
+	resp, err = http.Post(srv.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown robot status = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPStreamingMatchesLocal is the wire-equivalence test: frames
+// streamed over HTTP produce reply lines whose reports are bit-for-bit
+// the wire view of an in-process detector run on the same frames.
+func TestHTTPStreamingMatchesLocal(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	frames := kheperaFrames(t, 21, 40)
+	want := localReports(t, DefaultBuilder(), Spec{Robot: "khepera"}, frames)
+
+	info := createSession(t, srv.URL, "khepera")
+	lines := streamFrames(t, srv.URL, info.ID, frames)
+	if len(lines) != len(frames) {
+		t.Fatalf("got %d reply lines for %d frames", len(lines), len(frames))
+	}
+	got := make([]WireReport, len(lines))
+	for i, line := range lines {
+		if line.Error != "" || line.Report == nil {
+			t.Fatalf("line %d: %+v", i, line)
+		}
+		got[i] = *line.Report
+	}
+	// The reference reports crossed encoding/json exactly once too, so
+	// round-trip them for a same-representation comparison.
+	var wantWire []WireReport
+	buf, _ := json.Marshal(want)
+	if err := json.Unmarshal(buf, &wantWire); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantWire) {
+		for i := range got {
+			if !reflect.DeepEqual(got[i], wantWire[i]) {
+				t.Fatalf("report %d diverged:\nremote %+v\nlocal  %+v", i, got[i], wantWire[i])
+			}
+		}
+		t.Fatal("reports diverged")
+	}
+}
+
+// TestHTTPStreamToUnknownSession pins the 404 on a bad stream target.
+func TestHTTPStreamToUnknownSession(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/sessions/s-999999/frames", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPSessionCap pins the 503 + Retry-After on the session limit.
+func TestHTTPSessionCap(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, MaxSessions: 1})
+	createSession(t, srv.URL, "khepera")
+	body, _ := json.Marshal(CreateRequest{Robot: "khepera"})
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After header")
+	}
+}

@@ -1,0 +1,87 @@
+package fleet
+
+import "roboads/internal/detect"
+
+// WireReport is the serialized form of one frame's detector report — the
+// decision-relevant subset of detect.Report, flat and JSON-stable.
+// Floats cross the wire through encoding/json, whose shortest-round-trip
+// rendering is exact for float64, so two WireReports are equal if and
+// only if the underlying reports agree bit-for-bit on every included
+// quantity; the remote-replay equivalence tests compare them directly.
+type WireReport struct {
+	// K is the control iteration index.
+	K int `json:"k"`
+	// Mode is the selected hypothesis mode's name.
+	Mode string `json:"mode"`
+	// Condition is the confirmed misbehavior condition, e.g. "S{ips}/A0".
+	Condition string `json:"condition"`
+	// SensorStat/SensorThreshold are the aggregate sensor test statistic
+	// and its chi-square threshold; SensorAlarm is the window-confirmed
+	// alarm.
+	SensorStat      float64 `json:"sensorStat"`
+	SensorThreshold float64 `json:"sensorThreshold"`
+	SensorAlarm     bool    `json:"sensorAlarm,omitempty"`
+	// ActuatorStat/ActuatorThreshold/ActuatorAlarm are the actuator-side
+	// counterparts.
+	ActuatorStat      float64 `json:"actuatorStat"`
+	ActuatorThreshold float64 `json:"actuatorThreshold"`
+	ActuatorAlarm     bool    `json:"actuatorAlarm,omitempty"`
+	// X is the fused state estimate x̂_{k|k}.
+	X []float64 `json:"x"`
+	// Weights are the normalized mode weights μ_k.
+	Weights []float64 `json:"weights"`
+	// Da is the actuator anomaly estimate; omitted when the actuator
+	// anomaly was unobservable this iteration (DaValid false).
+	Da      []float64 `json:"da,omitempty"`
+	DaValid bool      `json:"daValid,omitempty"`
+}
+
+// NewWireReport flattens a detector report for the wire.
+func NewWireReport(rep *detect.Report) WireReport {
+	w := WireReport{
+		K:                 rep.Decision.Iteration,
+		Mode:              rep.Decision.Mode,
+		Condition:         rep.Decision.Condition.String(),
+		SensorStat:        rep.Decision.SensorStat,
+		SensorThreshold:   rep.Decision.SensorThreshold,
+		SensorAlarm:       rep.Decision.SensorAlarm,
+		ActuatorStat:      rep.Decision.ActuatorStat,
+		ActuatorThreshold: rep.Decision.ActuatorThreshold,
+		ActuatorAlarm:     rep.Decision.ActuatorAlarm,
+		X:                 rep.Engine.Result.X,
+		Weights:           rep.Engine.Weights,
+		DaValid:           rep.Engine.Result.DaValid,
+	}
+	if w.DaValid {
+		w.Da = rep.Engine.Result.Da
+	}
+	return w
+}
+
+// CreateRequest is the body of POST /v1/sessions.
+type CreateRequest struct {
+	// Robot names the platform profile to host.
+	Robot string `json:"robot"`
+	// Workers optionally overrides the session's mode-bank worker count
+	// (see Spec.Workers).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ReplyLine is one NDJSON line streamed back per submitted frame, and
+// the body of a single-frame /step response. Exactly one of Report and
+// Error is set.
+type ReplyLine struct {
+	// K echoes the frame's iteration index.
+	K int `json:"k"`
+	// Report is the frame's detector report.
+	Report *WireReport `json:"report,omitempty"`
+	// Error describes why the frame produced no report.
+	Error string `json:"error,omitempty"`
+	// Closed marks errors that end the session (closed, evicted, or
+	// unknown); the client must stop streaming.
+	Closed bool `json:"closed,omitempty"`
+	// RetryAfterMs is the backpressure retry hint of a rejected frame
+	// (single-frame /step only; the streaming endpoint retries
+	// server-side).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}

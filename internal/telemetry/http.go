@@ -64,11 +64,28 @@ func (t *Telemetry) Handler() http.Handler {
 // its bound address. The caller shuts it down with srv.Close or
 // srv.Shutdown.
 func (t *Telemetry) Serve(addr string) (*http.Server, net.Addr, error) {
+	return t.ServeWith(addr, nil)
+}
+
+// ServeWith is Serve with additional handlers mounted beside the
+// telemetry surface on the same server — e.g. the fleet session API
+// under "/v1/". Patterns follow http.ServeMux semantics; the telemetry
+// surface is the fallback for everything unmatched.
+func (t *Telemetry) ServeWith(addr string, mounts map[string]http.Handler) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: t.Handler()}
+	handler := t.Handler()
+	if len(mounts) > 0 {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		for pattern, h := range mounts {
+			mux.Handle(pattern, h)
+		}
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

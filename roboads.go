@@ -33,6 +33,22 @@
 // Model for the kinematics and Sensor for each sensing workflow, build
 // modes with SingleReferenceModes or LeaveOneOutModes, and drive a
 // Detector with planned commands and readings.
+//
+// # Building pipelines
+//
+// NewPipeline and NewRobotDetector are the construction surface: the
+// paper-default configuration modified by functional options
+// (WithWorkers, WithSensorAlpha, WithObserver, ...). NewRobotDetector
+// builds the standard detector for a named platform with no simulator
+// attached — the same construction a hosted fleet session uses.
+//
+// # Serving a fleet
+//
+// NewFleet hosts many concurrent detectors behind a streaming ingest
+// API with bounded queues, explicit backpressure, and idle eviction;
+// Fleet.Handler exposes it over HTTP (the `roboads serve` surface).
+// Errors are typed sentinels (ErrSessionNotFound, ErrBackpressure,
+// ErrClosed, ErrTooManySessions) stable under errors.Is.
 package roboads
 
 import (
@@ -155,7 +171,9 @@ var (
 	NewEngine = core.NewEngine
 	// DefaultEngineConfig returns the experiment engine configuration.
 	DefaultEngineConfig = core.DefaultEngineConfig
-	// NewDetector wires an engine to a decision maker.
+	// NewDetector wires an engine to a decision maker. Most callers
+	// want NewPipeline or NewRobotDetector (options.go) instead; this
+	// low-level form remains for code that holds the engine directly.
 	NewDetector = detect.NewDetector
 	// DefaultDetectorConfig returns the §V-F optimal decision parameters.
 	DefaultDetectorConfig = detect.DefaultConfig

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fleetsoak bench benchdiff benchoverhead ci
+.PHONY: build vet staticcheck test race fleetsoak crashsoak fuzz bench benchdiff benchoverhead ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,26 @@ race:
 fleetsoak:
 	$(GO) test -race -count=1 ./internal/fleet/...
 	$(GO) test -race -count=1 -run 'TestServeFleet|TestReplayRemote' ./cmd/roboads/
+
+# Crash soak: the durability acceptance run — a 32-session live server
+# killed with SIGKILL mid-stream, restarted on the same state directory,
+# every acknowledged frame recovered and the continued report streams
+# bit-for-bit equal to uninterrupted runs. Runs under the race detector
+# (the helper server process inherits the instrumented binary).
+crashsoak:
+	ROBOADS_CRASH_SESSIONS=32 $(GO) test -race -count=1 -timeout 10m \
+		-run TestServeCrashRecovery ./cmd/roboads/
+	$(GO) test -race -count=1 -run 'TestFleetDurable|TestFleetRecovery|TestFleetEviction|TestFleetCheckpoint' ./internal/fleet/
+
+# Fuzz smoke: each decoder target gets a short native-fuzzing burst
+# (go test -fuzz accepts one target per invocation). The corpus grows in
+# testdata/fuzz and regressions replay as ordinary seed tests.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime 15s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzDecodeWALRecord -fuzztime 15s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzReadWALTail -fuzztime 15s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzTraceReader -fuzztime 15s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 15s ./internal/fleet/
 
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|FleetStep|NUISEStep' -benchtime=1500x .

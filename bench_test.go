@@ -26,7 +26,9 @@ import (
 	"roboads/internal/sensors"
 	"roboads/internal/sim"
 	"roboads/internal/stat"
+	"roboads/internal/store"
 	"roboads/internal/telemetry"
+	"roboads/internal/trace"
 	"roboads/internal/world"
 )
 
@@ -298,6 +300,100 @@ func BenchmarkFleetStep(b *testing.B) {
 			readings[s.Name()] = s.H(x)
 		}
 		if _, err := mgr.Step(context.Background(), info.ID, u, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures the in-memory cost of one durability
+// checkpoint: ExportState on a warmed-up detector plus EncodeSnapshot to
+// the versioned wire format. Disk I/O (tmp write, fsync, rename) is
+// excluded — it is dominated by the device, not the code path; the fleet
+// takes this cost under the session's stepMu, so it bounds how long a
+// checkpoint can stall that session's frame processing.
+func BenchmarkCheckpoint(b *testing.B) {
+	plant, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), core.DefaultEngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := detect.NewDetector(eng, detect.DefaultConfig())
+	rng := stat.NewRNG(11)
+	xTrue := x0.Clone()
+	// Warm up: populate the mode beliefs and decision windows so the
+	// snapshot has realistic (full) content.
+	for i := 0; i < 50; i++ {
+		xTrue = model.F(xTrue, u).Add(rng.GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+		readings := map[string]mat.Vec{}
+		for _, s := range suite {
+			readings[s.Name()] = s.H(xTrue)
+		}
+		if _, err := det.Step(u, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := &store.Snapshot{
+		SessionID: "bench", Robot: "khepera",
+		Sensors: []string{"encoder", "ips", "lidar"}, Dt: 0.1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		snap.FramesApplied = 50 + i
+		snap.State = det.ExportState()
+		blob, err := store.EncodeSnapshot(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(blob)
+	}
+	b.ReportMetric(float64(bytes), "snapshot-bytes")
+}
+
+// BenchmarkWALAppend measures the per-frame WAL cost on the fleet hot
+// path with fsync disabled (FsyncEvery < 0): frame serialization, CRC,
+// and the buffered O_APPEND write. The production default adds one
+// fsync per frame on top; that term is pure device latency and is
+// covered by the crash e2e rather than benchmarked here.
+func BenchmarkWALAppend(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{FsyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := st.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ss.Close()
+	_, model, suite := benchPlant()
+	x0 := mat.VecOf(1, 1, 0.3)
+	u := model.WheelSpeeds(0.12, 0.1)
+	readings := map[string]mat.Vec{}
+	for _, s := range suite {
+		readings[s.Name()] = s.H(x0)
+	}
+	if _, err := ss.WriteSnapshot(&store.Snapshot{
+		Robot: "khepera", Sensors: []string{"encoder", "ips", "lidar"}, Dt: 0.1,
+		State: &detect.State{Engine: &core.EngineState{}, Decider: &detect.DeciderState{}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	frame := &trace.Frame{U: []float64(u), Readings: map[string][]float64{}}
+	for name, z := range readings {
+		frame.Readings[name] = []float64(z)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.K = i
+		if err := ss.Append(frame); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,17 @@ type serveOptions struct {
 	fleetQueue int
 	// drain bounds the fleet drain on shutdown (0: 10 seconds).
 	drain time.Duration
+	// stateDir enables fleet durability: sessions snapshot their
+	// detector state and WAL every accepted frame under this directory,
+	// and a restarted server recovers them bit-for-bit. Empty disables
+	// persistence (the frame hot path is then untouched).
+	stateDir string
+	// snapshotEvery is the automatic checkpoint cadence in frames
+	// (fleet.Durability.SnapshotEvery; 0 = 256, negative = manual only).
+	snapshotEvery int
+	// fsyncEvery is the WAL fsync policy (fleet.Durability.FsyncEvery;
+	// 0 and 1 = every frame, n > 1 = batched, negative = never).
+	fsyncEvery int
 	// onReady, when set, receives the bound listen address once the
 	// HTTP surface is up (tests bind to 127.0.0.1:0).
 	onReady func(net.Addr)
@@ -73,6 +84,11 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 		IdleTimeout: idle,
 		Build:       fleet.DefaultBuilder(),
 		Metrics:     tel.Registry(),
+		Durability: fleet.Durability{
+			Dir:           opts.stateDir,
+			SnapshotEvery: opts.snapshotEvery,
+			FsyncEvery:    opts.fsyncEvery,
+		},
 	})
 	if err != nil {
 		return err

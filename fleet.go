@@ -2,6 +2,7 @@ package roboads
 
 import (
 	"roboads/internal/fleet"
+	"roboads/internal/store"
 )
 
 // Fleet session service (DESIGN.md §10): host many concurrent detectors
@@ -38,6 +39,17 @@ type (
 	// BackpressureError carries the retry-after hint of a rejected frame;
 	// match it with errors.As after errors.Is(err, ErrBackpressure).
 	BackpressureError = fleet.BackpressureError
+	// FleetDurability enables checkpoint/WAL persistence for hosted
+	// sessions (FleetConfig.Durability; DESIGN.md §11): every accepted
+	// frame is WAL-logged before its reply, snapshots compact the log on a
+	// cadence, and a restarted manager recovers each session bit-for-bit.
+	FleetDurability = fleet.Durability
+	// FleetStateStepper is the stepper durability requires: a Stepper
+	// whose complete cross-iteration state exports and imports.
+	FleetStateStepper = fleet.StateStepper
+	// CheckpointInfo reports a forced checkpoint (frames applied,
+	// snapshot bytes).
+	CheckpointInfo = fleet.CheckpointInfo
 )
 
 // Fleet constructors.
@@ -65,11 +77,17 @@ var (
 //     manager) closed before it was stepped, or the manager is draining
 //     and no longer accepts work. HTTP: 410.
 //   - ErrTooManySessions: the MaxSessions cap is reached. HTTP: 503.
+//   - ErrDurabilityDisabled: a checkpoint/restore was requested but the
+//     manager has no state directory configured. HTTP: 501.
+//   - ErrSessionLive: a restore named a session that is already running.
+//     HTTP: 409.
 var (
-	ErrSessionNotFound = fleet.ErrSessionNotFound
-	ErrBackpressure    = fleet.ErrBackpressure
-	ErrClosed          = fleet.ErrClosed
-	ErrTooManySessions = fleet.ErrTooManySessions
+	ErrSessionNotFound    = fleet.ErrSessionNotFound
+	ErrBackpressure       = fleet.ErrBackpressure
+	ErrClosed             = fleet.ErrClosed
+	ErrTooManySessions    = fleet.ErrTooManySessions
+	ErrDurabilityDisabled = fleet.ErrDurabilityDisabled
+	ErrSessionLive        = fleet.ErrSessionLive
 )
 
 // Fleet metric names registered on the telemetry registry passed in
@@ -83,4 +101,15 @@ const (
 	MetricFleetFrames         = fleet.MetricFrames
 	MetricFleetFrameErrors    = fleet.MetricFrameErrors
 	MetricFleetStepSeconds    = fleet.MetricStepSeconds
+)
+
+// Durability metric names registered by the session store when
+// FleetConfig.Durability is enabled (DESIGN.md §11).
+const (
+	MetricStoreSnapshotBytes     = store.MetricSnapshotBytes
+	MetricStoreSnapshotSeconds   = store.MetricSnapshotSeconds
+	MetricStoreWALAppends        = store.MetricWALAppends
+	MetricStoreWALFsyncs         = store.MetricWALFsyncs
+	MetricStoreRecoveredSessions = store.MetricRecoveredSessions
+	MetricStoreRecoveredFrames   = store.MetricRecoveredFrames
 )

@@ -1,0 +1,205 @@
+package detect
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"roboads/internal/core"
+)
+
+// State is the complete cross-iteration state of a Detector: the engine
+// bank's beliefs and weights plus the decision maker's sliding windows
+// and hold state. It is the unit the durability layer snapshots — a
+// Detector restored from an exported State and fed the remaining frames
+// produces reports bit-for-bit identical to the uninterrupted run.
+type State struct {
+	// Engine is the multi-mode engine state.
+	Engine *core.EngineState `json:"engine"`
+	// Decider is the decision-maker state.
+	Decider *DeciderState `json:"decider"`
+}
+
+// DeciderState is the decision maker's cross-iteration state: every
+// c-of-w window's outcome history (which also carries the actuator
+// hold state — Met() is a pure function of the history) plus the
+// previous confirmed condition used for transition instrumentation.
+type DeciderState struct {
+	// Sensor and Actuator are the aggregate window histories.
+	Sensor WindowState `json:"sensor"`
+	// Actuator's history doubles as the hold state: when the actuator
+	// anomaly is unobservable the decision maker reports Met() of this
+	// window unchanged, so restoring the history restores the hold.
+	Actuator WindowState `json:"actuator"`
+	// PerSensor maps testing-sensor names to their identification
+	// window histories.
+	PerSensor map[string]WindowState `json:"perSensor,omitempty"`
+	// PrevCondition is the previously reported condition (transition
+	// detection for the observer hook); nil when no iteration has run.
+	PrevCondition *Condition `json:"prevCondition,omitempty"`
+	// ConfigHash fingerprints the decision parameters (alphas, window
+	// shapes). Import refuses a state recorded under different
+	// parameters: the windows would confirm under different criteria.
+	ConfigHash uint64 `json:"configHash"`
+}
+
+// WindowState is one sliding window's exported shape and history.
+type WindowState struct {
+	// Size and Criteria are the window's c-of-w shape, validated on
+	// import against the receiving window.
+	Size     int `json:"size"`
+	Criteria int `json:"criteria"`
+	// Outcomes are the pushed raw test outcomes, oldest first.
+	Outcomes []bool `json:"outcomes,omitempty"`
+}
+
+// exportWindow captures one window's shape and history.
+func exportWindow(w *SlidingWindow) WindowState {
+	return WindowState{Size: w.Size(), Criteria: w.Criteria(), Outcomes: w.History()}
+}
+
+// importWindow validates ws against w's shape and replays its history.
+func importWindow(w *SlidingWindow, ws WindowState, label string) error {
+	if ws.Size != w.Size() || ws.Criteria != w.Criteria() {
+		return fmt.Errorf("%w: %s window %d-of-%d (want %d-of-%d)",
+			core.ErrStateMismatch, label, ws.Criteria, ws.Size, w.Criteria(), w.Size())
+	}
+	if len(ws.Outcomes) > ws.Size {
+		return fmt.Errorf("%w: %s window history %d exceeds size %d",
+			core.ErrStateMismatch, label, len(ws.Outcomes), ws.Size)
+	}
+	w.SetHistory(ws.Outcomes)
+	return nil
+}
+
+// configHash fingerprints the Config fields that influence decisions.
+// The Observer is excluded (contractually output-neutral). Window shape
+// clamping mirrors NewSlidingWindow so a Config that normalizes to the
+// same windows hashes equally.
+func (cfg Config) configHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putF64 := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	putInt := func(v int) { putF64(float64(v)) }
+	clamp := func(size, criteria int) (int, int) {
+		if size < 1 {
+			size = 1
+		}
+		if criteria < 1 {
+			criteria = 1
+		}
+		if criteria > size {
+			criteria = size
+		}
+		return size, criteria
+	}
+	putF64(cfg.SensorAlpha)
+	putF64(cfg.ActuatorAlpha)
+	sw, sc := clamp(cfg.SensorWindow, cfg.SensorCriteria)
+	aw, ac := clamp(cfg.ActuatorWindow, cfg.ActuatorCriteria)
+	putInt(sw)
+	putInt(sc)
+	putInt(aw)
+	putInt(ac)
+	return h.Sum64()
+}
+
+// ExportState captures the decision maker's cross-iteration state. The
+// threshold caches are excluded: they are pure functions of the
+// configuration and rebuild on demand.
+func (d *Decider) ExportState() *DeciderState {
+	st := &DeciderState{
+		Sensor:     exportWindow(d.sensorWindow),
+		Actuator:   exportWindow(d.actuatorWindow),
+		ConfigHash: d.cfg.configHash(),
+	}
+	if len(d.perSensor) > 0 {
+		st.PerSensor = make(map[string]WindowState, len(d.perSensor))
+		for name, w := range d.perSensor {
+			st.PerSensor[name] = exportWindow(w)
+		}
+	}
+	if d.prevSet {
+		cond := Condition{Sensors: append([]string(nil), d.prevCond.Sensors...), Actuator: d.prevCond.Actuator}
+		st.PrevCondition = &cond
+	}
+	return st
+}
+
+// ImportState replaces the decision maker's state with st, validating
+// the configuration fingerprint and every window shape. Windows present
+// in the decider but absent from st are reset; per-sensor windows named
+// only in st are created. On error the decider may have been partially
+// reset and must be re-imported or Reset before reuse.
+func (d *Decider) ImportState(st *DeciderState) error {
+	if st == nil {
+		return fmt.Errorf("%w: nil decider state", core.ErrStateMismatch)
+	}
+	if st.ConfigHash != d.cfg.configHash() {
+		return fmt.Errorf("%w: decision config hash %x (want %x)", core.ErrStateMismatch, st.ConfigHash, d.cfg.configHash())
+	}
+	if err := importWindow(d.sensorWindow, st.Sensor, "sensor"); err != nil {
+		return err
+	}
+	if err := importWindow(d.actuatorWindow, st.Actuator, "actuator"); err != nil {
+		return err
+	}
+	// Deterministic import order so any error is stable across runs.
+	names := make([]string, 0, len(st.PerSensor))
+	for name := range st.PerSensor {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if err := importWindow(d.windowFor(name), st.PerSensor[name], "sensor "+name); err != nil {
+			return err
+		}
+		seen[name] = true
+	}
+	for name, w := range d.perSensor {
+		if !seen[name] {
+			w.Reset()
+		}
+	}
+	if st.PrevCondition != nil {
+		d.prevCond = Condition{Sensors: append([]string(nil), st.PrevCondition.Sensors...), Actuator: st.PrevCondition.Actuator}
+		d.prevSet = true
+	} else {
+		d.prevCond = Condition{}
+		d.prevSet = false
+	}
+	return nil
+}
+
+// ExportState captures the detector's complete cross-iteration state:
+// the engine bank and the decision windows. The detector must not be
+// stepped concurrently.
+func (d *Detector) ExportState() *State {
+	return &State{Engine: d.engine.ExportState(), Decider: d.decider.ExportState()}
+}
+
+// ImportState restores a state exported by ExportState (possibly in a
+// previous process) into this detector. The detector must have been
+// built from the same profile and configuration: mode set, state
+// dimension, window shapes, and the engine/decision config fingerprints
+// are all validated, and core.ErrStateMismatch returned on any
+// disagreement. After a successful import, feeding the frames recorded
+// after the export produces reports bit-for-bit identical to the
+// uninterrupted run. The detector must not be stepped concurrently.
+func (d *Detector) ImportState(st *State) error {
+	if st == nil || st.Engine == nil || st.Decider == nil {
+		return fmt.Errorf("%w: incomplete detector state", core.ErrStateMismatch)
+	}
+	if err := d.engine.ImportState(st.Engine); err != nil {
+		return err
+	}
+	return d.decider.ImportState(st.Decider)
+}

@@ -61,6 +61,39 @@ func (w *SlidingWindow) Fill() float64 { return float64(w.filled) / float64(w.si
 // Size returns the configured window size w.
 func (w *SlidingWindow) Size() int { return w.size }
 
+// Criteria returns the configured confirmation criteria c.
+func (w *SlidingWindow) Criteria() int { return w.criteria }
+
+// History returns the pushed outcomes currently in the window, oldest
+// first (length ≤ Size). Replaying the returned slice through
+// SetHistory on a fresh window of the same shape reproduces the
+// window's observable behavior exactly: Met, Fill, and every future
+// Push result are identical, because the c-of-w condition depends only
+// on the logical outcome order, not on the ring's physical offset.
+func (w *SlidingWindow) History() []bool {
+	out := make([]bool, 0, w.filled)
+	if w.filled < w.size {
+		// The ring has never wrapped: entries 0..filled-1 are already
+		// chronological.
+		return append(out, w.buf[:w.filled]...)
+	}
+	out = append(out, w.buf[w.next:]...)
+	return append(out, w.buf[:w.next]...)
+}
+
+// SetHistory resets the window and replays outcomes oldest-first. More
+// outcomes than Size keeps only the newest Size of them — exactly what
+// pushing the full sequence would have retained.
+func (w *SlidingWindow) SetHistory(outcomes []bool) {
+	w.Reset()
+	if len(outcomes) > w.size {
+		outcomes = outcomes[len(outcomes)-w.size:]
+	}
+	for _, o := range outcomes {
+		w.Push(o)
+	}
+}
+
 // Reset clears the window history.
 func (w *SlidingWindow) Reset() {
 	for i := range w.buf {

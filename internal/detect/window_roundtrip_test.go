@@ -1,0 +1,131 @@
+package detect
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWindowHistoryRoundTripProperty is the durability property behind
+// WindowState: at ANY fill level and ring rotation, History → SetHistory
+// into a fresh window of the same shape reproduces the window's
+// observable behavior exactly — Met, Fill, and every future Push result.
+// Randomized over shapes, prefix lengths (0 to several wraps), and
+// outcome sequences with a fixed seed.
+func TestWindowHistoryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		size := 1 + rng.Intn(12)
+		criteria := 1 + rng.Intn(size)
+		prefix := rng.Intn(3*size + 2) // covers empty, partial, and multi-wrap rings
+		suffix := size + rng.Intn(2*size)
+
+		w1 := NewSlidingWindow(size, criteria)
+		for i := 0; i < prefix; i++ {
+			w1.Push(rng.Intn(2) == 0)
+		}
+
+		h := w1.History()
+		if want := prefix; want > size {
+			want = size
+		} else if len(h) != prefix && prefix <= size {
+			t.Fatalf("trial %d: history length %d, want %d", trial, len(h), prefix)
+		}
+		w2 := NewSlidingWindow(size, criteria)
+		w2.SetHistory(h)
+
+		if w1.Met() != w2.Met() || w1.Fill() != w2.Fill() {
+			t.Fatalf("trial %d (%d-of-%d, prefix %d): restored window disagrees: met %v/%v fill %v/%v",
+				trial, criteria, size, prefix, w1.Met(), w2.Met(), w1.Fill(), w2.Fill())
+		}
+		for i := 0; i < suffix; i++ {
+			o := rng.Intn(2) == 0
+			if r1, r2 := w1.Push(o), w2.Push(o); r1 != r2 {
+				t.Fatalf("trial %d (%d-of-%d, prefix %d): push %d diverged: %v vs %v",
+					trial, criteria, size, prefix, i, r1, r2)
+			}
+		}
+		if !reflect.DeepEqual(w1.History(), w2.History()) {
+			t.Fatalf("trial %d: histories diverged after identical pushes", trial)
+		}
+	}
+}
+
+// TestWindowSetHistoryTruncatesToNewest pins the overflow contract:
+// replaying more outcomes than Size retains exactly what pushing the full
+// sequence would have — the newest Size outcomes.
+func TestWindowSetHistoryTruncatesToNewest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		size := 1 + rng.Intn(8)
+		criteria := 1 + rng.Intn(size)
+		n := size + 1 + rng.Intn(3*size)
+		seq := make([]bool, n)
+		for i := range seq {
+			seq[i] = rng.Intn(2) == 0
+		}
+
+		pushed := NewSlidingWindow(size, criteria)
+		for _, o := range seq {
+			pushed.Push(o)
+		}
+		set := NewSlidingWindow(size, criteria)
+		set.SetHistory(seq)
+
+		if !reflect.DeepEqual(pushed.History(), set.History()) || pushed.Met() != set.Met() {
+			t.Fatalf("trial %d: SetHistory(%d outcomes) != pushing them (size %d)", trial, n, size)
+		}
+	}
+}
+
+// TestDeciderHoldStateRoundTrip checkpoints a decider mid-hold: an
+// actuator alarm confirmed before a standstill must survive
+// ExportState → ImportState into a fresh decider, stay held through the
+// remaining unobservable iterations, and age out on the same iteration
+// as the uninterrupted decider once observability returns.
+func TestDeciderHoldStateRoundTrip(t *testing.T) {
+	script := []struct{ alarming, daValid bool }{
+		{true, true}, {true, true}, {true, true}, // confirm 3-of-6
+		{false, false}, {false, false}, // standstill: hold
+		{false, false}, {false, false},
+		{false, true}, {false, true}, {false, true}, // age out
+		{false, true}, {false, true}, {false, true},
+	}
+	run := func(d *Decider, from int, restoreAt int, src *Decider) []bool {
+		var alarms []bool
+		for k := from; k < len(script); k++ {
+			if src != nil && k == restoreAt {
+				if err := d.ImportState(src.ExportState()); err != nil {
+					t.Fatalf("import at k=%d: %v", k, err)
+				}
+			}
+			dec, err := d.Decide(actuatorOutput(k, script[k].alarming, script[k].daValid))
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			alarms = append(alarms, dec.ActuatorAlarm)
+		}
+		return alarms
+	}
+
+	ref := run(NewDecider(DefaultConfig()), 0, -1, nil)
+	if !ref[2] || !ref[5] {
+		t.Fatal("reference script did not confirm and hold the alarm as designed")
+	}
+
+	// Cut at every iteration, including mid-hold (k=4..6) where the alarm
+	// is live only because the window history is preserved.
+	for cut := 1; cut < len(script); cut++ {
+		head := NewDecider(DefaultConfig())
+		for k := 0; k < cut; k++ {
+			if _, err := head.Decide(actuatorOutput(k, script[k].alarming, script[k].daValid)); err != nil {
+				t.Fatalf("cut %d k=%d: %v", cut, k, err)
+			}
+		}
+		restored := NewDecider(DefaultConfig())
+		tail := run(restored, cut, cut, head)
+		if !reflect.DeepEqual(tail, ref[cut:]) {
+			t.Fatalf("cut %d: restored alarm sequence %v, want %v", cut, tail, ref[cut:])
+		}
+	}
+}

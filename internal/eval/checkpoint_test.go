@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"roboads/internal/attack"
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/sim"
+	"roboads/internal/store"
+)
+
+// checkpointObs is the flattened per-iteration observation compared
+// bit-for-bit across a checkpoint cut. It covers the full decision (so
+// Table II confirm/identify sequences are pinned transitively) plus the
+// selected mode's estimates and the mode weights — everything a consumer
+// of a Report can see, without the engine-internal pointers (SelectedMode,
+// SPD cache) that are identity- rather than value-comparable.
+type checkpointObs struct {
+	Decision detect.Decision
+	X        mat.Vec
+	Da       mat.Vec
+	Ds       mat.Vec
+	DaValid  bool
+	Weights  []float64
+}
+
+func obsOf(rep *detect.Report) checkpointObs {
+	return checkpointObs{
+		Decision: *rep.Decision,
+		X:        rep.Engine.Result.X,
+		Da:       rep.Engine.Result.Da,
+		Ds:       rep.Engine.Result.Ds,
+		DaValid:  rep.Engine.Result.DaValid,
+		Weights:  rep.Engine.Weights,
+	}
+}
+
+// checkpointFrame is one recorded control iteration: the detector's
+// complete input. The simulators are open loop (the mission does not
+// react to the detector), so frames recorded once replay identically
+// into any number of detectors.
+type checkpointFrame struct {
+	u        mat.Vec
+	readings map[string]mat.Vec
+}
+
+func recordKheperaFrames(t *testing.T, scenario attack.Scenario, seed int64) []checkpointFrame {
+	t.Helper()
+	setup, err := sim.NewKhepera(sim.LabMission(), &scenario, seed)
+	if err != nil {
+		t.Fatalf("scenario %d: %v", scenario.ID, err)
+	}
+	var frames []checkpointFrame
+	for i := 0; i < MaxIterations; i++ {
+		rec, err := setup.Sim.Step()
+		if err != nil {
+			break
+		}
+		frames = append(frames, checkpointFrame{u: rec.UPlanned, readings: rec.Readings})
+		if rec.Done {
+			break
+		}
+	}
+	return frames
+}
+
+func recordTamiyaFrames(t *testing.T, scenario attack.Scenario, seed int64) []checkpointFrame {
+	t.Helper()
+	setup, err := sim.NewTamiya(sim.LabMission(), &scenario, seed)
+	if err != nil {
+		t.Fatalf("scenario %d: %v", scenario.ID, err)
+	}
+	var frames []checkpointFrame
+	for i := 0; i < MaxIterations; i++ {
+		rec, err := setup.Sim.Step()
+		if err != nil {
+			break
+		}
+		frames = append(frames, checkpointFrame{u: rec.UPlanned, readings: rec.Readings})
+		if rec.Done {
+			break
+		}
+	}
+	return frames
+}
+
+func sensorNames(f checkpointFrame) []string {
+	out := make([]string, 0, len(f.readings))
+	for name := range f.readings {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stepObs feeds frames[from:to] into det and returns one observation per
+// frame.
+func stepObs(t *testing.T, det *detect.Detector, frames []checkpointFrame, from, to int) []checkpointObs {
+	t.Helper()
+	out := make([]checkpointObs, 0, to-from)
+	for f := from; f < to; f++ {
+		rep, err := det.Step(frames[f].u, frames[f].readings)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		out = append(out, obsOf(rep))
+	}
+	return out
+}
+
+// roundTripState pushes the detector's exported state through the real
+// persistence codec — EncodeSnapshot to bytes, DecodeSnapshot back — so
+// the test covers exactly what a crash recovery replays, not just the
+// in-memory Export/Import pair.
+func roundTripState(t *testing.T, robot string, dt float64, det *detect.Detector, frames []checkpointFrame, applied int) *detect.State {
+	t.Helper()
+	blob, err := store.EncodeSnapshot(&store.Snapshot{
+		SessionID:     fmt.Sprintf("eval-%s", robot),
+		Robot:         robot,
+		Sensors:       sensorNames(frames[0]),
+		Dt:            dt,
+		FramesApplied: applied,
+		State:         det.ExportState(),
+	})
+	if err != nil {
+		t.Fatalf("encode snapshot: %v", err)
+	}
+	snap, err := store.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if snap.FramesApplied != applied {
+		t.Fatalf("snapshot applied = %d, want %d", snap.FramesApplied, applied)
+	}
+	return snap.State
+}
+
+// runCheckpointScenario asserts the durability correctness bar for one
+// scenario: a detector checkpointed at iteration k (through the snapshot
+// codec) and restored into a freshly built detector produces, over the
+// remaining frames, observations bit-for-bit identical to the
+// uninterrupted reference run. Decision equality implies the Table II
+// confirm/identify code sequences are unchanged by the cut.
+func runCheckpointScenario(t *testing.T, robot string, dt float64, frames []checkpointFrame,
+	build func() *detect.Detector, cuts []int) {
+	t.Helper()
+	if len(frames) == 0 {
+		t.Fatal("no frames recorded")
+	}
+	ref := stepObs(t, build(), frames, 0, len(frames))
+
+	for _, k := range cuts {
+		if k <= 0 || k >= len(frames) {
+			continue
+		}
+		detA := build()
+		head := stepObs(t, detA, frames, 0, k)
+		if !reflect.DeepEqual(head, ref[:k]) {
+			t.Fatalf("cut %d: pre-checkpoint run diverged from reference", k)
+		}
+		state := roundTripState(t, robot, dt, detA, frames, k)
+		detB := build()
+		if err := detB.ImportState(state); err != nil {
+			t.Fatalf("cut %d: import: %v", k, err)
+		}
+		tail := stepObs(t, detB, frames, k, len(frames))
+		for f := range tail {
+			if !reflect.DeepEqual(tail[f], ref[k+f]) {
+				t.Fatalf("cut %d: restored run diverged at frame %d (decision %+v vs %+v)",
+					k, k+f, tail[f].Decision, ref[k+f].Decision)
+			}
+		}
+	}
+}
+
+// TestCheckpointRestoreKheperaScenarios sweeps every Table II scenario
+// (plus the clean mission): export → snapshot codec → import at mid-run
+// cut points must leave the remaining report stream — decisions, selected
+// estimates, mode weights — bit-for-bit unchanged. The cut points rotate
+// across quarter positions per scenario so the sweep collectively covers
+// early, middle, and late cuts, including cuts inside attack windows and
+// confirmation holds.
+func TestCheckpointRestoreKheperaScenarios(t *testing.T) {
+	scenarios := append([]attack.Scenario{attack.CleanScenario()}, attack.KheperaScenarios()...)
+	for i, scenario := range scenarios {
+		scenario := scenario
+		t.Run(fmt.Sprintf("s%02d_%s", scenario.ID, scenario.Name), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(900 + i)
+			frames := recordKheperaFrames(t, scenario, seed)
+			build := func() *detect.Detector {
+				setup, err := sim.NewKhepera(sim.LabMission(), &scenario, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				det, err := KheperaDetector(setup, detect.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return det
+			}
+			n := len(frames)
+			// One rotating quarter cut per scenario bounds runtime; the
+			// clean scenario gets the full {N/4, N/2, 3N/4} sweep.
+			cuts := []int{n * (1 + i%3) / 4}
+			if scenario.ID == 0 {
+				cuts = []int{n / 4, n / 2, 3 * n / 4}
+			}
+			runCheckpointScenario(t, "khepera", sim.KheperaDt, frames, build, cuts)
+		})
+	}
+}
+
+// TestCheckpointRestoreTamiyaScenarios is the bicycle-model counterpart:
+// the grouped-reference mode set and the standstill actuator abstention
+// (DaValid) must also survive a snapshot round trip unchanged.
+func TestCheckpointRestoreTamiyaScenarios(t *testing.T) {
+	for i, scenario := range attack.TamiyaScenarios() {
+		scenario := scenario
+		t.Run(fmt.Sprintf("s%03d_%s", scenario.ID, scenario.Name), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(950 + i)
+			frames := recordTamiyaFrames(t, scenario, seed)
+			build := func() *detect.Detector {
+				setup, err := sim.NewTamiya(sim.LabMission(), &scenario, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				det, err := TamiyaDetector(setup, detect.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return det
+			}
+			n := len(frames)
+			runCheckpointScenario(t, "tamiya", sim.TamiyaDt, frames, build, []int{n * (1 + i%3) / 4})
+		})
+	}
+}

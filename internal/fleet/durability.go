@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/store"
+	"roboads/internal/trace"
+)
+
+// Durability configures the optional persistence layer of a Manager.
+// When Dir is set, every session checkpoints its detector state to
+// <Dir>/<session>/ and write-ahead-logs each accepted frame, so a crash
+// or redeploy loses nothing: NewManager recovers persisted sessions
+// (newest snapshot + WAL-tail replay) under their original IDs, and the
+// recovered report stream is bit-for-bit the stream the uninterrupted
+// process would have produced.
+type Durability struct {
+	// Dir is the state root; empty disables durability entirely (the
+	// hot path then carries no persistence work at all).
+	Dir string
+	// SnapshotEvery is the automatic checkpoint cadence in frames: a
+	// session whose WAL reaches this length is snapshotted and the WAL
+	// rotated. 0 defaults to 256; negative disables automatic
+	// checkpoints (the WAL still grows, and Checkpoint still works).
+	SnapshotEvery int
+	// FsyncEvery is the WAL fsync policy (store.Options.FsyncEvery):
+	// 0 and 1 fsync every frame — a replied frame is on stable storage;
+	// n > 1 batches; negative never fsyncs.
+	FsyncEvery int
+}
+
+// StateStepper is the stepper extension durability requires: a session
+// can only be persisted if its pipeline state can be exported and
+// re-imported. *detect.Detector implements it; Create returns an error
+// for a durable manager whose Builder yields a bare Stepper.
+type StateStepper interface {
+	Stepper
+	ExportState() *detect.State
+	ImportState(*detect.State) error
+}
+
+// CheckpointInfo describes one completed checkpoint, returned by
+// Manager.Checkpoint and POST /v1/sessions/{id}/checkpoint.
+type CheckpointInfo struct {
+	// SessionID is the checkpointed session.
+	SessionID string `json:"sessionId"`
+	// FramesApplied is the absolute frame count folded into the
+	// snapshot — the point recovery resumes from with an empty WAL.
+	FramesApplied int `json:"framesApplied"`
+	// SnapshotBytes is the encoded snapshot size on disk.
+	SnapshotBytes int `json:"snapshotBytes"`
+}
+
+// Checkpoint forces a snapshot of one live session right now, rotating
+// its WAL. It runs under the session's step lock: the snapshot captures
+// a frame boundary, never a mid-step state, and the session cannot be
+// evicted or closed while the serialization is in progress.
+func (m *Manager) Checkpoint(id string) (CheckpointInfo, error) {
+	if m.store == nil {
+		return CheckpointInfo{}, ErrDurabilityDisabled
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if s.isClosed() || s.ds == nil {
+		return CheckpointInfo{}, fmt.Errorf("%w: session %s", ErrClosed, id)
+	}
+	n, err := m.persistSnapshot(s)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{SessionID: id, FramesApplied: s.ds.Applied(), SnapshotBytes: n}, nil
+}
+
+// Restore revives a persisted session — typically one that was idle-
+// evicted, whose on-disk state eviction deliberately keeps — under its
+// original ID. The detector is rebuilt from the session's profile, the
+// newest snapshot imported, and the WAL tail replayed, so the next
+// frame continues the report stream exactly where it left off.
+func (m *Manager) Restore(id string) (SessionInfo, error) {
+	if m.store == nil {
+		return SessionInfo{}, ErrDurabilityDisabled
+	}
+	m.gate.RLock()
+	running := m.state.Load() == stateRunning
+	m.gate.RUnlock()
+	if !running {
+		return SessionInfo{}, ErrClosed
+	}
+	m.mu.Lock()
+	if _, live := m.sessions[id]; live {
+		m.mu.Unlock()
+		return SessionInfo{}, fmt.Errorf("%w: %s", ErrSessionLive, id)
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return SessionInfo{}, ErrTooManySessions
+	}
+	closing := m.closing[id]
+	m.sessions[id] = nil // reserved
+	m.mu.Unlock()
+	if closing != nil {
+		// The session was just evicted or deleted and its teardown
+		// (final snapshot, WAL handle close) is still running; reading
+		// or reopening its files now could strand appends on a segment
+		// teardown is about to compact away. Wait it out.
+		<-closing
+	}
+
+	s, _, err := m.rebuildSession(id)
+	if err != nil {
+		m.mu.Lock()
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		if errors.Is(err, store.ErrNoSnapshot) || errors.Is(err, os.ErrNotExist) {
+			return SessionInfo{}, fmt.Errorf("%w: no persisted state for %s", ErrSessionNotFound, id)
+		}
+		return SessionInfo{}, err
+	}
+	m.mu.Lock()
+	if m.state.Load() != stateRunning {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		s.ds.Close()
+		s.stepper.Close()
+		return SessionInfo{}, ErrClosed
+	}
+	m.sessions[id] = s
+	live := len(m.sessions)
+	m.mu.Unlock()
+	m.mLive.Set(float64(live))
+	return s.info, nil
+}
+
+// initDurable makes a freshly built session durable before it becomes
+// visible: its store directory is created and an initial snapshot made
+// stable, so from the instant Create returns, a crash recovers the
+// session. Called from Create with the stepper not yet shared.
+func (m *Manager) initDurable(id string, spec Spec, stepper Stepper, info SessionInfo) (*store.SessionStore, error) {
+	ss, ok := stepper.(StateStepper)
+	if !ok {
+		return nil, fmt.Errorf("fleet: durability requires a StateStepper, Builder returned %T", stepper)
+	}
+	ds, err := m.store.Create(id)
+	if err != nil {
+		return nil, err
+	}
+	snap := &store.Snapshot{Robot: info.Robot, Workers: spec.Workers, Sensors: info.Sensors, Dt: info.Dt, State: ss.ExportState()}
+	if _, err := ds.WriteSnapshot(snap); err != nil {
+		ds.Close()
+		m.store.Remove(id)
+		return nil, err
+	}
+	return ds, nil
+}
+
+// persistSnapshot checkpoints s. The caller holds s.stepMu.
+func (m *Manager) persistSnapshot(s *session) (int, error) {
+	ss, ok := s.stepper.(StateStepper)
+	if !ok {
+		return 0, fmt.Errorf("fleet: session %s stepper %T cannot export state", s.info.ID, s.stepper)
+	}
+	snap := &store.Snapshot{Robot: s.info.Robot, Workers: s.spec.Workers, Sensors: s.info.Sensors, Dt: s.info.Dt, State: ss.ExportState()}
+	return s.ds.WriteSnapshot(snap)
+}
+
+// logFrame write-ahead-logs one successfully stepped frame and, when
+// the WAL reaches the snapshot cadence, rolls a checkpoint. The caller
+// holds s.stepMu and replies only after logFrame returns, so with
+// FsyncEvery ≤ 1 a replied frame is on stable storage. An append error
+// is surfaced to the client in place of the report: the frame was
+// applied in memory but its durability is unknown, and claiming success
+// would break the recovery contract.
+func (m *Manager) logFrame(s *session, job frameJob, rep *detect.Report) error {
+	frame := &trace.Frame{K: rep.Decision.Iteration, U: []float64(job.u), Readings: make(map[string][]float64, len(job.readings))}
+	for name, z := range job.readings {
+		frame.Readings[name] = []float64(z)
+	}
+	if err := s.ds.Append(frame); err != nil {
+		return fmt.Errorf("fleet: persist frame: %w", err)
+	}
+	if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
+		// The frame itself is already durable in the WAL; a failed
+		// checkpoint only postpones compaction, so it does not fail the
+		// frame. The next cadence boundary retries.
+		m.persistSnapshot(s)
+	}
+	return nil
+}
+
+// rebuildSession reconstructs one persisted session: newest snapshot,
+// detector rebuilt from the recorded profile, state imported, WAL tail
+// replayed. The returned session is not yet registered. The second
+// return is the number of frames replayed.
+func (m *Manager) rebuildSession(id string) (*session, int, error) {
+	ds, snap, frames, err := m.store.Recover(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) (*session, int, error) {
+		ds.Close()
+		return nil, 0, fmt.Errorf("fleet: restore session %s: %w", id, err)
+	}
+	spec := Spec{Robot: snap.Robot, Workers: snap.Workers}
+	stepper, info, err := m.cfg.Build(spec)
+	if err != nil {
+		return fail(err)
+	}
+	ss, ok := stepper.(StateStepper)
+	if !ok {
+		stepper.Close()
+		return fail(fmt.Errorf("builder returned %T, which cannot import state", stepper))
+	}
+	if err := validateIdentity(info, snap); err != nil {
+		stepper.Close()
+		return fail(err)
+	}
+	if err := ss.ImportState(snap.State); err != nil {
+		stepper.Close()
+		return fail(err)
+	}
+	for i, fr := range frames {
+		readings := make(map[string]mat.Vec, len(fr.Readings))
+		for name, z := range fr.Readings {
+			readings[name] = mat.Vec(z)
+		}
+		if _, err := stepper.StepContext(context.Background(), mat.Vec(fr.U), readings); err != nil {
+			stepper.Close()
+			return fail(fmt.Errorf("replay WAL frame %d/%d: %w", i+1, len(frames), err))
+		}
+	}
+	info.ID = id
+	s := &session{info: info, spec: spec, stepper: stepper, ds: ds, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	s.touch(m.now())
+	return s, len(frames), nil
+}
+
+// validateIdentity cross-checks the freshly built detector's wire
+// contract against the snapshot's recorded one. A disagreement means
+// the binary's profile diverged from the one that wrote the state;
+// importing would silently change what the session computes.
+func validateIdentity(info SessionInfo, snap *store.Snapshot) error {
+	if info.Robot != snap.Robot {
+		return fmt.Errorf("profile robot %q, snapshot %q", info.Robot, snap.Robot)
+	}
+	if info.Dt != snap.Dt {
+		return fmt.Errorf("profile dt %v, snapshot %v", info.Dt, snap.Dt)
+	}
+	if len(info.Sensors) != len(snap.Sensors) {
+		return fmt.Errorf("profile has %d sensors, snapshot %d", len(info.Sensors), len(snap.Sensors))
+	}
+	for i := range info.Sensors {
+		if info.Sensors[i] != snap.Sensors[i] {
+			return fmt.Errorf("sensor %d is %q, snapshot %q", i, info.Sensors[i], snap.Sensors[i])
+		}
+	}
+	return nil
+}
+
+// recoverSessions loads every persisted session at startup. A directory
+// without a valid snapshot is the artifact of a crash mid-Create — the
+// session was never durable — and is silently removed. Any other
+// failure aborts the manager: durable state that exists but cannot be
+// restored is an operator problem, not something to drop silently.
+// Called from NewManager before the shard workers start.
+func (m *Manager) recoverSessions() error {
+	ids, err := m.store.Sessions()
+	if err != nil {
+		return err
+	}
+	var recovered []*session
+	abort := func(err error) error {
+		for _, s := range recovered {
+			s.ds.Close()
+			s.stepper.Close()
+			delete(m.sessions, s.info.ID)
+		}
+		return err
+	}
+	replayed := 0
+	for _, id := range ids {
+		s, n, err := m.rebuildSession(id)
+		if errors.Is(err, store.ErrNoSnapshot) {
+			m.store.Remove(id)
+			continue
+		}
+		if err != nil {
+			return abort(err)
+		}
+		m.sessions[id] = s
+		recovered = append(recovered, s)
+		replayed += n
+		if num, ok := sessionNum(id); ok && num > m.nextID {
+			m.nextID = num
+		}
+	}
+	m.store.SetRecovered(len(recovered))
+	m.store.CountReplayed(replayed)
+	m.mLive.Set(float64(len(recovered)))
+	return nil
+}
+
+// sessionNum parses the numeric suffix of a manager-assigned session ID
+// so recovery can continue the ID sequence without collisions.
+func sessionNum(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "s-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

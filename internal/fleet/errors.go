@@ -24,6 +24,12 @@ var (
 	// ErrTooManySessions reports the MaxSessions cap; the client should
 	// retry creation later or close sessions it no longer needs.
 	ErrTooManySessions = errors.New("fleet: session limit reached")
+	// ErrDurabilityDisabled reports a checkpoint or restore request on a
+	// manager running without Config.Durability.
+	ErrDurabilityDisabled = errors.New("fleet: durability not enabled")
+	// ErrSessionLive reports a restore request for a session that is
+	// already live; there is nothing to restore.
+	ErrSessionLive = errors.New("fleet: session already live")
 )
 
 // BackpressureError is the concrete rejection returned when a session's

@@ -28,6 +28,7 @@ import (
 
 	"roboads/internal/detect"
 	"roboads/internal/mat"
+	"roboads/internal/store"
 	"roboads/internal/telemetry"
 )
 
@@ -125,6 +126,10 @@ type Config struct {
 	// Metrics receives the fleet gauges and counters; nil uses a
 	// private registry (metrics still maintained, just not exported).
 	Metrics *telemetry.Registry
+	// Durability, when its Dir is set, persists every session (snapshot
+	// + frame WAL) and recovers persisted sessions at startup. The zero
+	// value disables persistence; the frame hot path is then untouched.
+	Durability Durability
 }
 
 // Manager is the fleet session service. All methods are safe for
@@ -145,11 +150,19 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
-	nextID   int64
+	// closing marks sessions removed from the map whose teardown (final
+	// snapshot, WAL close) is still running; Restore waits on the entry
+	// so it never reads or reopens files mid-teardown.
+	closing map[string]chan struct{}
+	nextID  int64
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	now         func() time.Time
+
+	// store is the durability layer; nil when Config.Durability is off.
+	store         *store.Store
+	snapshotEvery int
 
 	queued atomic.Int64
 
@@ -191,6 +204,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg:      cfg,
 		runq:     make(chan *session, cfg.MaxSessions),
 		sessions: make(map[string]*session),
+		closing:  make(map[string]chan struct{}),
 		now:      time.Now,
 
 		mLive:        reg.Gauge(MetricSessionsLive, "Live fleet sessions."),
@@ -201,6 +215,23 @@ func NewManager(cfg Config) (*Manager, error) {
 		mFrames:      reg.Counter(MetricFrames, "Frames stepped through a session detector."),
 		mErrors:      reg.Counter(MetricFrameErrors, "Frames whose detector step returned an error."),
 		mStepSeconds: reg.Histogram(MetricStepSeconds, "Per-frame detector step latency in seconds.", telemetry.LatencyBuckets()),
+	}
+	if cfg.Durability.Dir != "" {
+		m.snapshotEvery = cfg.Durability.SnapshotEvery
+		if m.snapshotEvery == 0 {
+			m.snapshotEvery = 256
+		}
+		st, err := store.Open(cfg.Durability.Dir, store.Options{FsyncEvery: cfg.Durability.FsyncEvery, Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		m.store = st
+		// Recover persisted sessions before any worker or client can
+		// observe the manager, so recovered IDs are live from the start
+		// and freshly assigned IDs never collide with them.
+		if err := m.recoverSessions(); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -247,7 +278,20 @@ func (m *Manager) Create(spec Spec) (SessionInfo, error) {
 		return SessionInfo{}, err
 	}
 	info.ID = id
-	s := &session{info: info, stepper: stepper, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	s := &session{info: info, spec: spec, stepper: stepper, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	if m.store != nil {
+		// The initial snapshot becomes durable before the session is
+		// visible: once Create returns, a crash recovers the session.
+		ds, err := m.initDurable(id, spec, stepper, info)
+		if err != nil {
+			m.mu.Lock()
+			delete(m.sessions, id)
+			m.mu.Unlock()
+			stepper.Close()
+			return SessionInfo{}, err
+		}
+		s.ds = ds
+	}
 	s.touch(m.now())
 
 	m.mu.Lock()
@@ -256,6 +300,9 @@ func (m *Manager) Create(spec Spec) (SessionInfo, error) {
 		// already collected the session map, so close this one here.
 		delete(m.sessions, id)
 		m.mu.Unlock()
+		if s.ds != nil {
+			s.ds.Close()
+		}
 		stepper.Close()
 		return SessionInfo{}, ErrClosed
 	}
@@ -352,11 +399,33 @@ func (m *Manager) Close(id string) error {
 		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 	}
 	delete(m.sessions, id)
+	ch := m.markClosing(id)
 	live := len(m.sessions)
 	m.mu.Unlock()
 	m.mLive.Set(float64(live))
-	m.closeSession(s)
+	// Explicit deletion discards persisted state too: the client said
+	// the session is finished, so nothing remains to restore.
+	m.closeSession(s, false)
+	if m.store != nil {
+		m.store.Remove(id)
+	}
+	m.doneClosing(id, ch)
 	return nil
+}
+
+// markClosing registers an in-flight teardown for id. Caller holds m.mu.
+func (m *Manager) markClosing(id string) chan struct{} {
+	ch := make(chan struct{})
+	m.closing[id] = ch
+	return ch
+}
+
+// doneClosing publishes that id's teardown finished.
+func (m *Manager) doneClosing(id string, ch chan struct{}) {
+	m.mu.Lock()
+	delete(m.closing, id)
+	m.mu.Unlock()
+	close(ch)
 }
 
 // Shutdown drains and stops the manager: new sessions and frames are
@@ -397,7 +466,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.sessions = make(map[string]*session)
 	m.mu.Unlock()
 	for _, s := range victims {
-		m.closeSession(s)
+		m.closeSession(s, true)
 	}
 	// Now finite even on a timed-out drain: queued frames were answered
 	// by closeSession, and each worker finishes at most one step.
@@ -467,6 +536,14 @@ func (m *Manager) process(s *session, job frameJob) {
 	} else {
 		rep, err = s.stepper.StepContext(context.Background(), job.u, job.readings)
 		m.mFrames.Inc()
+		if err == nil && s.ds != nil {
+			// Reply-after-fsync ordering: the frame is in the WAL (and,
+			// with FsyncEvery ≤ 1, on stable storage) before the client
+			// hears success, so a replied frame survives any crash.
+			if derr := m.logFrame(s, job, rep); derr != nil {
+				rep, err = nil, derr
+			}
+		}
 		if err != nil {
 			m.mErrors.Inc()
 		}
@@ -480,8 +557,10 @@ func (m *Manager) process(s *session, job frameJob) {
 
 // closeSession marks the session closed (rejecting new pushes), answers
 // every queued frame with ErrClosed, and closes the detector once any
-// in-flight step finishes.
-func (m *Manager) closeSession(s *session) {
+// in-flight step (or in-flight Checkpoint — both hold stepMu) finishes.
+// With persist, a final snapshot is written first so eviction and
+// shutdown leave the session restorable at its exact frame boundary.
+func (m *Manager) closeSession(s *session, persist bool) {
 	s.closeMu.Lock()
 	if s.closed {
 		s.closeMu.Unlock()
@@ -500,6 +579,16 @@ func (m *Manager) closeSession(s *session) {
 		}
 	}
 	s.stepMu.Lock()
+	if s.ds != nil {
+		if persist && s.ds.SinceSnapshot() > 0 {
+			// Best-effort: the WAL already makes every frame durable,
+			// so a failed final snapshot only means recovery replays a
+			// longer tail.
+			m.persistSnapshot(s)
+		}
+		s.ds.Close()
+		s.ds = nil
+	}
 	s.stepper.Close()
 	s.stepMu.Unlock()
 }
@@ -524,6 +613,7 @@ func (m *Manager) evictIdle() {
 	cutoff := m.now().Add(-m.cfg.IdleTimeout).UnixNano()
 	m.mu.Lock()
 	var victims []*session
+	var chans []chan struct{}
 	for id, s := range m.sessions {
 		if s == nil {
 			continue
@@ -531,6 +621,7 @@ func (m *Manager) evictIdle() {
 		if s.lastActive.Load() <= cutoff && len(s.frames) == 0 && !s.scheduled.Load() {
 			delete(m.sessions, id)
 			victims = append(victims, s)
+			chans = append(chans, m.markClosing(id))
 		}
 	}
 	live := len(m.sessions)
@@ -538,8 +629,12 @@ func (m *Manager) evictIdle() {
 	if len(victims) == 0 {
 		return
 	}
-	for _, s := range victims {
-		m.closeSession(s)
+	for i, s := range victims {
+		// Eviction keeps persisted state: the session disappears from
+		// the live map (clients see ErrSessionNotFound) but Restore can
+		// revive it from its final snapshot.
+		m.closeSession(s, true)
+		m.doneClosing(s.info.ID, chans[i])
 		m.mEvicted.Inc()
 	}
 	m.mLive.Set(float64(live))
@@ -577,7 +672,9 @@ type frameResult struct {
 // time, and never concurrently with Stepper.Close).
 type session struct {
 	info       SessionInfo
+	spec       Spec // the build spec, recorded for snapshot identity
 	stepper    Stepper
+	ds         *store.SessionStore // nil when durability is off; guarded by stepMu
 	frames     chan frameJob
 	scheduled  atomic.Bool
 	lastActive atomic.Int64 // UnixNano of last accepted or finished frame

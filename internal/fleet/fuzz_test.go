@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWireDecode drives the fleet HTTP wire decoders (CreateRequest and
+// ReplyLine, the two bodies clients and servers parse) with arbitrary
+// bytes: malformed input must error, never panic, and accepted values
+// must survive a re-encode/re-decode cycle.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"robot":"khepera","workers":2}`))
+	f.Add([]byte(`{"restore":"s-000001"}`))
+	f.Add([]byte(`{"k":3,"report":{"k":3,"mode":"nominal","x":[1,2,3],"weights":[0.5,0.5]}}`))
+	f.Add([]byte(`{"k":1,"error":"fleet: closed","closed":true}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req CreateRequest
+		if err := json.Unmarshal(data, &req); err == nil {
+			out, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted CreateRequest failed to re-encode: %v", err)
+			}
+			var req2 CreateRequest
+			if err := json.Unmarshal(out, &req2); err != nil || req2 != req {
+				t.Fatalf("CreateRequest changed across round trip: %+v vs %+v", req2, req)
+			}
+		}
+		var line ReplyLine
+		if err := json.Unmarshal(data, &line); err == nil {
+			out, err := json.Marshal(line)
+			if err != nil {
+				t.Fatalf("accepted ReplyLine failed to re-encode: %v", err)
+			}
+			var line2 ReplyLine
+			if err := json.Unmarshal(out, &line2); err != nil {
+				t.Fatalf("re-encoded ReplyLine failed to decode: %v", err)
+			}
+			again, err := json.Marshal(line2)
+			if err != nil || !bytes.Equal(out, again) {
+				t.Fatalf("ReplyLine encoding not stable: %s vs %s (err %v)", out, again, err)
+			}
+		}
+	})
+}

@@ -17,11 +17,13 @@ import (
 
 // Handler returns the fleet's HTTP API:
 //
-//	POST   /v1/sessions             create a session (CreateRequest → SessionInfo)
-//	GET    /v1/sessions             list sessions ([]SessionStatus)
-//	POST   /v1/sessions/{id}/step   step one trace.Frame (→ ReplyLine)
-//	POST   /v1/sessions/{id}/frames stream trace.Frame NDJSON in, ReplyLine NDJSON out
-//	DELETE /v1/sessions/{id}        close a session
+//	POST   /v1/sessions                  create a session (CreateRequest → SessionInfo),
+//	                                     or restore a persisted one (CreateRequest.Restore)
+//	GET    /v1/sessions                  list sessions ([]SessionStatus)
+//	POST   /v1/sessions/{id}/step        step one trace.Frame (→ ReplyLine)
+//	POST   /v1/sessions/{id}/frames      stream trace.Frame NDJSON in, ReplyLine NDJSON out
+//	POST   /v1/sessions/{id}/checkpoint  snapshot the session now (→ CheckpointInfo)
+//	DELETE /v1/sessions/{id}             close a session (and discard its persisted state)
 //
 // Frames use the trace wire format (trace.Frame, no header line), so a
 // recorded trace body replays against a live session verbatim. The
@@ -34,6 +36,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", m.handleStep)
 	mux.HandleFunc("POST /v1/sessions/{id}/frames", m.handleFrames)
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", m.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
 	return mux
 }
@@ -44,11 +47,26 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode create request: %w", err))
 		return
 	}
-	info, err := m.Create(Spec{Robot: req.Robot, Workers: req.Workers})
+	var info SessionInfo
+	var err error
+	if req.Restore != "" {
+		info, err = m.Restore(req.Restore)
+	} else {
+		info, err = m.Create(Spec{Robot: req.Robot, Workers: req.Workers})
+	}
 	switch {
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrSessionNotFound):
+		httpError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrSessionLive):
+		httpError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrDurabilityDisabled):
+		httpError(w, http.StatusNotImplemented, err)
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
@@ -62,6 +80,28 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(m.Sessions())
+}
+
+// handleCheckpoint snapshots a live session on demand, rotating its
+// WAL. 501 means the server runs without a state directory.
+func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := m.Checkpoint(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrDurabilityDisabled):
+		httpError(w, http.StatusNotImplemented, err)
+		return
+	case errors.Is(err, ErrSessionNotFound):
+		httpError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusGone, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
 }
 
 func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -65,6 +65,11 @@ type CreateRequest struct {
 	// Workers optionally overrides the session's mode-bank worker count
 	// (see Spec.Workers).
 	Workers int `json:"workers,omitempty"`
+	// Restore, when set, revives the named persisted session (e.g. one
+	// that was idle-evicted) under its original ID instead of creating
+	// a new one; Robot and Workers are then ignored — the session's
+	// recorded profile wins. Requires a durable manager.
+	Restore string `json:"restore,omitempty"`
 }
 
 // ReplyLine is one NDJSON line streamed back per submitted frame, and

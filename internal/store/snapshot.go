@@ -1,0 +1,143 @@
+// Package store is the durability layer of the fleet session service: a
+// versioned snapshot codec plus a per-session append-only write-ahead
+// log of accepted frames. Together they make a hosted detector's state
+// survive a crash or redeploy bit-for-bit — recovery loads the newest
+// valid snapshot and replays the WAL tail through a freshly built
+// detector, after which the next frame produces exactly the report the
+// uninterrupted process would have produced.
+//
+// On-disk layout (one directory per session):
+//
+//	<dir>/<session>/snapshot-<k>        snapshot after k applied frames
+//	<dir>/<session>/wal-<k>.ndjson      frames k+1, k+2, … (CRC-checked)
+//
+// Snapshots are written to a temporary file and atomically renamed, so
+// a crash mid-write never corrupts the previous snapshot; writing
+// snapshot-<k> rotates the WAL to wal-<k>.ndjson and removes older
+// pairs (compaction). A torn WAL tail — the normal artifact of a crash
+// mid-append — is detected by per-record CRCs and sequence numbers and
+// silently truncated at the last valid record.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"roboads/internal/detect"
+)
+
+// SnapshotVersion is the current snapshot codec version. Decoders
+// refuse other versions with ErrSnapshotVersion rather than guessing:
+// the payload schema may have changed incompatibly. The versioning
+// policy is append-only — new optional JSON fields do not bump the
+// version; removed or re-interpreted fields do.
+const SnapshotVersion = 1
+
+// snapshotMagic brands a snapshot file so arbitrary files (and traces)
+// are rejected immediately.
+var snapshotMagic = [6]byte{'R', 'B', 'S', 'N', 'A', 'P'}
+
+// envelope layout: magic[6] | version uint16 | payloadLen uint32 |
+// payload | crc32(payload) uint32, all little-endian.
+const envelopeHeaderLen = 6 + 2 + 4
+const envelopeTrailerLen = 4
+
+// maxSnapshotPayload bounds a decoded payload allocation so a corrupt
+// or hostile length field cannot OOM the process. Real snapshots are a
+// few kilobytes.
+const maxSnapshotPayload = 64 << 20
+
+// Snapshot codec errors.
+var (
+	// ErrSnapshotCorrupt indicates a snapshot whose envelope is
+	// malformed, truncated, or fails its checksum.
+	ErrSnapshotCorrupt = errors.New("store: corrupt snapshot")
+	// ErrSnapshotVersion indicates a snapshot recorded under a
+	// different codec version.
+	ErrSnapshotVersion = errors.New("store: unsupported snapshot version")
+)
+
+// Snapshot is one serialized detector checkpoint: the session identity
+// needed to rebuild the detector plus the complete pipeline state.
+type Snapshot struct {
+	// SessionID is the fleet session identifier.
+	SessionID string `json:"sessionId"`
+	// Robot names the platform profile the session hosts.
+	Robot string `json:"robot"`
+	// Workers is the session's mode-bank worker override (Spec.Workers).
+	Workers int `json:"workers,omitempty"`
+	// Sensors and Dt mirror the session's wire contract; recovery
+	// validates them against the freshly built detector's profile.
+	Sensors []string `json:"sensors"`
+	Dt      float64  `json:"dtSeconds"`
+	// FramesApplied counts the frames folded into State — the WAL
+	// segment paired with this snapshot continues at FramesApplied+1.
+	FramesApplied int `json:"framesApplied"`
+	// State is the detector's exported pipeline state.
+	State *detect.State `json:"state"`
+}
+
+// EncodeSnapshot serializes a snapshot into the versioned CRC-checked
+// envelope. The payload is JSON: encoding/json renders float64 with
+// shortest-exact precision, so every filter quantity round-trips
+// bit-for-bit.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
+	if snap == nil || snap.State == nil {
+		return nil, errors.New("store: nil snapshot")
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	out := make([]byte, envelopeHeaderLen+len(payload)+envelopeTrailerLen)
+	copy(out, snapshotMagic[:])
+	binary.LittleEndian.PutUint16(out[6:], SnapshotVersion)
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(payload)))
+	copy(out[envelopeHeaderLen:], payload)
+	crc := crc32.ChecksumIEEE(payload)
+	binary.LittleEndian.PutUint32(out[envelopeHeaderLen+len(payload):], crc)
+	return out, nil
+}
+
+// DecodeSnapshot parses and validates a snapshot envelope. Truncated,
+// bit-flipped, or foreign inputs return ErrSnapshotCorrupt (or
+// ErrSnapshotVersion for a valid envelope of another version); no input
+// panics.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < envelopeHeaderLen+envelopeTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes (want at least %d)", ErrSnapshotCorrupt, len(data), envelopeHeaderLen+envelopeTrailerLen)
+	}
+	if [6]byte(data[:6]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	version := binary.LittleEndian.Uint16(data[6:])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrSnapshotVersion, version, SnapshotVersion)
+	}
+	payloadLen := binary.LittleEndian.Uint32(data[8:])
+	if payloadLen > maxSnapshotPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrSnapshotCorrupt, payloadLen)
+	}
+	if len(data) != envelopeHeaderLen+int(payloadLen)+envelopeTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes (header says %d payload)", ErrSnapshotCorrupt, len(data), payloadLen)
+	}
+	payload := data[envelopeHeaderLen : envelopeHeaderLen+int(payloadLen)]
+	want := binary.LittleEndian.Uint32(data[envelopeHeaderLen+int(payloadLen):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x (want %08x)", ErrSnapshotCorrupt, got, want)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotCorrupt, err)
+	}
+	if snap.State == nil || snap.State.Engine == nil || snap.State.Decider == nil {
+		return nil, fmt.Errorf("%w: incomplete state", ErrSnapshotCorrupt)
+	}
+	if snap.FramesApplied < 0 {
+		return nil, fmt.Errorf("%w: negative frame count", ErrSnapshotCorrupt)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,467 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"roboads/internal/telemetry"
+	"roboads/internal/trace"
+)
+
+// Metric names registered by a Store (nil-safe: a private registry is
+// used when Options.Metrics is nil).
+const (
+	// MetricSnapshotBytes is the encoded-snapshot size histogram.
+	MetricSnapshotBytes = "roboads_store_snapshot_bytes"
+	// MetricSnapshotSeconds is the snapshot write latency histogram
+	// (export + encode + durable write + compaction).
+	MetricSnapshotSeconds = "roboads_store_snapshot_seconds"
+	// MetricWALAppends counts WAL records appended.
+	MetricWALAppends = "roboads_store_wal_appends_total"
+	// MetricWALFsyncs counts WAL fsync calls.
+	MetricWALFsyncs = "roboads_store_wal_fsync_total"
+	// MetricRecoveredSessions gauges the sessions restored from disk by
+	// the most recent startup recovery.
+	MetricRecoveredSessions = "roboads_store_recovered_sessions"
+	// MetricRecoveredFrames counts WAL frames replayed during recovery.
+	MetricRecoveredFrames = "roboads_store_recovered_frames_total"
+)
+
+// ErrNoSnapshot reports a session directory holding no decodable
+// snapshot — either a session that crashed before its first checkpoint
+// became durable, or a directory this store does not own.
+var ErrNoSnapshot = errors.New("store: no valid snapshot")
+
+// Options parameterizes a Store. The zero value of every field has a
+// usable default.
+type Options struct {
+	// FsyncEvery is the WAL durability knob: 1 (and 0, the default)
+	// fsyncs every appended frame — a frame acknowledged to the client
+	// is on stable storage; n > 1 batches n appends per fsync, trading
+	// the tail of a crash for throughput; negative never fsyncs and
+	// leaves durability to the OS page cache (benchmarks, tests).
+	FsyncEvery int
+	// Metrics receives the store histograms and counters; nil uses a
+	// private registry.
+	Metrics *telemetry.Registry
+}
+
+// Store is the on-disk root of the durability layer: one subdirectory
+// per session, each holding a snapshot and its WAL segment. Store
+// methods are safe for concurrent use across sessions; a single
+// SessionStore is serialized by its owning session.
+type Store struct {
+	dir  string
+	opts Options
+
+	mSnapBytes   *telemetry.Histogram
+	mSnapSeconds *telemetry.Histogram
+	mAppends     *telemetry.Counter
+	mFsyncs      *telemetry.Counter
+	mRecovered   *telemetry.Gauge
+	mReplayed    *telemetry.Counter
+}
+
+// Open prepares dir as a durability root, creating it if needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if opts.FsyncEvery == 0 {
+		opts.FsyncEvery = 1
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Store{
+		dir:          dir,
+		opts:         opts,
+		mSnapBytes:   reg.Histogram(MetricSnapshotBytes, "Encoded snapshot size in bytes.", byteBuckets()),
+		mSnapSeconds: reg.Histogram(MetricSnapshotSeconds, "Snapshot write latency in seconds.", telemetry.LatencyBuckets()),
+		mAppends:     reg.Counter(MetricWALAppends, "WAL records appended."),
+		mFsyncs:      reg.Counter(MetricWALFsyncs, "WAL fsync calls."),
+		mRecovered:   reg.Gauge(MetricRecoveredSessions, "Sessions restored by the last startup recovery."),
+		mReplayed:    reg.Counter(MetricRecoveredFrames, "WAL frames replayed during recovery."),
+	}, nil
+}
+
+// Dir returns the store root.
+func (st *Store) Dir() string { return st.dir }
+
+// SetRecovered publishes the recovery gauge; the fleet manager calls it
+// once startup recovery completes.
+func (st *Store) SetRecovered(sessions int) { st.mRecovered.Set(float64(sessions)) }
+
+// CountReplayed adds to the recovery frame-replay counter.
+func (st *Store) CountReplayed(frames int) { st.mReplayed.Add(int64(frames)) }
+
+// Sessions lists the session IDs with a directory under the root,
+// sorted lexically. Presence does not imply recoverability — Recover
+// reports ErrNoSnapshot for directories without a durable checkpoint.
+func (st *Store) Sessions() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list sessions: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes a session's persisted state entirely (explicit session
+// deletion — eviction keeps state so the session can be restored).
+func (st *Store) Remove(id string) error {
+	dir, err := st.sessionDir(id)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}
+
+// Create opens the durability state for a brand-new session. The
+// session is not durable until its first WriteSnapshot succeeds:
+// recovery treats a directory without a valid snapshot as a session
+// whose creation never completed.
+func (st *Store) Create(id string) (*SessionStore, error) {
+	dir, err := st.sessionDir(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create session %s: %w", id, err)
+	}
+	return &SessionStore{st: st, id: id, dir: dir}, nil
+}
+
+// Recover loads a persisted session: the newest decodable snapshot plus
+// the valid prefix of its WAL segment. A torn or corrupt WAL tail — the
+// normal artifact of a crash mid-append — is physically truncated so
+// subsequent appends extend the valid prefix. The returned SessionStore
+// continues the recovered WAL segment.
+func (st *Store) Recover(id string) (*SessionStore, *Snapshot, []*trace.Frame, error) {
+	dir, err := st.sessionDir(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	snap, snapIdx, err := st.loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	walPath := filepath.Join(dir, walName(snapIdx))
+	frames, validBytes, err := recoverWALFile(walPath, snap.FramesApplied+1)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: recover session %s: %w", id, err)
+	}
+	if validBytes >= 0 {
+		if err := os.Truncate(walPath, validBytes); err != nil {
+			return nil, nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+	}
+	applied := snap.FramesApplied + len(frames)
+	w, err := openWAL(walPath, applied, st.opts.FsyncEvery)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := &SessionStore{st: st, id: id, dir: dir, wal: w, base: snap.FramesApplied, applied: applied}
+	return s, snap, frames, nil
+}
+
+// loadNewestSnapshot decodes the highest-indexed valid snapshot in dir,
+// falling back to older ones when the newest is corrupt (a crash can
+// tear at most the file being written, which the atomic rename already
+// excludes, but defense in depth costs one readdir).
+func (st *Store) loadNewestSnapshot(dir string) (*Snapshot, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read session dir: %w", err)
+	}
+	var indices []int
+	for _, e := range entries {
+		if k, ok := snapshotIndex(e.Name()); ok {
+			indices = append(indices, k)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(indices)))
+	var lastErr error = ErrNoSnapshot
+	for _, k := range indices {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(k)))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if snap.FramesApplied != k {
+			lastErr = fmt.Errorf("%w: snapshot-%d declares %d frames", ErrSnapshotCorrupt, k, snap.FramesApplied)
+			continue
+		}
+		return snap, k, nil
+	}
+	return nil, 0, fmt.Errorf("store: %s: %w", dir, lastErr)
+}
+
+func (st *Store) sessionDir(id string) (string, error) {
+	if id == "" || id != filepath.Base(id) || strings.HasPrefix(id, ".") {
+		return "", fmt.Errorf("store: invalid session id %q", id)
+	}
+	return filepath.Join(st.dir, id), nil
+}
+
+// recoverWALFile reads the valid record prefix of the segment at path.
+// validBytes is the byte length of that prefix when a torn tail must be
+// truncated away, or -1 when the file is already clean (including when
+// it does not exist yet).
+func recoverWALFile(path string, firstSeq int) (frames []*trace.Frame, validBytes int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, -1, nil
+	}
+	if err != nil {
+		return nil, -1, err
+	}
+	offset := int64(0)
+	next := firstSeq
+	for len(data) > 0 {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// Final line has no newline: torn mid-append.
+			return frames, offset, nil
+		}
+		line := data[:nl]
+		seq, frame, derr := DecodeWALRecord(line)
+		if derr != nil || seq != next {
+			return frames, offset, nil
+		}
+		frames = append(frames, frame)
+		next++
+		offset += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	return frames, -1, nil
+}
+
+// SessionStore is one session's durability state: the current WAL
+// segment plus snapshot rotation. Methods are not safe for concurrent
+// use — the fleet session serializes them behind its step lock.
+type SessionStore struct {
+	st      *Store
+	id      string
+	dir     string
+	wal     *walWriter
+	base    int // FramesApplied of the current snapshot
+	applied int // absolute index of the last appended frame
+}
+
+// Applied returns the absolute index of the last durable-or-appended
+// frame (snapshot base plus WAL records).
+func (s *SessionStore) Applied() int { return s.applied }
+
+// SinceSnapshot returns the number of frames appended since the current
+// snapshot — the WAL length recovery would have to replay. Callers use
+// it to pace automatic checkpoints.
+func (s *SessionStore) SinceSnapshot() int { return s.applied - s.base }
+
+// Append logs one accepted frame, fsyncing per the store policy. It
+// must follow a successful WriteSnapshot (the segment is created by
+// snapshot rotation).
+func (s *SessionStore) Append(frame *trace.Frame) error {
+	if s.wal == nil {
+		return errors.New("store: session has no WAL segment (write a snapshot first)")
+	}
+	seq, synced, err := s.wal.append(frame)
+	if err != nil {
+		return err
+	}
+	s.applied = seq
+	s.st.mAppends.Inc()
+	if synced {
+		s.st.mFsyncs.Inc()
+	}
+	return nil
+}
+
+// WriteSnapshot persists a checkpoint of the session at its current
+// applied-frame count and rotates the WAL: the snapshot is written to a
+// temporary file, fsynced, atomically renamed to snapshot-<k>, the
+// directory entry fsynced, a fresh wal-<k>.ndjson started, and only
+// then are older snapshot/WAL pairs removed — so every instant of the
+// sequence leaves at least one recoverable (snapshot, WAL) pair on
+// disk. snap.FramesApplied is set by the store; the caller fills the
+// identity and state fields. Returns the encoded snapshot size.
+func (s *SessionStore) WriteSnapshot(snap *Snapshot) (int, error) {
+	start := time.Now()
+	snap.SessionID = s.id
+	snap.FramesApplied = s.applied
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	k := s.applied
+	tmp, err := os.CreateTemp(s.dir, ".snapshot-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName(k))); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	syncDir(s.dir)
+
+	// Rotate: further appends land in the segment paired with this
+	// snapshot. Recreate (truncate) rather than append — two snapshots
+	// at the same k (e.g. checkpoint with no frames in between) restart
+	// the same segment, and its records are re-derived from the newer
+	// snapshot anyway.
+	if s.wal != nil {
+		s.wal.close()
+	}
+	w, err := openWALTrunc(filepath.Join(s.dir, walName(k)), k, s.st.opts.FsyncEvery)
+	if err != nil {
+		return 0, err
+	}
+	s.wal = w
+	s.base = k
+	s.compact(k)
+
+	s.st.mSnapBytes.Observe(float64(len(data)))
+	s.st.mSnapSeconds.Observe(time.Since(start).Seconds())
+	return len(data), nil
+}
+
+// compact removes snapshot/WAL files of generations other than keep.
+func (s *SessionStore) compact(keep int) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return // compaction is advisory; recovery tolerates leftovers
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if k, ok := snapshotIndex(name); ok && k != keep {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+		if k, ok := walIndex(name); ok && k != keep {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+		if strings.HasPrefix(name, ".snapshot-") && strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (s *SessionStore) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.st.mFsyncs.Inc()
+	return s.wal.sync()
+}
+
+// Close releases the WAL file handle. It does not sync: callers that
+// need durability checkpoint or Sync first.
+func (s *SessionStore) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}
+
+// openWALTrunc creates or truncates the segment at path.
+func openWALTrunc(path string, lastSeq, fsyncEvery int) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	return &walWriter{f: f, seq: lastSeq, fsyncEvery: fsyncEvery}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func snapshotName(k int) string { return "snapshot-" + strconv.Itoa(k) }
+func walName(k int) string      { return "wal-" + strconv.Itoa(k) + ".ndjson" }
+
+func snapshotIndex(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "snapshot-")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+func walIndex(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".ndjson")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// byteBuckets spans 256 B .. 16 MiB exponentially for the snapshot
+// size histogram.
+func byteBuckets() []float64 {
+	out := make([]float64, 0, 17)
+	for b := 256.0; b <= 16*1024*1024; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}

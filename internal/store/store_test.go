@@ -1,0 +1,462 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roboads/internal/core"
+	"roboads/internal/detect"
+	"roboads/internal/telemetry"
+	"roboads/internal/trace"
+)
+
+// testState builds a small but fully populated detector state literal —
+// the codec does not interpret it, only round-trips it.
+func testState() *detect.State {
+	return &detect.State{
+		Engine: &core.EngineState{
+			K:        41,
+			Selected: 1,
+			Weights:  []float64{0.25, 0.75},
+			X:        []float64{1.5, -2.25, 0.0078125},
+			Px:       []float64{1, 0, 0, 0, 1, 0, 0, 0, 1},
+			Modes: []core.ModeBelief{
+				{Name: "nominal", X: []float64{1, 2, 3}, Px: []float64{1, 0, 0, 0, 1, 0, 0, 0, 1}},
+				{Name: "gps", X: []float64{4, 5, 6}, Px: []float64{2, 0, 0, 0, 2, 0, 0, 0, 2}},
+			},
+			ConfigHash: 0xdeadbeef,
+		},
+		Decider: &detect.DeciderState{
+			Sensor:     detect.WindowState{Size: 10, Criteria: 5, Outcomes: []bool{true, false, true}},
+			Actuator:   detect.WindowState{Size: 14, Criteria: 10, Outcomes: []bool{true, true}},
+			PerSensor:  map[string]detect.WindowState{"gps": {Size: 10, Criteria: 5, Outcomes: []bool{false, true}}},
+			ConfigHash: 0xfeedface,
+		},
+	}
+}
+
+func testSnapshot(frames int) *Snapshot {
+	return &Snapshot{
+		SessionID:     "sess-1",
+		Robot:         "khepera",
+		Workers:       2,
+		Sensors:       []string{"gps", "imu"},
+		Dt:            0.02,
+		FramesApplied: frames,
+		State:         testState(),
+	}
+}
+
+func testFrame(k int) *trace.Frame {
+	return &trace.Frame{
+		K:        k,
+		TNanos:   int64(k) * 20_000_000,
+		U:        []float64{0.1 * float64(k), -0.2},
+		Readings: map[string][]float64{"gps": {1.25, 2.5}, "imu": {0.75}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := testSnapshot(41)
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.SessionID != snap.SessionID || got.Robot != snap.Robot || got.Workers != snap.Workers ||
+		got.Dt != snap.Dt || got.FramesApplied != snap.FramesApplied {
+		t.Fatalf("identity fields changed: %+v", got)
+	}
+	if got.State.Engine.K != 41 || len(got.State.Engine.Modes) != 2 {
+		t.Fatalf("engine state changed: %+v", got.State.Engine)
+	}
+	if got.State.Engine.Modes[1].Px[0] != 2 {
+		t.Fatalf("mode covariance changed")
+	}
+	if got.State.Decider.Sensor.Outcomes[0] != true || got.State.Decider.PerSensor["gps"].Size != 10 {
+		t.Fatalf("decider state changed: %+v", got.State.Decider)
+	}
+	// Re-encoding a decoded snapshot must be byte-identical: the codec
+	// is deterministic, so snapshots can be compared as raw bytes.
+	again, err := EncodeSnapshot(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoded snapshot differs")
+	}
+}
+
+func TestDecodeSnapshotTruncated(t *testing.T) {
+	data, err := EncodeSnapshot(testSnapshot(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := DecodeSnapshot(data[:cut]); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrSnapshotCorrupt", cut, err)
+		}
+	}
+}
+
+func TestDecodeSnapshotBitFlips(t *testing.T) {
+	data, err := EncodeSnapshot(testSnapshot(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i += 3 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeSnapshotVersionSkew(t *testing.T) {
+	data, err := EncodeSnapshot(testSnapshot(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[6], data[7] = 2, 0 // version 2 little-endian
+	if _, err := DecodeSnapshot(data); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version skew: got %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	line, err := EncodeWALRecord(3, testFrame(2))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("record is not newline-terminated")
+	}
+	seq, frame, err := DecodeWALRecord(line[:len(line)-1])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if seq != 3 || frame.K != 2 || frame.U[0] != 0.2 || frame.Readings["gps"][1] != 2.5 {
+		t.Fatalf("round trip changed record: seq=%d frame=%+v", seq, frame)
+	}
+	// Any bit flip must fail the CRC or the JSON parse.
+	for i := 0; i < len(line)-1; i++ {
+		mut := append([]byte(nil), line[:len(line)-1]...)
+		mut[i] ^= 0x08
+		if _, _, err := DecodeWALRecord(mut); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestReadWALTailStopsAtCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	for seq := 1; seq <= 5; seq++ {
+		line, err := EncodeWALRecord(seq, testFrame(seq-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	good := buf.Bytes()
+
+	frames, truncated, err := readWALTail(bytes.NewReader(good), 1)
+	if err != nil || truncated || len(frames) != 5 {
+		t.Fatalf("clean tail: frames=%d truncated=%v err=%v", len(frames), truncated, err)
+	}
+
+	// Torn final record.
+	torn := good[:len(good)-9]
+	frames, truncated, err = readWALTail(bytes.NewReader(torn), 1)
+	if err != nil || !truncated || len(frames) != 4 {
+		t.Fatalf("torn tail: frames=%d truncated=%v err=%v", len(frames), truncated, err)
+	}
+
+	// Out-of-sequence start discards everything.
+	frames, truncated, _ = readWALTail(bytes.NewReader(good), 2)
+	if len(frames) != 0 || !truncated {
+		t.Fatalf("sequence gap: frames=%d truncated=%v", len(frames), truncated)
+	}
+}
+
+func TestSessionStoreLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.Create("sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Append(testFrame(0)); err == nil {
+		t.Fatalf("append before first snapshot should fail")
+	}
+	if _, err := ss.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatalf("append %d: %v", k, err)
+		}
+	}
+	if ss.Applied() != 5 {
+		t.Fatalf("applied=%d, want 5", ss.Applied())
+	}
+	// Second checkpoint at k=5 rotates the WAL and compacts.
+	if _, err := ss.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 5; k < 8; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(st.Dir(), "sess-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("compaction left %v, want exactly one snapshot/WAL pair", names)
+	}
+
+	// Recovery sees snapshot-5 plus three replayable frames.
+	rs, snap, frames, err := st.Recover("sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if snap.FramesApplied != 5 || len(frames) != 3 || rs.Applied() != 8 {
+		t.Fatalf("recover: base=%d frames=%d applied=%d", snap.FramesApplied, len(frames), rs.Applied())
+	}
+	if frames[0].K != 5 || frames[2].K != 7 {
+		t.Fatalf("recovered frames out of order: %v..%v", frames[0].K, frames[2].K)
+	}
+	// The recovered store continues the segment.
+	if err := rs.Append(testFrame(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	if reg.HistogramCount(MetricSnapshotBytes) != 2 {
+		t.Fatalf("snapshot histogram count %d, want 2", reg.HistogramCount(MetricSnapshotBytes))
+	}
+	if reg.CounterValue(MetricWALAppends) != 9 {
+		t.Fatalf("append counter %d, want 9", reg.CounterValue(MetricWALAppends))
+	}
+	if reg.CounterValue(MetricWALFsyncs) != 9 {
+		t.Fatalf("fsync counter %d, want 9 (FsyncEvery defaults to 1)", reg.CounterValue(MetricWALFsyncs))
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss.Close()
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	walPath := filepath.Join(st.Dir(), "s", walName(0))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, snap, frames, err := st.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FramesApplied != 0 || len(frames) != 3 || rs.Applied() != 3 {
+		t.Fatalf("recover after tear: base=%d frames=%d applied=%d", snap.FramesApplied, len(frames), rs.Applied())
+	}
+	// The torn bytes were physically removed: the next append extends
+	// the valid prefix, and a second recovery sees all four frames.
+	if err := rs.Append(testFrame(3)); err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	rs2, _, frames2, err := st.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if len(frames2) != 4 || frames2[3].K != 3 {
+		t.Fatalf("post-tear append not recoverable: %d frames", len(frames2))
+	}
+}
+
+func TestRecoverFallsBackToOlderSnapshot(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss.Close()
+
+	// Plant a corrupt higher-numbered snapshot (as if compaction and the
+	// rename raced a crash in some hostile way). Recovery must fall back
+	// to snapshot-0 and its WAL.
+	dir := filepath.Join(st.Dir(), "s")
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(9)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, snap, frames, err := st.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if snap.FramesApplied != 0 || len(frames) != 2 {
+		t.Fatalf("fallback recovery: base=%d frames=%d", snap.FramesApplied, len(frames))
+	}
+}
+
+func TestRecoverNoSnapshot(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("unborn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.Recover("unborn"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreSessionsAndRemove(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "a"} {
+		if _, err := st.Create(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("sessions %v", ids)
+	}
+	if err := st.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = st.Sessions()
+	if len(ids) != 1 || ids[0] != "b" {
+		t.Fatalf("after remove: %v", ids)
+	}
+	// Path traversal in session IDs is rejected.
+	for _, bad := range []string{"", "..", "a/b", ".hidden"} {
+		if _, err := st.Create(bad); err == nil {
+			t.Fatalf("id %q accepted", bad)
+		}
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{FsyncEvery: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := st.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.CounterValue(MetricWALFsyncs); got != 2 {
+		t.Fatalf("fsync counter %d, want 2 (10 appends / every 4)", got)
+	}
+	if err := ss.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue(MetricWALFsyncs); got != 3 {
+		t.Fatalf("explicit Sync not counted: %d", got)
+	}
+	ss.Close()
+
+	reg2 := telemetry.NewRegistry()
+	st2, err := Open(t.TempDir(), Options{FsyncEvery: -1, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := st2.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss2.WriteSnapshot(testSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := ss2.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg2.CounterValue(MetricWALFsyncs); got != 0 {
+		t.Fatalf("FsyncEvery<0 still synced %d times", got)
+	}
+	ss2.Close()
+}
+
+func TestSnapshotRejectsForeignFiles(t *testing.T) {
+	for _, input := range [][]byte{
+		nil,
+		[]byte("{}"),
+		[]byte(strings.Repeat("x", 64)),
+		[]byte("RBSNAP"),
+	} {
+		if _, err := DecodeSnapshot(input); err == nil {
+			t.Fatalf("input %q decoded", input)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"roboads/internal/trace"
+)
+
+// walRecord is one NDJSON line of a WAL segment. Frame is kept as raw
+// JSON so the checksum covers the exact bytes on disk: json.Unmarshal
+// into a RawMessage preserves the original byte sequence, making the
+// CRC check independent of field ordering or float re-rendering.
+type walRecord struct {
+	// Seq is the absolute applied-frame index (1-based). Records in a
+	// segment must be contiguous starting at the paired snapshot's
+	// FramesApplied+1; a gap or regression marks the tail invalid.
+	Seq int `json:"seq"`
+	// Crc is the CRC-32 (IEEE) of the Frame bytes.
+	Crc uint32 `json:"crc"`
+	// Frame is the accepted monitor input, in the trace wire format.
+	Frame json.RawMessage `json:"frame"`
+}
+
+// ErrWALCorrupt reports a WAL record that is structurally invalid in a
+// way strict readers care about. Recovery itself never returns it for a
+// torn tail — that is the expected crash artifact — but DecodeWALRecord
+// surfaces it so fuzzing and diagnostics can distinguish bad records.
+var ErrWALCorrupt = errors.New("store: corrupt WAL record")
+
+// EncodeWALRecord renders one frame as a CRC-checked NDJSON line
+// (including the trailing newline).
+func EncodeWALRecord(seq int, frame *trace.Frame) ([]byte, error) {
+	if frame == nil {
+		return nil, errors.New("store: nil frame")
+	}
+	if seq <= 0 {
+		return nil, fmt.Errorf("store: WAL sequence %d must be positive", seq)
+	}
+	body, err := json.Marshal(frame)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode WAL frame: %w", err)
+	}
+	rec := walRecord{Seq: seq, Crc: crc32.ChecksumIEEE(body), Frame: body}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode WAL record: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// DecodeWALRecord parses one NDJSON line back into its sequence number
+// and frame, verifying the checksum. Truncated or bit-flipped input
+// returns an error wrapping ErrWALCorrupt; no input panics.
+func DecodeWALRecord(line []byte) (int, *trace.Frame, error) {
+	var rec walRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+	}
+	if rec.Seq <= 0 {
+		return 0, nil, fmt.Errorf("%w: sequence %d", ErrWALCorrupt, rec.Seq)
+	}
+	if len(rec.Frame) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrWALCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(rec.Frame); got != rec.Crc {
+		return 0, nil, fmt.Errorf("%w: checksum %08x (want %08x)", ErrWALCorrupt, got, rec.Crc)
+	}
+	var frame trace.Frame
+	if err := json.Unmarshal(rec.Frame, &frame); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame payload: %v", ErrWALCorrupt, err)
+	}
+	return rec.Seq, &frame, nil
+}
+
+// readWALTail reads the valid prefix of a WAL stream whose first record
+// must carry sequence number firstSeq. It stops — without error — at
+// the first torn, corrupt, or out-of-sequence record: everything after
+// a bad record postdates the crash that produced it and is discarded.
+// truncated reports whether anything was discarded. Only I/O errors
+// (not decode failures) are returned.
+func readWALTail(r io.Reader, firstSeq int) (frames []*trace.Frame, truncated bool, err error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	next := firstSeq
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		seq, frame, derr := DecodeWALRecord(line)
+		if derr != nil || seq != next {
+			return frames, true, nil
+		}
+		frames = append(frames, frame)
+		next++
+	}
+	if serr := scanner.Err(); serr != nil {
+		if errors.Is(serr, bufio.ErrTooLong) {
+			// A line the scanner cannot hold is as unusable as a torn
+			// one; treat it as the corrupt tail rather than an I/O fault.
+			return frames, true, nil
+		}
+		return frames, true, serr
+	}
+	return frames, false, nil
+}
+
+// walWriter appends CRC-checked frame records to one WAL segment file
+// under the store's fsync policy. It is not safe for concurrent use;
+// the session layer serializes appends behind the session step lock.
+type walWriter struct {
+	f          *os.File
+	seq        int // last appended sequence number
+	fsyncEvery int // 1: every append; n>1: every n appends; <0: never
+	sinceSync  int
+}
+
+// openWAL opens (creating or appending to) the segment at path. lastSeq
+// is the sequence number of the last record already known durable — the
+// paired snapshot's FramesApplied plus any records replayed from the
+// segment at recovery.
+func openWAL(path string, lastSeq, fsyncEvery int) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	return &walWriter{f: f, seq: lastSeq, fsyncEvery: fsyncEvery}, nil
+}
+
+// append writes one frame as the next record, fsyncing per policy.
+// It returns the record's sequence number and whether this append
+// carried an fsync (the store's fsync counter tracks only real syncs).
+func (w *walWriter) append(frame *trace.Frame) (seq int, synced bool, err error) {
+	line, err := EncodeWALRecord(w.seq+1, frame)
+	if err != nil {
+		return 0, false, err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return 0, false, fmt.Errorf("store: append WAL: %w", err)
+	}
+	w.seq++
+	w.sinceSync++
+	if w.fsyncEvery > 0 && w.sinceSync >= w.fsyncEvery {
+		if err := w.f.Sync(); err != nil {
+			return 0, false, fmt.Errorf("store: fsync WAL: %w", err)
+		}
+		w.sinceSync = 0
+		return w.seq, true, nil
+	}
+	return w.seq, false, nil
+}
+
+// sync forces an fsync regardless of policy.
+func (w *walWriter) sync() error {
+	w.sinceSync = 0
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"roboads/internal/mat"
+)
+
+// FuzzTraceReader drives the trace wire decoder with arbitrary bytes:
+// truncated, bit-flipped, or version-skewed streams must surface as
+// errors — never as panics — and valid frames must satisfy the header's
+// sensor contract.
+func FuzzTraceReader(f *testing.F) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{Robot: "khepera", Sensors: []string{"gps", "imu"}, Dt: 0.02})
+	for k := 0; k < 3; k++ {
+		if err := rec.RecordAt(k, int64(k)*20_000_000, mat.VecOf(0.1, -0.2),
+			map[string]mat.Vec{"gps": mat.VecOf(1, 2), "imu": mat.VecOf(3)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"version":99}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1024; i++ {
+			frame, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+			for _, name := range r.Header().Sensors {
+				if _, ok := frame.Readings[name]; !ok {
+					t.Fatalf("accepted frame %d missing sensor %q", frame.K, name)
+				}
+			}
+		}
+	})
+}

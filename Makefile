@@ -50,7 +50,9 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeWALRecord -fuzztime 15s ./internal/store/
 	$(GO) test -run xxx -fuzz FuzzReadWALTail -fuzztime 15s ./internal/store/
 	$(GO) test -run xxx -fuzz FuzzTraceReader -fuzztime 15s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzFrameRecord -fuzztime 15s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 15s ./internal/fleet/
+	$(GO) test -run xxx -fuzz FuzzFrameBatch -fuzztime 15s ./internal/fleet/
 
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|FleetStep|NUISEStep' -benchtime=1500x .

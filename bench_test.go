@@ -10,10 +10,16 @@ package roboads_test
 // doubles as a results table.
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"roboads"
 	"roboads/internal/attack"
@@ -397,6 +403,106 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIngestE2E drives the full durable ingest loop over real
+// HTTP — POST, wire decode, detector step, WAL append, fsync, ack —
+// in the two configurations the ingest path supports: one JSON frame
+// per /step request with a per-frame fsync (the compatibility
+// baseline), and a binary /frames stream batched by the server with a
+// cross-session group commit amortizing the fsyncs. The reported
+// frames/s is the client-observed acknowledged throughput; the
+// reply-after-fsync contract holds in both modes, so the ratio is the
+// pure win of batching + binary framing + group commit.
+func BenchmarkIngestE2E(b *testing.B) {
+	p, err := eval.RobotProfile("khepera")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := mat.VecOf(0.11, 0.13)
+	frame := &trace.Frame{U: []float64(u), Readings: map[string][]float64{}}
+	for _, s := range p.Suite {
+		frame.Readings[s.Name()] = []float64(s.H(p.X0))
+	}
+
+	serve := func(b *testing.B, d fleet.Durability) (*httptest.Server, string) {
+		b.Helper()
+		d.Dir = b.TempDir()
+		mgr, err := fleet.NewManager(fleet.Config{Build: fleet.DefaultBuilder(), Durability: d})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { mgr.Shutdown(context.Background()) })
+		srv := httptest.NewServer(mgr.Handler())
+		b.Cleanup(srv.Close)
+		info, err := mgr.Create(fleet.Spec{Robot: "khepera"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv, info.ID
+	}
+
+	b.Run("per-frame-json-fsync", func(b *testing.B) {
+		srv, id := serve(b, fleet.Durability{FsyncEvery: 1})
+		body, err := json.Marshal(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		url := srv.URL + "/v1/sessions/" + id + "/step"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var line fleet.ReplyLine
+			derr := json.NewDecoder(resp.Body).Decode(&line)
+			resp.Body.Close()
+			if derr != nil {
+				b.Fatal(derr)
+			}
+			if line.Error != "" || line.Report == nil {
+				b.Fatalf("frame %d: %q", i, line.Error)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	})
+
+	b.Run("batch-binary-group-commit", func(b *testing.B) {
+		srv, id := serve(b, fleet.Durability{CommitWindow: 2 * time.Millisecond})
+		var body bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			frame.K = i
+			body.Write(trace.AppendFrameRecord(nil, frame))
+		}
+		url := srv.URL + "/v1/sessions/" + id + "/frames"
+		b.ResetTimer()
+		resp, err := http.Post(url, fleet.ContentTypeBinaryFrames, &body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		acked := 0
+		for sc.Scan() {
+			var line fleet.ReplyLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				b.Fatal(err)
+			}
+			if line.Error != "" || line.Report == nil {
+				b.Fatalf("frame %d: %q", acked, line.Error)
+			}
+			acked++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if acked != b.N {
+			b.Fatalf("acked %d of %d frames", acked, b.N)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	})
 }
 
 func BenchmarkDetectorStep(b *testing.B) {

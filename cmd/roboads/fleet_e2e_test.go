@@ -246,8 +246,11 @@ func TestReplayRemoteRoundTrip(t *testing.T) {
 	f.Close()
 
 	addr, stop := startFleetServer(t, serveOptions{})
-	if err := replayRemote(path, addr.String()); err != nil {
-		t.Fatalf("replay -remote: %v", err)
+	// Both wire formats must round-trip; the binary wire is the default.
+	for _, wire := range []string{"json", "binary"} {
+		if err := replayRemote(path, addr.String(), wire); err != nil {
+			t.Fatalf("replay -remote (%s wire): %v", wire, err)
+		}
 	}
 	// The replayed session was deleted by the client; the fleet is empty.
 	if live := metricValue(t, scrape(t, addr, "/metrics"), fleet.MetricSessionsLive); live != 0 {

@@ -83,6 +83,9 @@ func run(args []string) error {
 	stateDir := fs.String("state-dir", "", "persist fleet sessions under this directory (serve); empty = no persistence")
 	snapshotEvery := fs.Int("snapshot-every", 0, "frames between automatic session checkpoints (serve); 0 = 256, negative = manual only")
 	fsyncEvery := fs.Int("fsync-every", 0, "WAL fsync cadence in frames (serve); 0 or 1 = every frame, negative = never")
+	commitWindow := fs.Duration("commit-window", 0, "group-commit window (serve); >0 amortizes one fsync over all sessions' WAL appends per window (supersedes -fsync-every; frames still ack only after the covering fsync)")
+	wire := fs.String("wire", "binary", "frame wire format for replay -remote: binary|json (replies are identical either way)")
+	binary := fs.Bool("binary", false, "record in the binary trace format (smaller, faster to replay; replay auto-detects either)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -105,6 +108,7 @@ func run(args []string) error {
 			stateDir:      *stateDir,
 			snapshotEvery: *snapshotEvery,
 			fsyncEvery:    *fsyncEvery,
+			commitWindow:  *commitWindow,
 		})
 	case "table2":
 		result, err := eval.Table2(*trials, *seed)
@@ -185,10 +189,10 @@ func run(args []string) error {
 		}
 		return eval.Report(out, *trials, *seed)
 	case "record":
-		return recordTrace(*scenarioID, *seed, *output)
+		return recordTrace(*scenarioID, *seed, *output, *binary)
 	case "replay":
 		if *remote != "" {
-			return replayRemote(*input, *remote)
+			return replayRemote(*input, *remote, *wire)
 		}
 		return replayTrace(*input, *workers, *telemetryAddr)
 	case "related":
@@ -402,8 +406,9 @@ func scenarioByID(id int) (attack.Scenario, error) {
 }
 
 // recordTrace runs a Khepera mission and writes its monitor inputs as a
-// JSON-lines trace.
-func recordTrace(scenarioID int, seed int64, output string) error {
+// trace: JSON lines by default, the DESIGN.md §12 binary framing with
+// -binary. Replay negotiates by header, so either file replays the same.
+func recordTrace(scenarioID int, seed int64, output string, binary bool) error {
 	scenario, err := scenarioByID(scenarioID)
 	if err != nil {
 		return err
@@ -426,11 +431,15 @@ func recordTrace(scenarioID int, seed int64, output string) error {
 	for i, s := range setup.Suite {
 		names[i] = s.Name()
 	}
-	recorder := trace.NewRecorder(out, trace.Header{
+	header := trace.Header{
 		Robot:   "khepera",
 		Dt:      sim.KheperaDt,
 		Sensors: names,
-	})
+	}
+	recorder := trace.NewRecorder(out, header)
+	if binary {
+		recorder = trace.NewBinaryRecorder(out, header)
+	}
 	records, err := setup.Sim.Run(eval.MaxIterations)
 	if err != nil {
 		return err

@@ -9,7 +9,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"roboads/internal/detect"
 	"roboads/internal/fleet"
@@ -33,13 +35,61 @@ func wireCondition(s string) detect.Condition {
 	return c
 }
 
+// stepRemote posts one frame to /step, absorbing backpressure with the
+// server's hint. It prefers the exact ReplyLine.RetryAfterMs from the
+// 429 body: the Retry-After header only speaks whole seconds, so the
+// default 25ms hint ceils to "1" there — a coarse fallback for generic
+// HTTP clients, 40x too long for this one.
+func stepRemote(base, id string, frame *trace.Frame) (*fleet.ReplyLine, error) {
+	body, err := json.Marshal(frame)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := http.Post(base+"/v1/sessions/"+id+"/step", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		var line fleet.ReplyLine
+		derr := json.NewDecoder(resp.Body).Decode(&line)
+		header := resp.Header
+		resp.Body.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(retryDelay(header, &line))
+			continue
+		}
+		if line.Error != "" {
+			return nil, fmt.Errorf("frame %d: %s", line.K, line.Error)
+		}
+		return &line, nil
+	}
+}
+
+// retryDelay resolves a 429's backoff: the exact millisecond hint from
+// the body when present, else the whole-second Retry-After header, else
+// a conservative default.
+func retryDelay(header http.Header, line *fleet.ReplyLine) time.Duration {
+	if line != nil && line.RetryAfterMs > 0 {
+		return time.Duration(line.RetryAfterMs) * time.Millisecond
+	}
+	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 25 * time.Millisecond
+}
+
 // replayRemote streams a recorded trace to a live `roboads serve` fleet
 // endpoint: it creates a session for the trace's robot, posts every
-// frame over the NDJSON ingest, prints the condition timeline from the
-// streamed reply lines, and closes the session. The hosted session is
-// built from the same robot profile as the local replay detector, so the
-// remote timeline is bit-for-bit the local one.
-func replayRemote(input, remote string) error {
+// frame over the streaming ingest — as binary frame records (wire
+// "binary", the default) or trace NDJSON (wire "json") — prints the
+// condition timeline from the streamed reply lines, and closes the
+// session. The hosted session is built from the same robot profile as
+// the local replay detector, so the remote timeline is bit-for-bit the
+// local one, whichever wire carries the frames.
+func replayRemote(input, remote, wire string) error {
 	in := os.Stdin
 	if input != "" {
 		f, err := os.Open(input)
@@ -73,10 +123,26 @@ func replayRemote(input, remote string) error {
 		}
 	}()
 
-	// Frames ship as one NDJSON body — the trace minus its header line;
-	// the server steps them in order and streams a reply line each.
+	// Frames ship as one body — the trace minus its header — in the
+	// chosen wire format; the server steps them in order, batching
+	// greedily, and streams a reply line each.
 	var body bytes.Buffer
-	enc := json.NewEncoder(&body)
+	var contentType string
+	var encode func(*trace.Frame) error
+	switch wire {
+	case "", "binary":
+		contentType = fleet.ContentTypeBinaryFrames
+		encode = func(f *trace.Frame) error {
+			body.Write(trace.AppendFrameRecord(nil, f))
+			return nil
+		}
+	case "json":
+		contentType = "application/x-ndjson"
+		enc := json.NewEncoder(&body)
+		encode = func(f *trace.Frame) error { return enc.Encode(f) }
+	default:
+		return fmt.Errorf("unknown wire format %q (want binary|json)", wire)
+	}
 	frames := 0
 	for {
 		frame, err := reader.Next()
@@ -86,12 +152,12 @@ func replayRemote(input, remote string) error {
 		if err != nil {
 			return err
 		}
-		if err := enc.Encode(frame); err != nil {
+		if err := encode(frame); err != nil {
 			return err
 		}
 		frames++
 	}
-	resp, err := http.Post(base+"/v1/sessions/"+info.ID+"/frames", "application/x-ndjson", &body)
+	resp, err := http.Post(base+"/v1/sessions/"+info.ID+"/frames", contentType, &body)
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,11 @@ type serveOptions struct {
 	// fsyncEvery is the WAL fsync policy (fleet.Durability.FsyncEvery;
 	// 0 and 1 = every frame, n > 1 = batched, negative = never).
 	fsyncEvery int
+	// commitWindow > 0 enables cross-session group commit
+	// (fleet.Durability.CommitWindow): one fsync per window covers every
+	// session's appends, and a frame is acknowledged only after the
+	// group fsync covering it. Supersedes fsyncEvery.
+	commitWindow time.Duration
 	// onReady, when set, receives the bound listen address once the
 	// HTTP surface is up (tests bind to 127.0.0.1:0).
 	onReady func(net.Addr)
@@ -88,6 +93,7 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 			Dir:           opts.stateDir,
 			SnapshotEvery: opts.snapshotEvery,
 			FsyncEvery:    opts.fsyncEvery,
+			CommitWindow:  opts.commitWindow,
 		},
 	})
 	if err != nil {

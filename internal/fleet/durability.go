@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"roboads/internal/detect"
 	"roboads/internal/mat"
@@ -34,6 +35,12 @@ type Durability struct {
 	// 0 and 1 fsync every frame — a replied frame is on stable storage;
 	// n > 1 batches; negative never fsyncs.
 	FsyncEvery int
+	// CommitWindow > 0 enables cross-session group commit
+	// (store.Options.CommitWindow): WAL appends skip the inline fsync
+	// and a batch is acknowledged only after a fleet-level group fsync
+	// covering it, amortizing one fsync per window over every session.
+	// Reply-after-fsync is preserved; FsyncEvery is ignored.
+	CommitWindow time.Duration
 }
 
 // StateStepper is the stepper extension durability requires: a session
@@ -174,26 +181,21 @@ func (m *Manager) persistSnapshot(s *session) (int, error) {
 	return s.ds.WriteSnapshot(snap)
 }
 
-// logFrame write-ahead-logs one successfully stepped frame and, when
-// the WAL reaches the snapshot cadence, rolls a checkpoint. The caller
-// holds s.stepMu and replies only after logFrame returns, so with
-// FsyncEvery ≤ 1 a replied frame is on stable storage. An append error
-// is surfaced to the client in place of the report: the frame was
-// applied in memory but its durability is unknown, and claiming success
-// would break the recovery contract.
-func (m *Manager) logFrame(s *session, job frameJob, rep *detect.Report) error {
-	frame := &trace.Frame{K: rep.Decision.Iteration, U: []float64(job.u), Readings: make(map[string][]float64, len(job.readings))}
-	for name, z := range job.readings {
+// logFrame write-ahead-logs one successfully stepped frame. The caller
+// holds s.stepMu and replies only after logFrame — and, under group
+// commit, the covering SessionStore.Commit — returns, so a replied
+// frame is on stable storage. An append error is surfaced to the client
+// in place of the report: the frame was applied in memory but its
+// durability is unknown, and claiming success would break the recovery
+// contract. Checkpoint cadence lives in process(), after the commit
+// barrier, so WAL rotation never discards un-fsynced appends.
+func (m *Manager) logFrame(s *session, fr BatchFrame, rep *detect.Report) error {
+	frame := &trace.Frame{K: rep.Decision.Iteration, U: []float64(fr.U), Readings: make(map[string][]float64, len(fr.Readings))}
+	for name, z := range fr.Readings {
 		frame.Readings[name] = []float64(z)
 	}
 	if err := s.ds.Append(frame); err != nil {
 		return fmt.Errorf("fleet: persist frame: %w", err)
-	}
-	if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
-		// The frame itself is already durable in the WAL; a failed
-		// checkpoint only postpones compaction, so it does not fail the
-		// frame. The next cadence boundary retries.
-		m.persistSnapshot(s)
 	}
 	return nil
 }

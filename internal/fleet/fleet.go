@@ -113,6 +113,10 @@ type Config struct {
 	// QueueDepth bounds each session's frame backlog; a frame arriving
 	// at a full queue is rejected with ErrBackpressure. Default 32.
 	QueueDepth int
+	// MaxBatch caps the frames one batch submission may carry — a batch
+	// is one queue admission and one scheduling quantum, so the cap
+	// bounds how long a deep batch can hold a shard worker. Default 64.
+	MaxBatch int
 	// MaxSessions caps live sessions; Create beyond it returns
 	// ErrTooManySessions. Default 1024.
 	MaxSessions int
@@ -190,6 +194,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 32
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 1024
 	}
@@ -221,7 +228,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		if m.snapshotEvery == 0 {
 			m.snapshotEvery = 256
 		}
-		st, err := store.Open(cfg.Durability.Dir, store.Options{FsyncEvery: cfg.Durability.FsyncEvery, Metrics: reg})
+		st, err := store.Open(cfg.Durability.Dir, store.Options{
+			FsyncEvery:   cfg.Durability.FsyncEvery,
+			CommitWindow: cfg.Durability.CommitWindow,
+			Metrics:      reg,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +361,29 @@ func (m *Manager) Sessions() []SessionStatus {
 // accepted; ErrBackpressure means the queue was full and the caller
 // should retry after the hinted delay.
 func (m *Manager) Submit(id string, u mat.Vec, readings map[string]mat.Vec) (*Pending, error) {
+	b, err := m.SubmitBatch(id, []BatchFrame{{U: u, Readings: readings}})
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{b: b}, nil
+}
+
+// SubmitBatch queues up to Config.MaxBatch frames on a session as one
+// unit: one queue admission, one scheduling quantum, one reply. The
+// frames step strictly in order and each gets its own FrameResult, so
+// the report stream is bit-for-bit what len(frames) sequential Submit
+// calls would produce. Acceptance is all-or-nothing: on any error
+// (including ErrBackpressure for a full queue) no frame of the batch
+// was accepted. With durability enabled, the batch is acknowledged only
+// after the WAL write covering every appended frame — and, under group
+// commit, the group fsync covering them — completes.
+func (m *Manager) SubmitBatch(id string, frames []BatchFrame) (*PendingBatch, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("fleet: empty batch")
+	}
+	if len(frames) > m.cfg.MaxBatch {
+		return nil, fmt.Errorf("fleet: batch of %d frames exceeds MaxBatch %d", len(frames), m.cfg.MaxBatch)
+	}
 	m.gate.RLock()
 	if m.state.Load() != stateRunning {
 		m.gate.RUnlock()
@@ -360,21 +394,21 @@ func (m *Manager) Submit(id string, u mat.Vec, readings map[string]mat.Vec) (*Pe
 		m.gate.RUnlock()
 		return nil, err
 	}
-	job := frameJob{u: u, readings: readings, reply: make(chan frameResult, 1)}
+	job := frameJob{frames: frames, reply: make(chan []FrameResult, 1)}
 	m.inflight.Add(1)
 	m.gate.RUnlock()
 
 	if err := s.push(job, m.cfg.RetryAfter); err != nil {
 		m.inflight.Done()
 		if errors.Is(err, ErrBackpressure) {
-			m.mRejected.Inc()
+			m.mRejected.Add(int64(len(frames)))
 		}
 		return nil, err
 	}
 	s.touch(m.now())
-	m.mQueue.Set(float64(m.queued.Add(1)))
+	m.mQueue.Set(float64(m.queued.Add(int64(len(frames)))))
 	m.schedule(s)
-	return &Pending{reply: job.reply}, nil
+	return &PendingBatch{reply: job.reply, n: len(frames)}, nil
 }
 
 // Step submits one frame and waits for its report. A ctx expiry abandons
@@ -504,16 +538,17 @@ func (m *Manager) worker() {
 	}
 }
 
-// serve steps at most one queued frame — the scheduling quantum that
-// keeps a deep-backlog session from starving the others — then
-// reschedules the session if its queue is still non-empty. The
-// Store(false)-then-recheck order closes the missed-wakeup race with a
-// concurrent Submit: any push that misses this worker's recheck sees
-// scheduled == false and wins the schedule CAS itself.
+// serve steps at most one queued job — a single frame or one bounded
+// batch, the scheduling quantum that keeps a deep-backlog session from
+// starving the others — then reschedules the session if its queue is
+// still non-empty. The Store(false)-then-recheck order closes the
+// missed-wakeup race with a concurrent Submit: any push that misses
+// this worker's recheck sees scheduled == false and wins the schedule
+// CAS itself.
 func (m *Manager) serve(s *session) {
 	select {
 	case job := <-s.frames:
-		m.mQueue.Set(float64(m.queued.Add(-1)))
+		m.mQueue.Set(float64(m.queued.Add(-int64(len(job.frames)))))
 		m.process(s, job)
 	default:
 	}
@@ -523,35 +558,68 @@ func (m *Manager) serve(s *session) {
 	}
 }
 
-// process steps one frame through the session detector. The step runs
-// under the session's step mutex, which Close/Shutdown also take before
-// closing the detector, so a stepper is never closed mid-step.
+// process steps one job's frames, in order, through the session
+// detector. The steps run under the session's step mutex, which
+// Close/Shutdown also take before closing the detector, so a stepper is
+// never closed mid-step. Each frame gets its own result (a failed frame
+// does not fail its batch neighbors — exactly the sequential-submission
+// semantics); the whole job is answered with one reply send after the
+// durability barrier covering every appended frame.
 func (m *Manager) process(s *session, job frameJob) {
-	start := time.Now()
-	var rep *detect.Report
-	var err error
+	results := make([]FrameResult, len(job.frames))
 	s.stepMu.Lock()
 	if s.isClosed() {
-		err = fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+		err := fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+		for i := range results {
+			results[i].Err = err
+		}
 	} else {
-		rep, err = s.stepper.StepContext(context.Background(), job.u, job.readings)
-		m.mFrames.Inc()
-		if err == nil && s.ds != nil {
-			// Reply-after-fsync ordering: the frame is in the WAL (and,
-			// with FsyncEvery ≤ 1, on stable storage) before the client
-			// hears success, so a replied frame survives any crash.
-			if derr := m.logFrame(s, job, rep); derr != nil {
-				rep, err = nil, derr
+		appended := 0
+		for i, fr := range job.frames {
+			start := time.Now()
+			rep, err := s.stepper.StepContext(context.Background(), fr.U, fr.Readings)
+			m.mFrames.Inc()
+			if err == nil && s.ds != nil {
+				// Reply-after-fsync ordering: the frame is in the WAL
+				// (and, with FsyncEvery ≤ 1, on stable storage) before
+				// the client hears success, so a replied frame survives
+				// any crash. Under group commit the inline fsync is
+				// skipped; the Commit barrier below supplies it.
+				if derr := m.logFrame(s, fr, rep); derr != nil {
+					rep, err = nil, derr
+				} else {
+					appended++
+				}
+			}
+			if err != nil {
+				m.mErrors.Inc()
+			}
+			m.mStepSeconds.Observe(time.Since(start).Seconds())
+			results[i] = FrameResult{Report: rep, Err: err}
+		}
+		if s.ds != nil && appended > 0 {
+			if cerr := s.ds.Commit(appended); cerr != nil {
+				// The group fsync failed: durability of every frame in
+				// the batch is unknown, and a success reply would break
+				// the replied ⇒ durable contract.
+				cerr = fmt.Errorf("fleet: commit frames: %w", cerr)
+				for i := range results {
+					if results[i].Err == nil {
+						results[i] = FrameResult{Err: cerr}
+					}
+				}
+			} else if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
+				// Checkpoint cadence runs after the commit barrier so
+				// WAL rotation never discards un-fsynced appends. The
+				// frames are already durable; a failed checkpoint only
+				// postpones compaction, so it does not fail the batch.
+				m.persistSnapshot(s)
 			}
 		}
-		if err != nil {
-			m.mErrors.Inc()
-		}
-		m.mStepSeconds.Observe(time.Since(start).Seconds())
 	}
 	s.stepMu.Unlock()
 	s.touch(m.now())
-	job.reply <- frameResult{report: rep, err: err}
+	job.reply <- results
 	m.inflight.Done()
 }
 
@@ -571,8 +639,13 @@ func (m *Manager) closeSession(s *session, persist bool) {
 	for drained := false; !drained; {
 		select {
 		case job := <-s.frames:
-			m.mQueue.Set(float64(m.queued.Add(-1)))
-			job.reply <- frameResult{err: fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)}
+			m.mQueue.Set(float64(m.queued.Add(-int64(len(job.frames)))))
+			results := make([]FrameResult, len(job.frames))
+			err := fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+			for i := range results {
+				results[i].Err = err
+			}
+			job.reply <- results
 			m.inflight.Done()
 		default:
 			drained = true
@@ -640,31 +713,56 @@ func (m *Manager) evictIdle() {
 	m.mLive.Set(float64(live))
 }
 
+// BatchFrame is one frame of a batch submission: the control input and
+// the sensor readings for a single detector step.
+type BatchFrame struct {
+	U        mat.Vec
+	Readings map[string]mat.Vec
+}
+
+// FrameResult is the outcome of one frame of a batch: a report or an
+// error, exactly what the matching sequential Step call would return.
+type FrameResult struct {
+	Report *detect.Report
+	Err    error
+}
+
 // Pending is an accepted frame's pending report.
 type Pending struct {
-	reply chan frameResult
+	b *PendingBatch
 }
 
 // Wait blocks until the frame's report is ready or ctx expires. The
 // frame steps either way; expiry only abandons the wait.
 func (p *Pending) Wait(ctx context.Context) (*detect.Report, error) {
+	res, err := p.b.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Report, res[0].Err
+}
+
+// PendingBatch is an accepted batch's pending results.
+type PendingBatch struct {
+	reply chan []FrameResult
+	n     int
+}
+
+// Wait blocks until the batch's results are ready or ctx expires. The
+// results slice has one entry per submitted frame, in submission order.
+// The frames step either way; expiry only abandons the wait.
+func (b *PendingBatch) Wait(ctx context.Context) ([]FrameResult, error) {
 	select {
-	case r := <-p.reply:
-		return r.report, r.err
+	case res := <-b.reply:
+		return res, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
 type frameJob struct {
-	u        mat.Vec
-	readings map[string]mat.Vec
-	reply    chan frameResult // buffered (cap 1): the worker's reply never blocks on an abandoned waiter
-}
-
-type frameResult struct {
-	report *detect.Report
-	err    error
+	frames []BatchFrame
+	reply  chan []FrameResult // buffered (cap 1): the worker's reply never blocks on an abandoned waiter
 }
 
 // session is one hosted detector. closeMu orders frame pushes against

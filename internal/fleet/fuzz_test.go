@@ -1,9 +1,12 @@
 package fleet
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"roboads/internal/trace"
 )
 
 // FuzzWireDecode drives the fleet HTTP wire decoders (CreateRequest and
@@ -42,6 +45,52 @@ func FuzzWireDecode(f *testing.F) {
 			again, err := json.Marshal(line2)
 			if err != nil || !bytes.Equal(out, again) {
 				t.Fatalf("ReplyLine encoding not stable: %s vs %s (err %v)", out, again, err)
+			}
+		}
+	})
+}
+
+// FuzzFrameBatch drives the batch-submit wire decoder — the greedy
+// reader behind POST /v1/sessions/{id}/frames — with arbitrary bytes in
+// both wire formats: it must never panic, never return nil frames,
+// never exceed the batch cap, and must make progress (terminate) on any
+// input.
+func FuzzFrameBatch(f *testing.F) {
+	sample := trace.Frame{K: 3, U: []float64{0.1, -0.2}, Readings: map[string][]float64{"gps": {1.5, 2.5}}}
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	for i := 0; i < 3; i++ {
+		enc.Encode(sample)
+	}
+	var binary []byte
+	for i := 0; i < 3; i++ {
+		binary = trace.AppendFrameRecord(binary, &sample)
+	}
+	f.Add(ndjson.Bytes(), false)
+	f.Add(append(ndjson.Bytes(), []byte("{garbage\n")...), false)
+	f.Add([]byte("\n\n\n"), false)
+	f.Add(binary, true)
+	f.Add(binary[:len(binary)-4], true)
+	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0x7f}, true)
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, data []byte, bin bool) {
+		fbr := &frameBatchReader{br: bufio.NewReaderSize(bytes.NewReader(data), 1<<16), binary: bin, max: 4}
+		total := 0
+		for {
+			frames, err := fbr.next()
+			if len(frames) > fbr.max {
+				t.Fatalf("batch of %d exceeds cap %d", len(frames), fbr.max)
+			}
+			total += len(frames)
+			if total > len(data)+1 {
+				t.Fatalf("decoded %d frames from %d bytes", total, len(data))
+			}
+			if err != nil {
+				return
+			}
+			if len(frames) == 0 {
+				// No progress and no error would loop forever.
+				t.Fatal("empty batch with nil error")
 			}
 		}
 	})

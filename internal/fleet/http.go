@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,7 +12,6 @@ import (
 	"strconv"
 	"time"
 
-	"roboads/internal/detect"
 	"roboads/internal/mat"
 	"roboads/internal/trace"
 )
@@ -21,7 +22,9 @@ import (
 //	                                     or restore a persisted one (CreateRequest.Restore)
 //	GET    /v1/sessions                  list sessions ([]SessionStatus)
 //	POST   /v1/sessions/{id}/step        step one trace.Frame (→ ReplyLine)
-//	POST   /v1/sessions/{id}/frames      stream trace.Frame NDJSON in, ReplyLine NDJSON out
+//	POST   /v1/sessions/{id}/frames      stream trace.Frame NDJSON (or binary frame
+//	                                     records, Content-Type ContentTypeBinaryFrames)
+//	                                     in, ReplyLine NDJSON out, batched greedily
 //	POST   /v1/sessions/{id}/checkpoint  snapshot the session now (→ CheckpointInfo)
 //	DELETE /v1/sessions/{id}             close a session (and discard its persisted state)
 //
@@ -129,6 +132,10 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &bp):
 			ms := bp.RetryAfter.Milliseconds()
+			// Retry-After only speaks whole seconds, so the hint (default
+			// 25ms) ceils to "1" — a coarse fallback for generic HTTP
+			// clients. Callers that can parse the body should prefer
+			// ReplyLine.RetryAfterMs, which carries the exact hint.
 			w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
@@ -148,10 +155,20 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(ReplyLine{K: wire.K, Report: &wire})
 }
 
-// handleFrames is the streaming ingest: trace.Frame NDJSON in, one
-// ReplyLine out per frame, flushed as produced. Frames step strictly in
-// submission order. Full duplex lets a client stream frames and read
-// reports concurrently over HTTP/1.1.
+// handleFrames is the streaming ingest: trace.Frame NDJSON (or, with
+// Content-Type ContentTypeBinaryFrames, binary frame records) in, one
+// ReplyLine out per frame, flushed once per batch. Frames step strictly
+// in submission order and the reply stream is bit-for-bit what
+// per-frame /step calls would produce — batching changes when fsyncs
+// and flushes happen, never what is computed. Full duplex lets a client
+// stream frames and read reports concurrently over HTTP/1.1.
+//
+// Batching is greedy but never waits for more input: the reader blocks
+// for the first frame of a batch, then drains only frames already fully
+// buffered (up to Config.MaxBatch). A lockstep client that sends one
+// frame and waits for its reply therefore gets batch size 1 and is
+// never deadlocked; a pipelining client gets amortized queue admission,
+// fsync, and flush for free.
 func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := m.Info(id); err != nil {
@@ -164,57 +181,162 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	rc.Flush()
 
-	dec := json.NewDecoder(r.Body)
+	fbr := &frameBatchReader{
+		br:     bufio.NewReaderSize(r.Body, 1<<16),
+		binary: r.Header.Get("Content-Type") == ContentTypeBinaryFrames,
+		max:    m.cfg.MaxBatch,
+	}
 	enc := json.NewEncoder(w)
 	for {
-		var frame trace.Frame
-		if err := dec.Decode(&frame); err != nil {
-			if !errors.Is(err, io.EOF) {
-				enc.Encode(ReplyLine{Error: "decode frame: " + err.Error(), Closed: true})
+		frames, readErr := fbr.next()
+		if len(frames) > 0 {
+			batch := make([]BatchFrame, len(frames))
+			for i := range frames {
+				batch[i] = BatchFrame{U: mat.Vec(frames[i].U), Readings: frameReadings(&frames[i])}
+			}
+			results, err := m.submitBatchRetrying(r.Context(), id, batch)
+			if err != nil {
+				// The whole batch failed before stepping (closed session,
+				// canceled request): one terminal line, like the
+				// sequential path's first failing frame.
+				enc.Encode(ReplyLine{K: frames[0].K, Error: err.Error(), Closed: errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound)})
+				rc.Flush()
+				return
+			}
+			closed := false
+			for i, res := range results {
+				line := ReplyLine{K: frames[i].K}
+				if res.Err != nil {
+					line.Error = res.Err.Error()
+					line.Closed = errors.Is(res.Err, ErrClosed) || errors.Is(res.Err, ErrSessionNotFound)
+				} else {
+					wire := NewWireReport(res.Report)
+					line.K = wire.K
+					line.Report = &wire
+				}
+				if encErr := enc.Encode(line); encErr != nil {
+					return // client went away
+				}
+				closed = closed || line.Closed
+			}
+			rc.Flush()
+			if closed {
+				return
+			}
+		}
+		if readErr != nil {
+			if !errors.Is(readErr, io.EOF) {
+				enc.Encode(ReplyLine{Error: "decode frame: " + readErr.Error(), Closed: true})
 				rc.Flush()
 			}
-			return
-		}
-		rep, err := m.stepRetrying(r.Context(), id, &frame)
-		line := ReplyLine{K: frame.K}
-		if err != nil {
-			line.Error = err.Error()
-			line.Closed = errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound)
-		} else {
-			wire := NewWireReport(rep)
-			line.K = wire.K
-			line.Report = &wire
-		}
-		if encErr := enc.Encode(line); encErr != nil {
-			return // client went away
-		}
-		rc.Flush()
-		if line.Closed || errors.Is(err, context.Canceled) {
 			return
 		}
 	}
 }
 
-// stepRetrying steps one frame, absorbing backpressure with the hinted
-// delay: the streaming endpoint promises in-order per-frame replies, so
-// a full queue (other writers sharing the session) is waited out rather
-// than surfaced.
-func (m *Manager) stepRetrying(ctx context.Context, id string, frame *trace.Frame) (*detect.Report, error) {
-	u := mat.Vec(frame.U)
-	readings := frameReadings(frame)
-	for {
-		p, err := m.Submit(id, u, readings)
+// frameBatchReader reads ingest frames in greedy batches from either
+// wire format. next blocks for one frame, then takes whatever is
+// already buffered; it never blocks to grow a batch.
+type frameBatchReader struct {
+	br     *bufio.Reader
+	binary bool
+	max    int
+}
+
+// next returns the next batch. Frames decoded before a malformed one
+// are returned alongside the error so no accepted input is dropped;
+// err is io.EOF exactly when the stream ended cleanly.
+func (f *frameBatchReader) next() ([]trace.Frame, error) {
+	var frames []trace.Frame
+	for len(frames) < f.max {
+		// Only the first frame of a batch may block on the client.
+		if len(frames) > 0 && !f.buffered() {
+			break
+		}
+		frame, err := f.readFrame()
+		if err != nil {
+			return frames, err
+		}
+		if frame == nil {
+			continue // blank NDJSON line
+		}
+		frames = append(frames, *frame)
+	}
+	return frames, nil
+}
+
+// buffered reports whether a complete frame is already in the read
+// buffer and can be decoded without touching the connection.
+func (f *frameBatchReader) buffered() bool {
+	if f.binary {
+		return trace.FrameRecordBuffered(f.br)
+	}
+	n := f.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, err := f.br.Peek(n)
+	return err == nil && bytes.IndexByte(peek, '\n') >= 0
+}
+
+// readFrame decodes one frame, blocking as needed. A nil frame with nil
+// error is a blank NDJSON line (skipped by the caller).
+func (f *frameBatchReader) readFrame() (*trace.Frame, error) {
+	if f.binary {
+		return trace.ReadFrameRecord(f.br)
+	}
+	line, err := f.br.ReadBytes('\n')
+	if len(bytes.TrimSpace(line)) == 0 {
+		// Blank line, or a clean/torn end of stream.
 		if err == nil {
-			return p.Wait(ctx)
+			return nil, nil
+		}
+		return nil, err
+	}
+	// An unterminated final line is still one complete frame.
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	var frame trace.Frame
+	if jerr := json.Unmarshal(line, &frame); jerr != nil {
+		return nil, jerr
+	}
+	return &frame, nil
+}
+
+// submitBatchRetrying submits one batch, absorbing backpressure with
+// the hinted delay: the streaming endpoint promises in-order per-frame
+// replies, so a full queue (other writers sharing the session) is
+// waited out rather than surfaced. One timer is reused across retries —
+// a session under sustained backpressure costs a Reset per attempt, not
+// a fresh timer allocation — and any non-backpressure error (the
+// session closing mid-retry, the request context ending) returns
+// immediately.
+func (m *Manager) submitBatchRetrying(ctx context.Context, id string, frames []BatchFrame) ([]FrameResult, error) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		b, err := m.SubmitBatch(id, frames)
+		if err == nil {
+			return b.Wait(ctx)
 		}
 		var bp *BackpressureError
 		if !errors.As(err, &bp) {
 			return nil, err
 		}
+		if timer == nil {
+			timer = time.NewTimer(bp.RetryAfter)
+		} else {
+			timer.Reset(bp.RetryAfter)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(bp.RetryAfter):
+		case <-timer.C:
 		}
 	}
 }

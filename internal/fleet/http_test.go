@@ -5,14 +5,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"roboads/internal/mat"
 	"roboads/internal/trace"
 )
 
@@ -194,6 +197,233 @@ func TestHTTPStreamingMatchesLocal(t *testing.T) {
 			}
 		}
 		t.Fatal("reports diverged")
+	}
+}
+
+// streamBinaryFrames posts frames as one binary frame-record body to
+// the streaming ingest and decodes the per-frame reply lines.
+func streamBinaryFrames(t *testing.T, base, id string, frames []trace.Frame) []ReplyLine {
+	t.Helper()
+	var body []byte
+	for i := range frames {
+		body = trace.AppendFrameRecord(body, &frames[i])
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/frames", base, id),
+		ContentTypeBinaryFrames, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frames status = %d", resp.StatusCode)
+	}
+	var lines []ReplyLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var line ReplyLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decode reply line: %v", err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestHTTPBatchBinaryMatchesPerFrameJSON is the batching determinism
+// test: the same frames submitted three ways — one per-frame JSON /step
+// request each, one NDJSON /frames body (batched server-side), and one
+// binary /frames body — must produce bit-for-bit identical reports.
+// Batching and the wire encoding change scheduling and I/O, never what
+// is computed.
+func TestHTTPBatchBinaryMatchesPerFrameJSON(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2, MaxBatch: 7})
+	frames := kheperaFrames(t, 33, 40)
+
+	// Reference: per-frame JSON /step (sequential submission).
+	stepInfo := createSession(t, srv.URL, "khepera")
+	want := make([]WireReport, 0, len(frames))
+	for i := range frames {
+		body, _ := json.Marshal(frames[i])
+		resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/step", srv.URL, stepInfo.ID),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var line ReplyLine
+		if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if line.Error != "" || line.Report == nil {
+			t.Fatalf("step %d: %+v", i, line)
+		}
+		want = append(want, *line.Report)
+	}
+
+	for name, stream := range map[string]func(*testing.T, string, string, []trace.Frame) []ReplyLine{
+		"ndjson-batched": streamFrames,
+		"binary-batched": streamBinaryFrames,
+	} {
+		info := createSession(t, srv.URL, "khepera")
+		lines := stream(t, srv.URL, info.ID, frames)
+		if len(lines) != len(frames) {
+			t.Fatalf("%s: got %d reply lines for %d frames", name, len(lines), len(frames))
+		}
+		got := make([]WireReport, len(lines))
+		for i, line := range lines {
+			if line.Error != "" || line.Report == nil {
+				t.Fatalf("%s line %d: %+v", name, i, line)
+			}
+			got[i] = *line.Report
+		}
+		if !reflect.DeepEqual(got, want) {
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%s report %d diverged:\nbatched   %+v\nper-frame %+v", name, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("%s reports diverged", name)
+		}
+	}
+}
+
+// TestHTTPStepRetryAfterUnits pins the two backpressure hints a 429
+// carries: the Retry-After header only speaks whole seconds, so the
+// default 25ms hint ceils to "1" there — clients honoring the header
+// wait 40x too long — while the body's retryAfterMs carries the exact
+// value. The header stays (generic HTTP clients need something), but
+// RetryAfterMs is the one to prefer.
+func TestHTTPStepRetryAfterUnits(t *testing.T) {
+	st := newScriptedStepper()
+	m, srv := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Build: scriptedBuilder(st)})
+	info := mustCreate(t, m, Spec{Robot: "fake"})
+
+	// Occupy the worker and fill the one-slot queue.
+	if _, err := submitDummy(t, m, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-st.started
+	if _, err := submitDummy(t, m, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(trace.Frame{K: 9, U: []float64{0}, Readings: map[string][]float64{"fake": {0}}})
+	resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/step", srv.URL, info.ID),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line ReplyLine
+	if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After header = %q, want the coarse whole-second %q", got, "1")
+	}
+	if line.RetryAfterMs != 25 {
+		t.Fatalf("retryAfterMs = %d, want the exact default hint 25", line.RetryAfterMs)
+	}
+
+	st.release <- struct{}{}
+	st.release <- struct{}{}
+}
+
+// TestSubmitBatchRetryingBackpressure drives the streaming endpoint's
+// retry loop under sustained backpressure — a one-slot queue, every
+// admission contested — and requires every batch to complete. It then
+// pins the prompt-bailout contract: a retry loop spinning against a
+// full queue must return as soon as its session closes, not keep
+// retrying forever.
+func TestSubmitBatchRetryingBackpressure(t *testing.T) {
+	st := newScriptedStepper()
+	m, err := NewManager(Config{Workers: 1, QueueDepth: 1, RetryAfter: time.Millisecond, Build: scriptedBuilder(st)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	info := mustCreate(t, m, Spec{Robot: "fake"})
+
+	// Release every step as it starts: the queue drains, slowly.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-st.started:
+				st.release <- struct{}{}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	const writers, batches = 4, 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			frames := []BatchFrame{{U: mat.VecOf(0), Readings: map[string]mat.Vec{"fake": mat.VecOf(0)}}}
+			for i := 0; i < batches; i++ {
+				results, err := m.submitBatchRetrying(context.Background(), info.ID, frames)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						errs[w] = res.Err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d under backpressure: %v", w, err)
+		}
+	}
+
+	// Prompt bailout: wedge the worker and the queue, start a retry loop,
+	// close the session mid-retry.
+	if _, err := submitDummy(t, m, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-st.started
+	if _, err := submitDummy(t, m, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.submitBatchRetrying(context.Background(), info.ID,
+			[]BatchFrame{{U: mat.VecOf(0), Readings: map[string]mat.Vec{"fake": mat.VecOf(0)}}})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it enter the retry loop
+	go func() {
+		// Close drains the queued frame; the in-flight step needs its
+		// release to finish.
+		st.release <- struct{}{}
+		m.Close(info.ID)
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrSessionNotFound) {
+			t.Fatalf("retry loop returned %v, want closed/not-found", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop kept spinning after the session closed")
 	}
 }
 

@@ -2,6 +2,14 @@ package fleet
 
 import "roboads/internal/detect"
 
+// ContentTypeBinaryFrames selects the binary frame wire on
+// POST /v1/sessions/{id}/frames: the request body is a stream of
+// trace binary frame records (no stream prologue, no header record —
+// exactly the record envelope trace.ReadFrameRecord consumes). Any
+// other Content-Type means trace.Frame NDJSON. Replies are ReplyLine
+// NDJSON either way.
+const ContentTypeBinaryFrames = "application/x-roboads-frames"
+
 // WireReport is the serialized form of one frame's detector report — the
 // decision-relevant subset of detect.Report, flat and JSON-stable.
 // Floats cross the wire through encoding/json, whose shortest-round-trip

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// committer is the cross-session group-commit coordinator: it collapses
+// the per-frame fsync of many sessions into one fsync per session per
+// commit window. Sessions append without syncing, then enlist in the
+// open batch via commit(); the first enlistment arms a timer, and when
+// the window elapses every dirty session's WAL file is fsynced once and
+// all waiters are released together. This is the writes/sec-vs-
+// fsyncs/sec trade at fleet scope: N sessions × M frames in a window
+// cost one fsync per dirty file instead of N×M.
+//
+// The committer has no long-lived goroutine: each batch is flushed by
+// its own time.AfterFunc firing, so an idle store schedules nothing.
+type committer struct {
+	st     *Store
+	window time.Duration
+
+	mu      sync.Mutex
+	batch   *commitBatch
+	dirty   map[*SessionStore]struct{}
+	appends int
+}
+
+// commitBatch is one group of appends awaiting a shared fsync.
+type commitBatch struct {
+	done  chan struct{} // closed after the group fsync completes
+	err   error         // first fsync failure, published before done closes
+	start time.Time
+}
+
+func newCommitter(st *Store, window time.Duration) *committer {
+	return &committer{st: st, window: window, dirty: make(map[*SessionStore]struct{})}
+}
+
+// commit enlists ss's un-synced appends in the open batch (opening one
+// and arming its flush timer if none is open) and blocks until the
+// batch's group fsync covers them. See SessionStore.Commit for the
+// exclusive-access invariant that makes the flush goroutine's use of
+// ss.wal safe.
+func (c *committer) commit(ss *SessionStore, frames int) error {
+	c.mu.Lock()
+	if c.batch == nil {
+		b := &commitBatch{done: make(chan struct{}), start: time.Now()}
+		c.batch = b
+		time.AfterFunc(c.window, func() { c.flush(b) })
+	}
+	b := c.batch
+	c.dirty[ss] = struct{}{}
+	c.appends += frames
+	c.mu.Unlock()
+
+	<-b.done
+	return b.err
+}
+
+// flush closes out b: it detaches the batch state under the lock (a
+// commit arriving after this point opens a fresh batch), fsyncs every
+// dirty session's WAL once, then releases the waiters.
+func (c *committer) flush(b *commitBatch) {
+	c.mu.Lock()
+	if c.batch != b {
+		// Stale timer; b was already flushed.
+		c.mu.Unlock()
+		return
+	}
+	dirty := c.dirty
+	frames := c.appends
+	c.batch = nil
+	c.dirty = make(map[*SessionStore]struct{})
+	c.appends = 0
+	c.mu.Unlock()
+
+	var first error
+	for ss := range dirty {
+		if ss.wal == nil {
+			continue // session closed its WAL after enlisting — nothing to sync
+		}
+		if err := ss.wal.sync(); err != nil && first == nil {
+			first = err
+		}
+		c.st.mFsyncs.Inc()
+	}
+	c.st.mCommitFrames.Observe(float64(frames))
+	c.st.mCommitSeconds.Observe(time.Since(b.start).Seconds())
+	b.err = first
+	close(b.done)
+}

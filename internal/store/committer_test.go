@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"roboads/internal/telemetry"
+)
+
+// openSession creates a session with an initial snapshot so appends work.
+func openSession(t *testing.T, st *Store, id string, frames int) *SessionStore {
+	t.Helper()
+	ss, err := st.Create(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(frames)
+	snap.SessionID = id
+	if _, err := ss.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+// TestGroupCommitAmortizesFsync drives several sessions' appends into
+// one commit window and requires a single group fsync per dirty file —
+// not one per frame — while every commit still blocks until that fsync.
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{CommitWindow: 5 * time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions, framesEach = 3, 4
+	stores := make([]*SessionStore, sessions)
+	for i := range stores {
+		stores[i] = openSession(t, st, fmt.Sprintf("s-%d", i), 0)
+	}
+	fsyncsBefore := counterValue(t, reg, MetricWALFsyncs)
+
+	var wg sync.WaitGroup
+	for _, ss := range stores {
+		wg.Add(1)
+		go func(ss *SessionStore) {
+			defer wg.Done()
+			for k := 0; k < framesEach; k++ {
+				if err := ss.Append(testFrame(k)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := ss.Commit(framesEach); err != nil {
+				t.Error(err)
+			}
+		}(ss)
+	}
+	wg.Wait()
+
+	// All sessions committed within (at most a few) windows: the fsync
+	// count must be far below one per frame.
+	fsyncs := counterValue(t, reg, MetricWALFsyncs) - fsyncsBefore
+	if fsyncs == 0 || fsyncs > int64(sessions*framesEach)/2 {
+		t.Fatalf("group commit issued %d fsyncs for %d appends", fsyncs, sessions*framesEach)
+	}
+	// And the frames are genuinely durable: recover each session.
+	for i, ss := range stores {
+		if err := ss.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, snap, frames, err := st.Recover(fmt.Sprintf("s-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.FramesApplied+len(frames) != framesEach {
+			t.Fatalf("session %d recovered %d+%d frames, want %d", i, snap.FramesApplied, len(frames), framesEach)
+		}
+	}
+}
+
+// TestGroupCommitObservesMetrics pins the new batch-size and latency
+// histograms: one flush covering n appends observes n once.
+func TestGroupCommitObservesMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{CommitWindow: time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openSession(t, st, "s-0", 0)
+	for k := 0; k < 3; k++ {
+		if err := ss.Append(testFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := histogramCount(t, reg, MetricCommitBatchFrames); got != 1 {
+		t.Fatalf("batch histogram count = %d, want 1", got)
+	}
+	if got := histogramCount(t, reg, MetricCommitSeconds); got != 1 {
+		t.Fatalf("latency histogram count = %d, want 1", got)
+	}
+}
+
+// TestCommitNoopWithoutWindow pins that Commit is free when group
+// commit is disabled: inline fsyncs already made the appends durable.
+func TestCommitNoopWithoutWindow(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openSession(t, st, "s-0", 0)
+	if err := ss.Append(testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ss.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("no-op Commit took %v", elapsed)
+	}
+}
+
+// TestRecoverOversizeWALRecord is the regression test for the silent
+// recovery data-loss bug: a legitimately huge acked frame (a dense
+// lidar scan far past the old 4MiB scanner line cap) must recover
+// intact — not vanish as a phantom torn tail — and be counted in the
+// oversize metric.
+func TestRecoverOversizeWALRecord(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openSession(t, st, "s-0", 0)
+
+	big := testFrame(0)
+	big.Readings["lidar"] = make([]float64, 700_000) // ~5.6MB encoded
+	for i := range big.Readings["lidar"] {
+		big.Readings["lidar"][i] = float64(i) * 0.001
+	}
+	if err := ss.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Append(testFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, snap, frames, err := st.Recover("s-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FramesApplied != 0 || len(frames) != 2 {
+		t.Fatalf("recovered %d+%d frames, want 0+2", snap.FramesApplied, len(frames))
+	}
+	if !reflect.DeepEqual(frames[0], big) {
+		t.Fatalf("oversized frame did not survive recovery intact")
+	}
+	if got := counterValue(t, reg, MetricWALOversize); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricWALOversize, got)
+	}
+}
+
+// TestRecoverMixedFormatSegment builds the segment an in-place upgrade
+// leaves behind — a JSON prefix written by the old version continued
+// with binary records by the new one — and requires recovery to replay
+// the whole thing, including truncating a torn binary tail.
+func TestRecoverMixedFormatSegment(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openSession(t, st, "s-0", 0)
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the old version: overwrite the rotated segment with JSON
+	// records 1..3.
+	walPath := filepath.Join(dir, "s-0", walName(0))
+	var seg bytes.Buffer
+	for seq := 1; seq <= 3; seq++ {
+		line, err := EncodeWALRecord(seq, testFrame(seq-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg.Write(line)
+	}
+	if err := os.WriteFile(walPath, seg.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new version recovers the JSON prefix and continues in binary.
+	ss2, snap, frames, err := st.Recover("s-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FramesApplied != 0 || len(frames) != 3 {
+		t.Fatalf("recovered %d+%d frames, want 0+3", snap.FramesApplied, len(frames))
+	}
+	for seq := 4; seq <= 6; seq++ {
+		if err := ss2.Append(testFrame(seq - 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the mixed segment whole...
+	ss3, _, frames, err := st.Recover("s-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("mixed segment recovered %d frames, want 6", len(frames))
+	}
+	for i, fr := range frames {
+		if !reflect.DeepEqual(fr, testFrame(i)) {
+			t.Fatalf("frame %d changed across mixed recovery: %+v", i, fr)
+		}
+	}
+	ss3.Close()
+
+	// ...and with a torn binary tail, recover the clean prefix.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ss4, _, frames, err := st.Recover("s-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("torn mixed segment recovered %d frames, want 5", len(frames))
+	}
+	ss4.Close()
+}
+
+// TestWALRecordBinaryRoundTrip mirrors TestWALRecordRoundTrip for the
+// binary record format, including bit-flip detection.
+func TestWALRecordBinaryRoundTrip(t *testing.T) {
+	rec, err := AppendWALRecordBinary(nil, 3, testFrame(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, frame, n, err := decodeWALRecordBinary(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || n != len(rec) || frame.K != 2 || frame.U[0] != 0.2 || frame.Readings["gps"][1] != 2.5 {
+		t.Fatalf("round trip changed record: seq=%d n=%d frame=%+v", seq, n, frame)
+	}
+	if _, err := AppendWALRecordBinary(nil, 0, testFrame(0)); err == nil {
+		t.Fatal("sequence 0 accepted")
+	}
+	if _, err := AppendWALRecordBinary(nil, 1, nil); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+	for i := range rec {
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x08
+		if s, _, _, err := decodeWALRecordBinary(mut); err == nil && mut[0] == walBinaryMarker && s == seq {
+			// A flip in the length prefix can shift framing; only an
+			// undetected same-seq decode is a real miss.
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	return reg.CounterValue(name)
+}
+
+func histogramCount(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	return reg.HistogramCount(name)
+}
+
+// TestWALAppendEncodeAllocs pins the single-encode fix on the durable
+// hot path: one WAL record encodes into a reused buffer in a single
+// pass — no marshal-then-remarshal, no per-append payload copies. The
+// one tolerated allocation is the sorted reading-name slice that keeps
+// the encoding deterministic.
+func TestWALAppendEncodeAllocs(t *testing.T) {
+	frame := testFrame(7)
+	buf, err := AppendWALRecordBinary(nil, 1, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendWALRecordBinary(buf[:0], 2, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("WAL append encodes with %.0f allocs, want <= 1", allocs)
+	}
+}

@@ -79,8 +79,21 @@ func FuzzReadWALTail(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add(append(buf.Bytes(), []byte("garbage tail\n")...))
 	f.Add([]byte("\n\n\n"))
+	// Binary and mixed-format segments flow through the same reader.
+	var binBuf bytes.Buffer
+	binBuf.Write(buf.Bytes())
+	for seq := 4; seq <= 6; seq++ {
+		rec, err := AppendWALRecordBinary(nil, seq, testFrame(seq-1))
+		if err != nil {
+			f.Fatal(err)
+		}
+		binBuf.Write(rec)
+	}
+	f.Add(binBuf.Bytes())
+	f.Add(binBuf.Bytes()[:binBuf.Len()-5])
+	f.Add([]byte{walBinaryMarker, 0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		frames, _, err := readWALTail(bytes.NewReader(data), 1)
+		frames, _, _, err := readWALTail(bytes.NewReader(data), 1)
 		if err != nil {
 			t.Fatalf("readWALTail returned I/O error on in-memory input: %v", err)
 		}

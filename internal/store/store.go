@@ -31,6 +31,17 @@ const (
 	MetricRecoveredSessions = "roboads_store_recovered_sessions"
 	// MetricRecoveredFrames counts WAL frames replayed during recovery.
 	MetricRecoveredFrames = "roboads_store_recovered_frames_total"
+	// MetricWALOversize counts WAL records recovered intact despite
+	// exceeding the legacy recovery scanner's 4MiB line cap — frames
+	// older versions would have silently discarded as a torn tail.
+	MetricWALOversize = "roboads_store_wal_oversize_total"
+	// MetricCommitBatchFrames is the group-commit batch size histogram:
+	// WAL appends amortized by each group fsync.
+	MetricCommitBatchFrames = "roboads_store_commit_batch_frames"
+	// MetricCommitSeconds is the group-commit latency histogram: time
+	// from a batch opening to its fsync completing — the durability
+	// delay a committed frame's reply waited out.
+	MetricCommitSeconds = "roboads_store_commit_seconds"
 )
 
 // ErrNoSnapshot reports a session directory holding no decodable
@@ -47,6 +58,14 @@ type Options struct {
 	// the tail of a crash for throughput; negative never fsyncs and
 	// leaves durability to the OS page cache (benchmarks, tests).
 	FsyncEvery int
+	// CommitWindow, when positive, enables cross-session group commit:
+	// appends skip their inline fsync and SessionStore.Commit instead
+	// enlists the session in a fleet-wide batch that is fsynced once —
+	// one fsync per window covering every dirty session — after at most
+	// this delay. Reply-after-fsync semantics are preserved as long as
+	// callers reply only after Commit returns. A positive CommitWindow
+	// supersedes FsyncEvery.
+	CommitWindow time.Duration
 	// Metrics receives the store histograms and counters; nil uses a
 	// private registry.
 	Metrics *telemetry.Registry
@@ -60,12 +79,19 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mSnapBytes   *telemetry.Histogram
-	mSnapSeconds *telemetry.Histogram
-	mAppends     *telemetry.Counter
-	mFsyncs      *telemetry.Counter
-	mRecovered   *telemetry.Gauge
-	mReplayed    *telemetry.Counter
+	// committer is the group-commit coordinator; nil unless
+	// Options.CommitWindow is positive.
+	committer *committer
+
+	mSnapBytes     *telemetry.Histogram
+	mSnapSeconds   *telemetry.Histogram
+	mAppends       *telemetry.Counter
+	mFsyncs        *telemetry.Counter
+	mRecovered     *telemetry.Gauge
+	mReplayed      *telemetry.Counter
+	mOversize      *telemetry.Counter
+	mCommitFrames  *telemetry.Histogram
+	mCommitSeconds *telemetry.Histogram
 }
 
 // Open prepares dir as a durability root, creating it if needed.
@@ -79,20 +105,32 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.FsyncEvery == 0 {
 		opts.FsyncEvery = 1
 	}
+	if opts.CommitWindow > 0 {
+		// Group commit owns durability: appends never fsync inline, the
+		// committer's window flush covers every dirty session at once.
+		opts.FsyncEvery = -1
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	return &Store{
-		dir:          dir,
-		opts:         opts,
-		mSnapBytes:   reg.Histogram(MetricSnapshotBytes, "Encoded snapshot size in bytes.", byteBuckets()),
-		mSnapSeconds: reg.Histogram(MetricSnapshotSeconds, "Snapshot write latency in seconds.", telemetry.LatencyBuckets()),
-		mAppends:     reg.Counter(MetricWALAppends, "WAL records appended."),
-		mFsyncs:      reg.Counter(MetricWALFsyncs, "WAL fsync calls."),
-		mRecovered:   reg.Gauge(MetricRecoveredSessions, "Sessions restored by the last startup recovery."),
-		mReplayed:    reg.Counter(MetricRecoveredFrames, "WAL frames replayed during recovery."),
-	}, nil
+	st := &Store{
+		dir:            dir,
+		opts:           opts,
+		mSnapBytes:     reg.Histogram(MetricSnapshotBytes, "Encoded snapshot size in bytes.", byteBuckets()),
+		mSnapSeconds:   reg.Histogram(MetricSnapshotSeconds, "Snapshot write latency in seconds.", telemetry.LatencyBuckets()),
+		mAppends:       reg.Counter(MetricWALAppends, "WAL records appended."),
+		mFsyncs:        reg.Counter(MetricWALFsyncs, "WAL fsync calls."),
+		mRecovered:     reg.Gauge(MetricRecoveredSessions, "Sessions restored by the last startup recovery."),
+		mReplayed:      reg.Counter(MetricRecoveredFrames, "WAL frames replayed during recovery."),
+		mOversize:      reg.Counter(MetricWALOversize, "WAL records recovered despite exceeding the legacy 4MiB line cap."),
+		mCommitFrames:  reg.Histogram(MetricCommitBatchFrames, "WAL appends amortized per group-commit fsync.", batchBuckets()),
+		mCommitSeconds: reg.Histogram(MetricCommitSeconds, "Group-commit latency in seconds.", telemetry.LatencyBuckets()),
+	}
+	if opts.CommitWindow > 0 {
+		st.committer = newCommitter(st, opts.CommitWindow)
+	}
+	return st, nil
 }
 
 // Dir returns the store root.
@@ -163,10 +201,11 @@ func (st *Store) Recover(id string) (*SessionStore, *Snapshot, []*trace.Frame, e
 		return nil, nil, nil, err
 	}
 	walPath := filepath.Join(dir, walName(snapIdx))
-	frames, validBytes, err := recoverWALFile(walPath, snap.FramesApplied+1)
+	frames, validBytes, oversize, err := recoverWALFile(walPath, snap.FramesApplied+1)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("store: recover session %s: %w", id, err)
 	}
+	st.mOversize.Add(int64(oversize))
 	if validBytes >= 0 {
 		if err := os.Truncate(walPath, validBytes); err != nil {
 			return nil, nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
@@ -225,43 +264,24 @@ func (st *Store) sessionDir(id string) (string, error) {
 	return filepath.Join(st.dir, id), nil
 }
 
-// recoverWALFile reads the valid record prefix of the segment at path.
-// validBytes is the byte length of that prefix when a torn tail must be
-// truncated away, or -1 when the file is already clean (including when
-// it does not exist yet).
-func recoverWALFile(path string, firstSeq int) (frames []*trace.Frame, validBytes int64, err error) {
+// recoverWALFile reads the valid record prefix of the segment at path,
+// accepting JSON, binary, and mixed segments. validBytes is the byte
+// length of that prefix when a torn tail must be truncated away, or -1
+// when the file is already clean (including when it does not exist
+// yet). oversize counts recovered records over the legacy scanner cap.
+func recoverWALFile(path string, firstSeq int) (frames []*trace.Frame, validBytes int64, oversize int, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, -1, nil
+		return nil, -1, 0, nil
 	}
 	if err != nil {
-		return nil, -1, err
+		return nil, -1, 0, err
 	}
-	offset := int64(0)
-	next := firstSeq
-	for len(data) > 0 {
-		nl := -1
-		for i, b := range data {
-			if b == '\n' {
-				nl = i
-				break
-			}
-		}
-		if nl < 0 {
-			// Final line has no newline: torn mid-append.
-			return frames, offset, nil
-		}
-		line := data[:nl]
-		seq, frame, derr := DecodeWALRecord(line)
-		if derr != nil || seq != next {
-			return frames, offset, nil
-		}
-		frames = append(frames, frame)
-		next++
-		offset += int64(nl + 1)
-		data = data[nl+1:]
+	frames, valid, oversize := decodeWALStream(data, firstSeq)
+	if valid == len(data) {
+		return frames, -1, oversize, nil
 	}
-	return frames, -1, nil
+	return frames, int64(valid), oversize, nil
 }
 
 // SessionStore is one session's durability state: the current WAL
@@ -387,6 +407,28 @@ func (s *SessionStore) compact(keep int) {
 	}
 }
 
+// Commit makes every frame appended so far durable under the store's
+// commit policy. With group commit enabled (Options.CommitWindow > 0)
+// it enlists the session in the current fleet-wide batch and blocks
+// until the batch fsync — one fsync covering all sessions that enlisted
+// in the window — completes; the caller must reply to its client only
+// after Commit returns to preserve the replied ⇒ durable contract.
+// Without group commit it is a no-op: appends already fsynced inline
+// per FsyncEvery. frames is the number of appends this commit covers,
+// reported to the batch-size histogram.
+//
+// Invariant (shared with the committer's flush): between enlisting and
+// the batch completing, the caller blocks, and the caller is the only
+// goroutine that touches this session's WAL — the fleet session's step
+// lock serializes Append/Commit/rotate/Close — so the flush goroutine
+// has exclusive access to the file handle during the group fsync.
+func (s *SessionStore) Commit(frames int) error {
+	if s.st.committer == nil || s.wal == nil || frames <= 0 {
+		return nil
+	}
+	return s.st.committer.commit(s, frames)
+}
+
 // Sync forces the WAL to stable storage regardless of policy.
 func (s *SessionStore) Sync() error {
 	if s.wal == nil {
@@ -461,6 +503,16 @@ func walIndex(name string) (int, bool) {
 func byteBuckets() []float64 {
 	out := make([]float64, 0, 17)
 	for b := 256.0; b <= 16*1024*1024; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// batchBuckets spans 1 .. 4096 frames exponentially for the
+// group-commit batch size histogram.
+func batchBuckets() []float64 {
+	out := make([]float64, 0, 13)
+	for b := 1.0; b <= 4096; b *= 2 {
 		out = append(out, b)
 	}
 	return out

@@ -167,20 +167,20 @@ func TestReadWALTailStopsAtCorruption(t *testing.T) {
 	}
 	good := buf.Bytes()
 
-	frames, truncated, err := readWALTail(bytes.NewReader(good), 1)
+	frames, truncated, _, err := readWALTail(bytes.NewReader(good), 1)
 	if err != nil || truncated || len(frames) != 5 {
 		t.Fatalf("clean tail: frames=%d truncated=%v err=%v", len(frames), truncated, err)
 	}
 
 	// Torn final record.
 	torn := good[:len(good)-9]
-	frames, truncated, err = readWALTail(bytes.NewReader(torn), 1)
+	frames, truncated, _, err = readWALTail(bytes.NewReader(torn), 1)
 	if err != nil || !truncated || len(frames) != 4 {
 		t.Fatalf("torn tail: frames=%d truncated=%v err=%v", len(frames), truncated, err)
 	}
 
 	// Out-of-sequence start discards everything.
-	frames, truncated, _ = readWALTail(bytes.NewReader(good), 2)
+	frames, truncated, _, _ = readWALTail(bytes.NewReader(good), 2)
 	if len(frames) != 0 || !truncated {
 		t.Fatalf("sequence gap: frames=%d truncated=%v", len(frames), truncated)
 	}

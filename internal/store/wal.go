@@ -1,7 +1,8 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +33,31 @@ type walRecord struct {
 // torn tail — that is the expected crash artifact — but DecodeWALRecord
 // surfaces it so fuzzing and diagnostics can distinguish bad records.
 var ErrWALCorrupt = errors.New("store: corrupt WAL record")
+
+// Binary WAL record framing. New appends use this format — one encode
+// pass into a reused buffer instead of the JSON path's marshal-then-
+// marshal-again copy — while recovery accepts both formats in one
+// segment, so a store upgraded mid-segment replays its old JSON prefix
+// unchanged:
+//
+//	record  = marker 0xB2 | payloadLen uint32 LE | payload | crc32(payload) uint32 LE
+//	payload = seq uint64 LE | frame (trace binary payload layout)
+//
+// The marker can never open a JSON record line ('{') or be a newline,
+// so a reader can dispatch on the first byte of each record.
+const (
+	walBinaryMarker byte = 0xB2
+	// walBinaryOverhead is the envelope size around a record payload.
+	walBinaryOverhead = 1 + 4 + 4
+	// maxWALPayload bounds a declared payload length against corrupt or
+	// hostile length prefixes (mirrors the snapshot envelope bound).
+	maxWALPayload = 64 << 20
+	// oversizeWALRecord is the record size above which the oversize
+	// counter increments — the former recovery scanner line cap, kept as
+	// the threshold so the metric flags exactly the frames that older
+	// versions would have silently dropped at recovery.
+	oversizeWALRecord = 1 << 22
+)
 
 // EncodeWALRecord renders one frame as a CRC-checked NDJSON line
 // (including the trailing newline).
@@ -78,37 +104,120 @@ func DecodeWALRecord(line []byte) (int, *trace.Frame, error) {
 	return rec.Seq, &frame, nil
 }
 
+// AppendWALRecordBinary appends one frame as a binary WAL record to dst
+// and returns the extended slice. This is the hot-path encoder: one
+// pass, no intermediate marshal, amortized zero allocations when dst is
+// reused across appends.
+func AppendWALRecordBinary(dst []byte, seq int, frame *trace.Frame) ([]byte, error) {
+	if frame == nil {
+		return dst, errors.New("store: nil frame")
+	}
+	if seq <= 0 {
+		return dst, fmt.Errorf("store: WAL sequence %d must be positive", seq)
+	}
+	dst = append(dst, walBinaryMarker, 0, 0, 0, 0)
+	lenAt := len(dst) - 4
+	payloadAt := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(seq))
+	dst = trace.AppendFrameBinary(dst, frame)
+	payload := dst[payloadAt:]
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload)), nil
+}
+
+// decodeWALRecordBinary parses the binary WAL record opening at data[0]
+// (which the caller has checked is walBinaryMarker). n is the full
+// encoded record length when the record is intact; a torn, truncated,
+// or checksum-failed record returns an error wrapping ErrWALCorrupt.
+func decodeWALRecordBinary(data []byte) (seq int, frame *trace.Frame, n int, err error) {
+	if len(data) < 5 {
+		return 0, nil, 0, fmt.Errorf("%w: torn binary prologue", ErrWALCorrupt)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[1:5]))
+	if plen < 8 || plen > maxWALPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d", ErrWALCorrupt, plen)
+	}
+	n = walBinaryOverhead + plen
+	if len(data) < n {
+		return 0, nil, 0, fmt.Errorf("%w: torn binary payload", ErrWALCorrupt)
+	}
+	payload := data[5 : 5+plen]
+	want := binary.LittleEndian.Uint32(data[5+plen:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, 0, fmt.Errorf("%w: checksum %08x (want %08x)", ErrWALCorrupt, got, want)
+	}
+	seq = int(int64(binary.LittleEndian.Uint64(payload)))
+	if seq <= 0 {
+		return 0, nil, 0, fmt.Errorf("%w: sequence %d", ErrWALCorrupt, seq)
+	}
+	frame, ferr := trace.DecodeFrameBinary(payload[8:])
+	if ferr != nil {
+		return 0, nil, 0, fmt.Errorf("%w: frame payload: %v", ErrWALCorrupt, ferr)
+	}
+	return seq, frame, n, nil
+}
+
+// decodeWALStream parses the valid record prefix of a WAL segment
+// holding JSON lines, binary records, or any mix (a segment written by
+// an older version and continued by this one). It stops at the first
+// torn, corrupt, or out-of-sequence record: everything after a bad
+// record postdates the crash that produced it. validBytes is the byte
+// length of the valid prefix (== len(data) when the segment is clean).
+// oversize counts valid records larger than oversizeWALRecord — frames
+// that pre-fix recovery code would have silently dropped as unscannable.
+func decodeWALStream(data []byte, firstSeq int) (frames []*trace.Frame, validBytes int, oversize int) {
+	next := firstSeq
+	off := 0
+	for off < len(data) {
+		var seq, n int
+		var frame *trace.Frame
+		var derr error
+		switch data[off] {
+		case '\n':
+			// Blank line between JSON records; tolerated like the old
+			// line scanner did.
+			off++
+			continue
+		case walBinaryMarker:
+			seq, frame, n, derr = decodeWALRecordBinary(data[off:])
+		default:
+			nl := bytes.IndexByte(data[off:], '\n')
+			if nl < 0 {
+				// Final line has no newline: torn mid-append.
+				return frames, off, oversize
+			}
+			n = nl + 1
+			seq, frame, derr = DecodeWALRecord(data[off : off+nl])
+		}
+		if derr != nil || seq != next {
+			return frames, off, oversize
+		}
+		if n > oversizeWALRecord {
+			oversize++
+		}
+		frames = append(frames, frame)
+		next++
+		off += n
+	}
+	return frames, off, oversize
+}
+
 // readWALTail reads the valid prefix of a WAL stream whose first record
 // must carry sequence number firstSeq. It stops — without error — at
 // the first torn, corrupt, or out-of-sequence record: everything after
 // a bad record postdates the crash that produced it and is discarded.
-// truncated reports whether anything was discarded. Only I/O errors
-// (not decode failures) are returned.
-func readWALTail(r io.Reader, firstSeq int) (frames []*trace.Frame, truncated bool, err error) {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	next := firstSeq
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		seq, frame, derr := DecodeWALRecord(line)
-		if derr != nil || seq != next {
-			return frames, true, nil
-		}
-		frames = append(frames, frame)
-		next++
+// truncated reports whether anything was discarded; oversize counts
+// recovered records larger than oversizeWALRecord (there is no upper
+// bound on record size — a legitimately huge acked frame recovers
+// intact rather than masquerading as a torn tail). Only I/O errors (not
+// decode failures) are returned.
+func readWALTail(r io.Reader, firstSeq int) (frames []*trace.Frame, truncated bool, oversize int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, true, 0, err
 	}
-	if serr := scanner.Err(); serr != nil {
-		if errors.Is(serr, bufio.ErrTooLong) {
-			// A line the scanner cannot hold is as unusable as a torn
-			// one; treat it as the corrupt tail rather than an I/O fault.
-			return frames, true, nil
-		}
-		return frames, true, serr
-	}
-	return frames, false, nil
+	frames, validBytes, oversize := decodeWALStream(data, firstSeq)
+	return frames, validBytes < len(data), oversize, nil
 }
 
 // walWriter appends CRC-checked frame records to one WAL segment file
@@ -119,6 +228,7 @@ type walWriter struct {
 	seq        int // last appended sequence number
 	fsyncEvery int // 1: every append; n>1: every n appends; <0: never
 	sinceSync  int
+	buf        []byte // reused binary record encoding buffer
 }
 
 // openWAL opens (creating or appending to) the segment at path. lastSeq
@@ -136,12 +246,15 @@ func openWAL(path string, lastSeq, fsyncEvery int) (*walWriter, error) {
 // append writes one frame as the next record, fsyncing per policy.
 // It returns the record's sequence number and whether this append
 // carried an fsync (the store's fsync counter tracks only real syncs).
+// Records are written in the binary format, encoded once into the
+// writer's reused buffer — the hot durable path carries no JSON marshal
+// and amortizes to zero allocations per append.
 func (w *walWriter) append(frame *trace.Frame) (seq int, synced bool, err error) {
-	line, err := EncodeWALRecord(w.seq+1, frame)
+	w.buf, err = AppendWALRecordBinary(w.buf[:0], w.seq+1, frame)
 	if err != nil {
 		return 0, false, err
 	}
-	if _, err := w.f.Write(line); err != nil {
+	if _, err := w.f.Write(w.buf); err != nil {
 		return 0, false, fmt.Errorf("store: append WAL: %w", err)
 	}
 	w.seq++

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"roboads/internal/mat"
+)
+
+// recordSample writes n frames with distinctive payloads through rec.
+func recordSample(t *testing.T, rec *Recorder, n int) {
+	t.Helper()
+	for k := 0; k < n; k++ {
+		readings := map[string]mat.Vec{
+			"ips":   mat.VecOf(float64(k), -2.5, 3),
+			"lidar": mat.VecOf(1, 2, 3, 0.5+float64(k)),
+		}
+		if err := rec.RecordAt(k, int64(k)*100_000_000, mat.VecOf(0.1, 0.2), readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRecordReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBinaryRecorder(&buf, sampleHeader())
+	recordSample(t, rec, 5)
+
+	reader, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := reader.Header(); h.Robot != "khepera" || h.Dt != 0.1 || h.Version != FormatVersion {
+		t.Fatalf("header = %+v", h)
+	}
+	for k := 0; k < 5; k++ {
+		frame, err := reader.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", k, err)
+		}
+		if frame.K != k || frame.TNanos != int64(k)*100_000_000 {
+			t.Fatalf("frame = %+v", frame)
+		}
+		if frame.U[0] != 0.1 || frame.Readings["ips"][0] != float64(k) || frame.Readings["lidar"][3] != 0.5+float64(k) {
+			t.Fatalf("frame payload = %+v", frame)
+		}
+	}
+	if _, err := reader.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// TestBinaryMatchesJSONFrames replays the same mission through both
+// recorders and requires identical decoded frames — the two wire
+// formats are views of one logical stream.
+func TestBinaryMatchesJSONFrames(t *testing.T) {
+	var jsonBuf, binBuf bytes.Buffer
+	recordSample(t, NewRecorder(&jsonBuf, sampleHeader()), 7)
+	recordSample(t, NewBinaryRecorder(&binBuf, sampleHeader()), 7)
+
+	// With full-precision readings (the realistic sensor case — JSON
+	// spends ~17 digits per float64) the binary frame must be smaller.
+	dense := map[string]mat.Vec{"ips": mat.VecOf(1.0/3, 2.0/7, -1.0/9), "lidar": mat.VecOf(1.0/11, 1.0/13, 1.0/17, 1.0/19)}
+	var jsonDense, binDense bytes.Buffer
+	jrec, brec := NewRecorder(&jsonDense, sampleHeader()), NewBinaryRecorder(&binDense, sampleHeader())
+	for k := 0; k < 8; k++ {
+		if err := jrec.Record(k, mat.VecOf(1.0/23, 1.0/29), dense); err != nil {
+			t.Fatal(err)
+		}
+		if err := brec.Record(k, mat.VecOf(1.0/23, 1.0/29), dense); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jrec.Close()
+	brec.Close()
+	if binDense.Len() >= jsonDense.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than JSON (%d bytes)", binDense.Len(), jsonDense.Len())
+	}
+
+	jr, err := NewReader(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewReader(&binBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jr.Header(), br.Header()) {
+		t.Fatalf("headers differ: %+v vs %+v", jr.Header(), br.Header())
+	}
+	for {
+		jf, jerr := jr.Next()
+		bf, berr := br.Next()
+		if errors.Is(jerr, io.EOF) {
+			if !errors.Is(berr, io.EOF) {
+				t.Fatalf("binary stream longer than JSON: %v", berr)
+			}
+			return
+		}
+		if jerr != nil || berr != nil {
+			t.Fatalf("errs: json %v, binary %v", jerr, berr)
+		}
+		if !reflect.DeepEqual(jf, bf) {
+			t.Fatalf("frame mismatch:\njson   %+v\nbinary %+v", jf, bf)
+		}
+	}
+}
+
+// TestFrameBinarySpecialFloats pins that the codec is bit-exact for
+// payload values JSON cannot carry losslessly or at all in future
+// revisions: negative zero, denormals, and large magnitudes.
+func TestFrameBinarySpecialFloats(t *testing.T) {
+	in := &Frame{
+		K:      -3,
+		TNanos: -1,
+		U:      []float64{math.Copysign(0, -1), math.SmallestNonzeroFloat64, math.MaxFloat64},
+		Readings: map[string][]float64{
+			"":  nil,
+			"z": {1e-300},
+		},
+	}
+	out, err := DecodeFrameBinary(AppendFrameBinary(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.K != -3 || out.TNanos != -1 {
+		t.Fatalf("out = %+v", out)
+	}
+	if math.Float64bits(out.U[0]) != math.Float64bits(in.U[0]) {
+		t.Fatalf("negative zero not preserved: %v", out.U[0])
+	}
+	if out.U[1] != in.U[1] || out.U[2] != in.U[2] {
+		t.Fatalf("U = %v", out.U)
+	}
+	if z, ok := out.Readings[""]; !ok || len(z) != 0 {
+		t.Fatalf("empty-name reading = %v, %v", z, ok)
+	}
+}
+
+func TestReadFrameRecordRejectsCorruption(t *testing.T) {
+	valid := AppendFrameRecord(nil, &Frame{K: 1, U: []float64{1, 2}, Readings: map[string][]float64{"a": {3}}})
+
+	cases := map[string][]byte{
+		"torn length":   valid[:3],
+		"torn payload":  valid[:len(valid)-6],
+		"torn checksum": valid[:len(valid)-2],
+		"bad kind":      append([]byte{0x7f}, valid[1:]...),
+		"length bomb":   {recFrame, 0xff, 0xff, 0xff, 0xff},
+		"flipped payload bit": func() []byte {
+			b := bytes.Clone(valid)
+			b[7] ^= 0x40
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadFrameRecord(bufio.NewReader(bytes.NewReader(data))); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	if f, err := ReadFrameRecord(bufio.NewReader(bytes.NewReader(valid))); err != nil || f.K != 1 {
+		t.Fatalf("valid record: %+v, %v", f, err)
+	}
+	if _, err := ReadFrameRecord(bufio.NewReader(bytes.NewReader(nil))); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: want io.EOF")
+	}
+}
+
+func TestBinaryReaderRejectsVersionSkew(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBinaryRecorder(&buf, sampleHeader())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[6] = 0x7f // corrupt the binary format version
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+// TestBinaryEncodingDeterministic pins that encoding is a pure function
+// of the frame: map iteration order must not leak into the bytes, since
+// WAL checksums and dedup rely on stable encodings.
+func TestBinaryEncodingDeterministic(t *testing.T) {
+	frame := &Frame{K: 9, U: []float64{1}, Readings: map[string][]float64{}}
+	for _, name := range []string{"g", "a", "m", "c", "x", "b"} {
+		frame.Readings[name] = []float64{float64(len(name))}
+	}
+	first := AppendFrameRecord(nil, frame)
+	for i := 0; i < 16; i++ {
+		if got := AppendFrameRecord(nil, frame); !bytes.Equal(got, first) {
+			t.Fatalf("encoding varies across calls")
+		}
+	}
+}

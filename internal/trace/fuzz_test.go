@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"io"
@@ -31,6 +32,26 @@ func FuzzTraceReader(f *testing.F) {
 	f.Add([]byte(`{"version":99}` + "\n"))
 	f.Add([]byte("not json\n"))
 	f.Add([]byte{})
+
+	// Binary streams negotiate through the same NewReader: seed the
+	// corpus with a valid binary trace and truncations of it so the
+	// fuzzer explores both decoders.
+	var binBuf bytes.Buffer
+	binRec := NewBinaryRecorder(&binBuf, Header{Robot: "khepera", Sensors: []string{"gps", "imu"}, Dt: 0.02})
+	for k := 0; k < 3; k++ {
+		if err := binRec.RecordAt(k, int64(k)*20_000_000, mat.VecOf(0.1, -0.2),
+			map[string]mat.Vec{"gps": mat.VecOf(1, 2), "imu": mat.VecOf(3)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := binRec.Close(); err != nil {
+		f.Fatal(err)
+	}
+	binValid := binBuf.Bytes()
+	f.Add(binValid)
+	f.Add(binValid[:len(binValid)/2])
+	f.Add(binValid[:7])
+	f.Add(binaryMagic[:])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
@@ -49,6 +70,35 @@ func FuzzTraceReader(f *testing.F) {
 					t.Fatalf("accepted frame %d missing sensor %q", frame.K, name)
 				}
 			}
+		}
+	})
+}
+
+// FuzzFrameRecord drives the standalone binary frame-record decoder —
+// the unit of both binary traces and the batch-ingest HTTP wire — with
+// arbitrary bytes: corrupt records must error (never panic), and any
+// record that decodes must re-encode to a decodable record describing
+// the same frame.
+func FuzzFrameRecord(f *testing.F) {
+	f.Add(AppendFrameRecord(nil, &Frame{K: 1, TNanos: 42, U: []float64{0.1, -0.2},
+		Readings: map[string][]float64{"gps": {1, 2}, "imu": {3}}}))
+	f.Add(AppendFrameRecord(nil, &Frame{}))
+	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		frame, err := ReadFrameRecord(br)
+		if err != nil {
+			return
+		}
+		reenc := AppendFrameRecord(nil, frame)
+		again, err := ReadFrameRecord(bufio.NewReader(bytes.NewReader(reenc)))
+		if err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+		if frame.K != again.K || frame.TNanos != again.TNanos ||
+			len(frame.U) != len(again.U) || len(frame.Readings) != len(again.Readings) {
+			t.Fatalf("round trip changed frame: %+v vs %+v", frame, again)
 		}
 	})
 }

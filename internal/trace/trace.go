@@ -1,6 +1,7 @@
 // Package trace records and replays the RoboADS monitor inputs — the
 // planned command u_{k-1} and the sensor readings z_k of every control
-// iteration — as a JSON-lines stream. A recorded mission can be replayed
+// iteration — as a JSON-lines or binary record stream (readers negotiate
+// the format from the stream prefix). A recorded mission can be replayed
 // through any detector configuration offline, supporting the §II-A
 // deployment where the RoboADS module runs remotely from the robot, and
 // post-incident forensics on archived missions.
@@ -59,11 +60,14 @@ var (
 	ErrFrameMismatch = errors.New("trace: frame does not match header")
 )
 
-// Recorder writes a trace stream.
+// Recorder writes a trace stream, in either the JSON-lines format
+// (NewRecorder) or the binary record format (NewBinaryRecorder).
 type Recorder struct {
 	w      *bufio.Writer
 	header Header
 	wrote  bool
+	binary bool
+	buf    []byte // scratch for binary record encoding, reused per frame
 }
 
 // NewRecorder returns a recorder that writes to w with the given header.
@@ -97,12 +101,15 @@ func (r *Recorder) Record(k int, u mat.Vec, readings map[string]mat.Vec) error {
 // (nanoseconds on the recorder's clock; see Frame.TNanos). Pass 0 to
 // record without a timestamp.
 func (r *Recorder) RecordAt(k int, tNanos int64, u mat.Vec, readings map[string]mat.Vec) error {
-	if err := r.writeHeader(); err != nil {
-		return err
-	}
 	frame := Frame{K: k, TNanos: tNanos, U: u, Readings: make(map[string][]float64, len(readings))}
 	for name, z := range readings {
 		frame.Readings[name] = z
+	}
+	if r.binary {
+		return r.recordBinary(&frame)
+	}
+	if err := r.writeHeader(); err != nil {
+		return err
 	}
 	line, err := json.Marshal(frame)
 	if err != nil {
@@ -119,7 +126,11 @@ func (r *Recorder) RecordAt(k int, tNanos int64, u mat.Vec, readings map[string]
 // makes an empty mission a valid zero-frame trace rather than an empty
 // file that fails replay with ErrBadHeader.
 func (r *Recorder) Flush() error {
-	if err := r.writeHeader(); err != nil {
+	writeHeader := r.writeHeader
+	if r.binary {
+		writeHeader = r.writeBinaryHeader
+	}
+	if err := writeHeader(); err != nil {
 		return err
 	}
 	return r.w.Flush()
@@ -129,15 +140,29 @@ func (r *Recorder) Flush() error {
 // naturally in defer position; the underlying writer is not closed.
 func (r *Recorder) Close() error { return r.Flush() }
 
-// Reader consumes a trace stream.
+// Reader consumes a trace stream in either wire format. The format is
+// sniffed from the stream prefix: the binary magic can never open a
+// JSON header line, so no out-of-band signal is needed.
 type Reader struct {
-	scanner *bufio.Scanner
+	scanner *bufio.Scanner // JSON-lines backend (nil for binary streams)
+	bin     *binaryReader  // binary backend (nil for JSON streams)
 	header  Header
 }
 
-// NewReader parses the header and returns a frame reader.
+// NewReader parses the header and returns a frame reader. Both trace
+// formats are accepted: JSON-lines streams (NewRecorder) and binary
+// streams (NewBinaryRecorder) decode through the same Reader.
 func NewReader(src io.Reader) (*Reader, error) {
-	scanner := bufio.NewScanner(src)
+	br := bufio.NewReaderSize(src, 1<<16)
+	prefix, err := br.Peek(len(binaryMagic))
+	if err == nil && [6]byte(prefix) == binaryMagic {
+		bin, header, err := newBinaryReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{bin: bin, header: header}, nil
+	}
+	scanner := bufio.NewScanner(br)
 	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	if !scanner.Scan() {
 		return nil, ErrBadHeader
@@ -157,6 +182,24 @@ func (r *Reader) Header() Header { return r.header }
 
 // Next returns the next frame, or io.EOF at end of stream.
 func (r *Reader) Next() (*Frame, error) {
+	frame, err := r.nextFrame()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range r.header.Sensors {
+		if _, ok := frame.Readings[name]; !ok {
+			return nil, fmt.Errorf("%w: frame %d missing %q", ErrFrameMismatch, frame.K, name)
+		}
+	}
+	return frame, nil
+}
+
+// nextFrame decodes the next frame from whichever backend the stream
+// negotiated, before header validation.
+func (r *Reader) nextFrame() (*Frame, error) {
+	if r.bin != nil {
+		return r.bin.next()
+	}
 	if !r.scanner.Scan() {
 		if err := r.scanner.Err(); err != nil {
 			return nil, err
@@ -166,11 +209,6 @@ func (r *Reader) Next() (*Frame, error) {
 	var frame Frame
 	if err := json.Unmarshal(r.scanner.Bytes(), &frame); err != nil {
 		return nil, fmt.Errorf("trace: decode frame: %w", err)
-	}
-	for _, name := range r.header.Sensors {
-		if _, ok := frame.Readings[name]; !ok {
-			return nil, fmt.Errorf("%w: frame %d missing %q", ErrFrameMismatch, frame.K, name)
-		}
 	}
 	return &frame, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fleetsoak crashsoak fuzz bench benchdiff benchoverhead ci
+.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,20 @@ crashsoak:
 		-run TestServeCrashRecovery ./cmd/roboads/
 	$(GO) test -race -count=1 -run 'TestFleetDurable|TestFleetRecovery|TestFleetEviction|TestFleetCheckpoint' ./internal/fleet/
 
+# Batched-stepping determinism suite under the race detector (DESIGN.md
+# §13): blocked kernels vs scalar (mat), the engine batch including
+# forced scalar fallback (core), the K ∈ {1,2,7,64} sweep over every
+# Table II and Tamiya scenario (eval), and the fleet scheduler's
+# coalesced quanta with concurrent mixed-profile ingest and durability
+# on (fleet). Everything asserts bit-for-bit equality with the scalar
+# path. The eval sweep replays full missions under -race, hence the
+# long timeout.
+fleetbatch:
+	$(GO) test -race -count=1 -run 'TestBatchKernelsMatchScalar|TestCholBatchMatchesScalar|TestViewBatchBindsExternalStorage|TestSlabCarving' ./internal/mat/
+	$(GO) test -race -count=1 -run 'TestEngineBatch' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestFleetBatch' ./internal/fleet/
+	$(GO) test -race -count=1 -timeout 30m -run 'TestBatchedStep' ./internal/eval/
+
 # Fuzz smoke: each decoder target gets a short native-fuzzing burst
 # (go test -fuzz accepts one target per invocation). The corpus grows in
 # testdata/fuzz and regressions replay as ordinary seed tests.
@@ -57,6 +71,14 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|FleetStep|NUISEStep' -benchtime=1500x .
 
+# Batching speedup report: the scalar-vs-blocked fleet stepping pair
+# (compare the sessions/core metrics of EngineFleet and
+# EngineFleetBatched at matching robot counts) and the end-to-end
+# ingest pair (fleet16-scalar vs fleet16-batched frames/s over real
+# HTTP with group commit).
+benchbatch:
+	$(GO) test -run xxx -bench 'BenchmarkEngineFleet|BenchmarkIngestE2E/fleet16' -benchtime=1500x .
+
 # Regression guard: re-runs the benchmark command recorded in
 # BENCH_engine.json and fails if any tracked benchmark is >15% slower
 # (ns/op) than the recorded baseline. Authoritative on the recording
@@ -67,14 +89,18 @@ benchdiff:
 # Overhead gate: the nil-Observer, nil-fleet engine path (and the
 # enabled-path pin BenchmarkEngineStepTelemetry) must stay within 5% of
 # the recorded baseline — the telemetry layer is contractually free when
-# disabled, and the fleet session service is a layer above the engine
-# (BenchmarkFleetStep pins its per-frame cost separately), so hosting a
-# fleet must not tax an in-process detector at all. The 5% threshold is
+# disabled, and the fleet session service is a layer above the engine,
+# so hosting a fleet must not tax an in-process detector at all.
+# BenchmarkFleetStep rides the same gate to pin the batching-DISABLED
+# fleet quantum: with Config.Batching unset the scheduler must serve
+# frames through the scalar path at the pre-batching cost (the only
+# addition is one nil-map check per quantum). The 5% threshold is
 # tighter than single-run noise on shared hardware, so the gate compares
-# the fastest of three long runs (-best).
+# the fastest of three long runs (-best); all three baseline entries are
+# recorded under the same best-of-3 protocol.
 benchoverhead:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json -threshold 0.05 -best \
-		-only '^BenchmarkEngineStep(Telemetry)?$$' \
-		-command "$(GO) test -run xxx -bench '^BenchmarkEngineStep(Telemetry)?$$' -benchtime=20000x -count=3 ."
+		-only '^BenchmarkEngineStep(Telemetry)?$$|^BenchmarkFleetStep$$' \
+		-command "$(GO) test -run xxx -bench '^BenchmarkEngineStep(Telemetry)?$$|^BenchmarkFleetStep$$' -benchtime=20000x -count=3 ."
 
 ci: build vet test race

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -269,6 +270,79 @@ func BenchmarkEngineFleet(b *testing.B) {
 				}
 				wg.Wait()
 			}
+			reportSessionsPerCore(b, robots)
+		})
+	}
+}
+
+// reportSessionsPerCore attaches the fleet-throughput metric the ≥3x
+// batching target is stated in: session-steps per second per core.
+// Reading it directly beats deriving it from ns/op × robots ÷ cores.
+func reportSessionsPerCore(b *testing.B, robots int) {
+	elapsed := b.Elapsed().Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	perCore := float64(robots) * float64(b.N) / elapsed / float64(runtime.GOMAXPROCS(0))
+	b.ReportMetric(perCore, "sessions/core")
+}
+
+// BenchmarkEngineFleetBatched is BenchmarkEngineFleet's workload pushed
+// through core.EngineBatch: the same per-session truth propagation and
+// readings, but all K identical-profile sessions stepped as one blocked
+// structure-of-arrays pass per mode instead of K independent engine
+// steps. The ratio of the two benchmarks' sessions/core metrics is the
+// batching speedup gated in BENCH_engine.json.
+func BenchmarkEngineFleetBatched(b *testing.B) {
+	for _, robots := range []int{4, 16, 64} {
+		robots := robots
+		b.Run(fmt.Sprintf("robots=%d", robots), func(b *testing.B) {
+			plant, model, suite := benchPlant()
+			x0 := mat.VecOf(1, 1, 0.3)
+			u := model.WheelSpeeds(0.12, 0.1)
+			modes, err := core.SingleReferenceModes(model, suite, x0, u, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := make([]*core.Engine, robots)
+			states := make([]mat.Vec, robots)
+			rngs := make([]*stat.RNG, robots)
+			us := make([]mat.Vec, robots)
+			readings := make([]map[string]mat.Vec, robots)
+			for r := range engines {
+				cfg := core.DefaultEngineConfig()
+				cfg.Workers = 1
+				engines[r], err = core.NewEngine(plant, modes, x0, mat.Diag(1e-6, 1e-6, 1e-6), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states[r] = x0.Clone()
+				rngs[r] = stat.NewRNG(int64(100 + r))
+				us[r] = u
+			}
+			eb, err := core.NewEngineBatch(engines[0], robots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < robots; r++ {
+					states[r] = model.F(states[r], u).Add(rngs[r].GaussianVec(mat.VecOf(5e-4, 5e-4, 1e-3)))
+					m := map[string]mat.Vec{}
+					for _, s := range suite {
+						m[s.Name()] = s.H(states[r])
+					}
+					readings[r] = m
+				}
+				_, errs := eb.Step(engines, us, readings)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportSessionsPerCore(b, robots)
 		})
 	}
 }
@@ -503,6 +577,83 @@ func BenchmarkIngestE2E(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 	})
+
+	// The fleet16 pair measures what session coalescing buys end to end:
+	// sixteen same-profile sessions each streaming b.N binary frames
+	// concurrently under group commit, stepped scalar per session vs
+	// coalesced into blocked batched passes (Config.Batching). Identical
+	// wire traffic, identical durability contract — the frames/s ratio
+	// isolates the batching win with HTTP, WAL, and fsync costs included.
+	multi := func(b *testing.B, batching int) {
+		const sessions = 16
+		mgr, err := fleet.NewManager(fleet.Config{
+			Build:      fleet.DefaultBuilder(),
+			Batching:   batching,
+			Durability: fleet.Durability{Dir: b.TempDir(), CommitWindow: 2 * time.Millisecond},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { mgr.Shutdown(context.Background()) })
+		srv := httptest.NewServer(mgr.Handler())
+		b.Cleanup(srv.Close)
+		ids := make([]string, sessions)
+		for s := range ids {
+			info, err := mgr.Create(fleet.Spec{Robot: "khepera"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[s] = info.ID
+		}
+		var record []byte
+		for i := 0; i < b.N; i++ {
+			frame.K = i
+			record = trace.AppendFrameRecord(record, frame)
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		for s := range ids {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				resp, err := http.Post(srv.URL+"/v1/sessions/"+ids[s]+"/frames",
+					fleet.ContentTypeBinaryFrames, bytes.NewReader(record))
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				defer resp.Body.Close()
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+				acked := 0
+				for sc.Scan() {
+					var line fleet.ReplyLine
+					if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+						errs[s] = err
+						return
+					}
+					if line.Error != "" || line.Report == nil {
+						errs[s] = fmt.Errorf("frame %d: %q", acked, line.Error)
+						return
+					}
+					acked++
+				}
+				if errs[s] = sc.Err(); errs[s] == nil && acked != b.N {
+					errs[s] = fmt.Errorf("acked %d of %d frames", acked, b.N)
+				}
+			}(s)
+		}
+		wg.Wait()
+		for s, err := range errs {
+			if err != nil {
+				b.Fatalf("session %d: %v", s, err)
+			}
+		}
+		b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
+	b.Run("fleet16-scalar", func(b *testing.B) { multi(b, 0) })
+	b.Run("fleet16-batched", func(b *testing.B) { multi(b, 16) })
 }
 
 func BenchmarkDetectorStep(b *testing.B) {

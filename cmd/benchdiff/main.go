@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,8 +39,18 @@ import (
 
 // baselineFile mirrors the parts of BENCH_engine.json the guard needs.
 type baselineFile struct {
-	Command    string                `json:"command"`
-	Benchmarks map[string]benchEntry `json:"benchmarks"`
+	Command     string                `json:"command"`
+	Environment baselineEnv           `json:"environment"`
+	Benchmarks  map[string]benchEntry `json:"benchmarks"`
+}
+
+// baselineEnv is the recorded hardware context. Printed next to the
+// current host's shape so a cross-hardware comparison announces itself
+// instead of masquerading as a code regression.
+type baselineEnv struct {
+	CPU        string `json:"cpu"`
+	NumCPU     int    `json:"numcpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
 type benchEntry struct {
@@ -123,6 +134,27 @@ func compare(baseline map[string]benchEntry, current map[string]float64, thresho
 	return results
 }
 
+// printEnvironment contrasts the baseline's recorded hardware shape
+// with the current host. ns/op deltas between machines of different
+// core counts (or a 1-CPU recording container vs a multi-core runner)
+// mix hardware and code; the header makes that visible in every gate
+// log. Zero-valued baseline fields (pre-metadata records) are shown
+// as "?" rather than omitted, so stale baselines are also visible.
+func printEnvironment(w io.Writer, env baselineEnv) {
+	baseCPU := env.CPU
+	if baseCPU == "" {
+		baseCPU = "?"
+	}
+	orQ := func(v int) string {
+		if v == 0 {
+			return "?"
+		}
+		return strconv.Itoa(v)
+	}
+	fmt.Fprintf(w, "baseline: %s, numcpu %s, gomaxprocs %s\n", baseCPU, orQ(env.NumCPU), orQ(env.GOMAXPROCS))
+	fmt.Fprintf(w, "current:  numcpu %d, gomaxprocs %d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
 func run() error {
 	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline file with recorded command and benchmarks")
 	input := flag.String("input", "", "pre-captured `go test -bench` output to parse instead of running the command")
@@ -146,6 +178,7 @@ func run() error {
 	if err := filterBaseline(base.Benchmarks, *only); err != nil {
 		return err
 	}
+	printEnvironment(os.Stdout, base.Environment)
 
 	var benchOut io.Reader
 	if *input != "" {

@@ -132,3 +132,21 @@ func TestParseBenchOutputBestKeepsFastest(t *testing.T) {
 		t.Errorf("BenchmarkX = %v, want fastest run 200", got["BenchmarkX"])
 	}
 }
+
+func TestPrintEnvironment(t *testing.T) {
+	var sb strings.Builder
+	printEnvironment(&sb, baselineEnv{CPU: "Xeon @ 2.70GHz", NumCPU: 1, GOMAXPROCS: 1})
+	got := sb.String()
+	if !strings.Contains(got, "baseline: Xeon @ 2.70GHz, numcpu 1, gomaxprocs 1") {
+		t.Fatalf("baseline line missing from:\n%s", got)
+	}
+	if !strings.Contains(got, "current:  numcpu ") {
+		t.Fatalf("current-host line missing from:\n%s", got)
+	}
+
+	sb.Reset()
+	printEnvironment(&sb, baselineEnv{})
+	if !strings.Contains(sb.String(), "baseline: ?, numcpu ?, gomaxprocs ?") {
+		t.Fatalf("pre-metadata baseline not rendered as unknowns:\n%s", sb.String())
+	}
+}

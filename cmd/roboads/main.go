@@ -80,6 +80,7 @@ func run(args []string) error {
 	missions := fs.Int("missions", 0, "missions to run back to back (serve); 0 = loop until interrupted")
 	interval := fs.Duration("interval", 0, "sleep per control iteration (serve); 0 = full speed")
 	fleetIdle := fs.Duration("fleet-idle", 0, "evict fleet sessions idle this long (serve); 0 = 5m, negative = never")
+	fleetBatch := fs.Int("fleet-batch", 0, "coalesce up to this many same-profile fleet sessions into one blocked batched step per quantum (serve); 0 or 1 = scalar stepping, reports identical either way")
 	stateDir := fs.String("state-dir", "", "persist fleet sessions under this directory (serve); empty = no persistence")
 	snapshotEvery := fs.Int("snapshot-every", 0, "frames between automatic session checkpoints (serve); 0 = 256, negative = manual only")
 	fsyncEvery := fs.Int("fsync-every", 0, "WAL fsync cadence in frames (serve); 0 or 1 = every frame, negative = never")
@@ -104,6 +105,7 @@ func run(args []string) error {
 			missions:   *missions,
 			interval:   *interval,
 			fleetIdle:  *fleetIdle,
+			fleetBatch: *fleetBatch,
 
 			stateDir:      *stateDir,
 			snapshotEvery: *snapshotEvery,

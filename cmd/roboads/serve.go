@@ -34,6 +34,11 @@ type serveOptions struct {
 	fleetIdle time.Duration
 	// fleetQueue bounds each session's frame queue (0: fleet default).
 	fleetQueue int
+	// fleetBatch coalesces up to this many same-profile sessions into
+	// one blocked batched step per scheduling quantum (fleet
+	// Config.Batching); 0 or 1 keeps scalar per-session stepping.
+	// Reports are bit-for-bit identical either way.
+	fleetBatch int
 	// drain bounds the fleet drain on shutdown (0: 10 seconds).
 	drain time.Duration
 	// stateDir enables fleet durability: sessions snapshot their
@@ -86,6 +91,7 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 	}
 	mgr, err := fleet.NewManager(fleet.Config{
 		QueueDepth:  opts.fleetQueue,
+		Batching:    opts.fleetBatch,
 		IdleTimeout: idle,
 		Build:       fleet.DefaultBuilder(),
 		Metrics:     tel.Registry(),

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"roboads/internal/mat"
+)
+
+// batchScenario pre-generates per-session inputs: distinct seeds per
+// session, an IPS bias window, and periodic dropped readings so the
+// batched gather exercises the mode-sits-out and reference-only paths.
+func batchScenario(seed int64, steps int) (*testRig, []mat.Vec, []map[string]mat.Vec) {
+	rig := newTestRig(seed)
+	xTrue := mat.VecOf(0.8, 0.8, 0.2)
+	u := rig.model.WheelSpeeds(0.12, 0.2)
+	us := make([]mat.Vec, 0, steps)
+	readings := make([]map[string]mat.Vec, 0, steps)
+	for k := 0; k < steps; k++ {
+		xTrue = rig.model.F(xTrue, u).Add(rig.processNoise())
+		r := rig.readings(xTrue)
+		if k >= 20 && k < 45 {
+			r["ips"] = r["ips"].Add(mat.VecOf(0.07, 0, 0))
+		}
+		if k%17 == 5 {
+			delete(r, "ips")
+		}
+		if k%23 == 7 {
+			delete(r, "lidar")
+		}
+		us = append(us, u)
+		readings = append(readings, r)
+	}
+	return rig, us, readings
+}
+
+func requireOutputsEqual(t *testing.T, k, s int, want, got *Output) {
+	t.Helper()
+	if want.Iteration != got.Iteration || want.Selected != got.Selected {
+		t.Fatalf("k=%d session=%d: iteration/selected %d/%d vs %d/%d",
+			k, s, want.Iteration, want.Selected, got.Iteration, got.Selected)
+	}
+	if !vecsEqual(mat.Vec(want.Weights), mat.Vec(got.Weights)) {
+		t.Fatalf("k=%d session=%d: weights\nscalar %v\nbatch  %v", k, s, want.Weights, got.Weights)
+	}
+	for i := range want.PerMode {
+		rw, rg := want.PerMode[i], got.PerMode[i]
+		if (rw == nil) != (rg == nil) {
+			t.Fatalf("k=%d session=%d mode=%d: nil mismatch (scalar nil=%v)", k, s, i, rw == nil)
+		}
+		if rw == nil {
+			continue
+		}
+		if !vecsEqual(rw.X, rg.X) || !rw.Px.Equal(rg.Px, 0) {
+			t.Fatalf("k=%d session=%d mode=%d: state/covariance diverged", k, s, i)
+		}
+		if !vecsEqual(rw.Da, rg.Da) || !rw.Pa.Equal(rg.Pa, 0) {
+			t.Fatalf("k=%d session=%d mode=%d: actuator estimate diverged", k, s, i)
+		}
+		if (rw.Ds == nil) != (rg.Ds == nil) || (rw.Ds != nil && !vecsEqual(rw.Ds, rg.Ds)) {
+			t.Fatalf("k=%d session=%d mode=%d: Ds diverged", k, s, i)
+		}
+		if !rw.Ps.Equal(rg.Ps, 0) {
+			t.Fatalf("k=%d session=%d mode=%d: Ps diverged", k, s, i)
+		}
+		if rw.Likelihood != rg.Likelihood || rw.PValue != rg.PValue {
+			t.Fatalf("k=%d session=%d mode=%d: likelihood %v/%v vs %v/%v",
+				k, s, i, rw.Likelihood, rw.PValue, rg.Likelihood, rg.PValue)
+		}
+		if !vecsEqual(rw.Innovation, rg.Innovation) {
+			t.Fatalf("k=%d session=%d mode=%d: innovation diverged", k, s, i)
+		}
+		if rw.Implausible != rg.Implausible || rw.DaValid != rg.DaValid {
+			t.Fatalf("k=%d session=%d mode=%d: flags diverged", k, s, i)
+		}
+	}
+	if len(want.SensorAnomalies) != len(got.SensorAnomalies) {
+		t.Fatalf("k=%d session=%d: anomaly split length %d vs %d",
+			k, s, len(want.SensorAnomalies), len(got.SensorAnomalies))
+	}
+	for j := range want.SensorAnomalies {
+		aw, ag := want.SensorAnomalies[j], got.SensorAnomalies[j]
+		if aw.Sensor != ag.Sensor || !vecsEqual(aw.Ds, ag.Ds) || !aw.Ps.Equal(ag.Ps, 0) {
+			t.Fatalf("k=%d session=%d: anomaly split %d diverged", k, s, j)
+		}
+	}
+}
+
+// The batched path must be bit-for-bit identical per session to the
+// scalar path: same weights, selections, per-mode estimates,
+// likelihoods, p-values, and anomaly splits, step for step, across
+// sessions with divergent inputs (distinct seeds, bias windows,
+// dropped readings).
+func TestEngineBatchMatchesScalar(t *testing.T) {
+	for _, K := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("K=%d", K), func(t *testing.T) {
+			const steps = 60
+			scalar := make([]*Engine, K)
+			batched := make([]*Engine, K)
+			us := make([][]mat.Vec, K)
+			readings := make([][]map[string]mat.Vec, K)
+			for s := 0; s < K; s++ {
+				rig, u, r := batchScenario(int64(100+s), steps)
+				us[s], readings[s] = u, r
+				scalar[s] = engineWithWorkers(t, rig, 1)
+				batched[s] = engineWithWorkers(t, rig, 1)
+			}
+			eb, err := NewEngineBatch(batched[0], K)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stepUs := make([]mat.Vec, K)
+			stepReadings := make([]map[string]mat.Vec, K)
+			for k := 0; k < steps; k++ {
+				for s := 0; s < K; s++ {
+					stepUs[s] = us[s][k]
+					stepReadings[s] = readings[s][k]
+				}
+				outs, errs := eb.Step(batched, stepUs, stepReadings)
+				for s := 0; s < K; s++ {
+					want, wantErr := scalar[s].Step(us[s][k], readings[s][k])
+					if (wantErr == nil) != (errs[s] == nil) {
+						t.Fatalf("k=%d session=%d: scalar err %v, batch err %v", k, s, wantErr, errs[s])
+					}
+					if wantErr != nil {
+						continue
+					}
+					requireOutputsEqual(t, k, s, want, outs[s])
+					xw, pw := scalar[s].State()
+					xg, pg := batched[s].State()
+					if !vecsEqual(xw, xg) || !pw.Equal(pg, 0) {
+						t.Fatalf("k=%d session=%d: committed engine state diverged", k, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// When the Cholesky happy path is disabled entirely (the forced-Jacobi
+// test hook), every (session, mode) falls back to the scalar redo —
+// and the outputs must still match the scalar engines exactly.
+func TestEngineBatchForcedFallbackMatchesScalar(t *testing.T) {
+	forceJacobiLikelihood = true
+	defer func() { forceJacobiLikelihood = false }()
+
+	const K, steps = 3, 25
+	scalar := make([]*Engine, K)
+	batched := make([]*Engine, K)
+	us := make([][]mat.Vec, K)
+	readings := make([][]map[string]mat.Vec, K)
+	for s := 0; s < K; s++ {
+		rig, u, r := batchScenario(int64(900+s), steps)
+		us[s], readings[s] = u, r
+		scalar[s] = engineWithWorkers(t, rig, 1)
+		batched[s] = engineWithWorkers(t, rig, 1)
+	}
+	eb, err := NewEngineBatch(batched[0], K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUs := make([]mat.Vec, K)
+	stepReadings := make([]map[string]mat.Vec, K)
+	for k := 0; k < steps; k++ {
+		for s := 0; s < K; s++ {
+			stepUs[s] = us[s][k]
+			stepReadings[s] = readings[s][k]
+		}
+		outs, errs := eb.Step(batched, stepUs, stepReadings)
+		for s := 0; s < K; s++ {
+			want, wantErr := scalar[s].Step(us[s][k], readings[s][k])
+			if (wantErr == nil) != (errs[s] == nil) {
+				t.Fatalf("k=%d session=%d: scalar err %v, batch err %v", k, s, wantErr, errs[s])
+			}
+			if wantErr == nil {
+				requireOutputsEqual(t, k, s, want, outs[s])
+			}
+		}
+	}
+}
+
+// Outputs must own their memory: retaining a step's results while the
+// batch keeps stepping (reusing all its blocked buffers) must not
+// mutate them — the contract the fleet wire layer depends on.
+func TestEngineBatchOutputsOwnMemory(t *testing.T) {
+	const K, steps = 2, 30
+	batched := make([]*Engine, K)
+	us := make([][]mat.Vec, K)
+	readings := make([][]map[string]mat.Vec, K)
+	for s := 0; s < K; s++ {
+		_, u, r := batchScenario(int64(40+s), steps)
+		us[s], readings[s] = u, r
+		rig, _, _ := batchScenario(int64(40+s), steps)
+		batched[s] = engineWithWorkers(t, rig, 1)
+	}
+	eb, err := NewEngineBatch(batched[0], K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUs := make([]mat.Vec, K)
+	stepReadings := make([]map[string]mat.Vec, K)
+	step := func(k int) []*Output {
+		for s := 0; s < K; s++ {
+			stepUs[s] = us[s][k]
+			stepReadings[s] = readings[s][k]
+		}
+		outs, errs := eb.Step(batched, stepUs, stepReadings)
+		for s, e := range errs {
+			if e != nil {
+				t.Fatalf("k=%d session=%d: %v", k, s, e)
+			}
+		}
+		return outs
+	}
+
+	first := step(0)
+	snapX := make([]mat.Vec, K)
+	snapPx := make([]*mat.Mat, K)
+	snapDa := make([]mat.Vec, K)
+	for s, out := range first {
+		snapX[s] = out.Result.X.Clone()
+		snapPx[s] = out.Result.Px.Clone()
+		snapDa[s] = append(mat.Vec(nil), out.Result.Da...)
+	}
+	for k := 1; k < steps; k++ {
+		step(k)
+	}
+	for s, out := range first {
+		if !vecsEqual(out.Result.X, snapX[s]) || !out.Result.Px.Equal(snapPx[s], 0) || !vecsEqual(out.Result.Da, snapDa[s]) {
+			t.Fatalf("session %d: retained step-0 output mutated by later batched steps", s)
+		}
+	}
+}
+
+// Shape-incompatible engines are rejected per session with
+// ErrBatchShape and left unstepped; compatible sessions in the same
+// call still step normally.
+func TestEngineBatchRejectsShapeMismatch(t *testing.T) {
+	rig, us, readings := batchScenario(7, 3)
+	good := engineWithWorkers(t, rig, 1)
+	proto := engineWithWorkers(t, rig, 1)
+
+	// An engine over a single fused mode: different mode-bank geometry.
+	x0 := mat.VecOf(0.8, 0.8, 0.2)
+	fused, err := FusionMode(rig.suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := NewEngine(rig.plant, []*Mode{fused}, x0, mat.Diag(1e-6, 1e-6, 1e-6), DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eb, err := NewEngineBatch(proto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, errs := eb.Step([]*Engine{good, odd},
+		[]mat.Vec{us[0], us[0]}, []map[string]mat.Vec{readings[0], readings[0]})
+	if !errors.Is(errs[1], ErrBatchShape) {
+		t.Fatalf("mismatched engine error = %v, want ErrBatchShape", errs[1])
+	}
+	if outs[1] != nil {
+		t.Fatal("mismatched engine produced an output")
+	}
+	if errs[0] != nil || outs[0] == nil {
+		t.Fatalf("compatible session did not step: out=%v err=%v", outs[0], errs[0])
+	}
+}

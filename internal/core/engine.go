@@ -119,6 +119,15 @@ type Engine struct {
 	// never sees it.
 	spd *mat.CholCache
 
+	// commitNext is commit's reused weight-update scratch (the
+	// un-normalized next weights); evCovs holds one reusable d×d scratch
+	// matrix per (mode, testing sensor) that the evidence terms factor
+	// block copies through — distinct pointers per slot, so the per-step
+	// SPD cache never confuses two blocks. Both are sized lazily on the
+	// first Step.
+	commitNext []float64
+	evCovs     [][]*mat.Mat
+
 	// obs is EngineConfig.Observer; nil when instrumentation is off.
 	// sensorNames is the union of every mode's reference and testing
 	// workflow names, precomputed so the dropped-reading check is one
@@ -361,13 +370,29 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 		return nil, ctx.Err()
 	}
 
-	// Commit each surviving mode's private belief. This runs serially
-	// after the gather (not inside stepMode) so that a cancelled
-	// StepContext above aborts with no partial per-mode state written.
+	return e.commit(perMode, stepStart, fallbacks0)
+}
+
+// commit is the serial tail of a step — belief commit, weight update,
+// selection, resync, output assembly — shared verbatim by the scalar
+// path above and the batched path (EngineBatch): both gather a full
+// perMode slice and then run this identical code, which is half of the
+// batched path's bit-for-bit guarantee. It runs after the gather (not
+// inside stepMode) so that a cancelled StepContext aborts with no
+// partial per-mode state written. stepStart and fallbacks0 carry the
+// caller's instrumentation preamble and are read only when an observer
+// is attached.
+func (e *Engine) commit(perMode []*Result, stepStart time.Time, fallbacks0 int64) (*Output, error) {
+	obs := e.obs
+
+	// Commit each surviving mode's private belief. The belief buffers are
+	// engine-private (the constructor clones them in, ExportState and
+	// State clone them out), so the copies land in place — value-identical
+	// to the Clones they replace, without the per-step allocations.
 	for i, res := range perMode {
 		if res != nil {
-			e.xm[i] = res.X.Clone()
-			e.pxm[i] = res.Px.Clone()
+			copy(e.xm[i], res.X)
+			mat.CopyInto(e.pxm[i], res.Px)
 		}
 	}
 
@@ -377,8 +402,16 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 	// below 1 (p-values always are) would otherwise drag every mode to
 	// ε within tens of iterations and reset the bank each step.
 	e.spd.Reset()
-	splits := make([][]SensorAnomaly, len(e.modes))
-	next := make([]float64, len(e.weights))
+	if e.commitNext == nil {
+		e.commitNext = make([]float64, len(e.weights))
+		e.evCovs = make([][]*mat.Mat, len(e.modes))
+		for i, m := range e.modes {
+			for _, s := range m.Testing {
+				e.evCovs[i] = append(e.evCovs[i], mat.New(s.Dim(), s.Dim()))
+			}
+		}
+	}
+	next := e.commitNext
 	var sum float64
 	for i := range e.weights {
 		likelihood := 0.0
@@ -386,9 +419,7 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 			if e.cfg.WeightByDensity {
 				likelihood = perMode[i].Likelihood
 			} else {
-				evidence, split := e.testingEvidence(e.modes[i], perMode[i])
-				likelihood = perMode[i].PValue * evidence
-				splits[i] = split
+				likelihood = perMode[i].PValue * e.testingEvidence(i, perMode[i])
 			}
 		}
 		next[i] = e.weights[i] * likelihood
@@ -449,8 +480,8 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 	// The selected mode's posterior is the consensus estimate
 	// (Algorithm 1 line 9).
 	res := perMode[selected]
-	e.x = res.X.Clone()
-	e.px = res.Px.Clone()
+	copy(e.x, res.X)
+	mat.CopyInto(e.px, res.Px)
 
 	// Re-synchronize rejected hypotheses from the consensus: a mode whose
 	// weight has collapsed (or whose step failed) restarts from the
@@ -464,8 +495,8 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 			continue
 		}
 		if perMode[i] == nil || e.weights[i] <= e.cfg.ResyncWeight {
-			e.xm[i] = e.x.Clone()
-			e.pxm[i] = e.px.Clone()
+			copy(e.xm[i], e.x)
+			mat.CopyInto(e.pxm[i], e.px)
 		}
 	}
 
@@ -479,14 +510,12 @@ func (e *Engine) StepContext(ctx context.Context, u mat.Vec, readings map[string
 		SPD:          e.spd,
 	}
 	if res.Ds != nil {
-		// Reuse the split computed during the weight update when there
-		// was one: the decision layer then tests the exact covariance
-		// blocks the evidence terms factored, and the SPD cache hits.
-		if split := splits[selected]; split != nil {
-			out.SensorAnomalies = split
-		} else {
-			out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
-		}
+		// Only the selected mode's split is materialized (it escapes into
+		// the Output); the weight update's evidence terms factored scratch
+		// copies of the same block values, so the decision layer's tests
+		// on these fresh copies agree bit-for-bit — the factorization is a
+		// pure function of the block values.
+		out.SensorAnomalies = e.modes[selected].SplitDs(res.Ds, res.Ps)
 	}
 	if obs != nil {
 		failed := 0
@@ -543,25 +572,27 @@ func (e *Engine) stepMode(i int, u mat.Vec, readings map[string]mat.Vec, perMode
 	perMode[i] = res
 }
 
-// testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over the
-// mode's testing sensors, times max(pvalue(d̂a), ActuatorPrior) (see
-// EngineConfig.AttackPrior and ActuatorPrior). It also returns the
-// per-sensor anomaly split it computed (nil when the mode has no
-// testing evidence) so Step can hand the same covariance blocks — and
-// their cached factors — to the decision layer.
-func (e *Engine) testingEvidence(m *Mode, res *Result) (float64, []SensorAnomaly) {
+// testingEvidence returns Π_t max(pvalue(d̂s_t), AttackPrior) over mode
+// i's testing sensors, times max(pvalue(d̂a), ActuatorPrior) (see
+// EngineConfig.AttackPrior and ActuatorPrior). Each per-sensor term
+// factors a block copy of Ps held in the engine's per-slot scratch —
+// value-identical to the Submatrix the decision layer tests, without
+// materializing a SensorAnomaly split for modes that won't be selected.
+func (e *Engine) testingEvidence(i int, res *Result) float64 {
 	evidence := 1.0
-	var split []SensorAnomaly
 	if e.cfg.AttackPrior > 0 && res.Ds != nil {
-		split = m.SplitDs(res.Ds, res.Ps)
-		for _, sa := range split {
-			evidence *= flooredPValue(e.spd, sa.Ps, sa.Ds, e.cfg.AttackPrior)
+		off := 0
+		for j, s := range e.modes[i].Testing {
+			d := s.Dim()
+			cov := res.Ps.SubmatrixInto(e.evCovs[i][j], off, off)
+			evidence *= flooredPValue(e.spd, cov, res.Ds[off:off+d], e.cfg.AttackPrior)
+			off += d
 		}
 	}
 	if e.cfg.ActuatorPrior > 0 && res.Da != nil {
 		evidence *= flooredPValue(e.spd, res.Pa, res.Da, e.cfg.ActuatorPrior)
 	}
-	return evidence, split
+	return evidence
 }
 
 // flooredPValue returns max(P(χ²_n > vᵀcov⁻¹v), floor), degrading to the

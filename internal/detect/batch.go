@@ -1,0 +1,122 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"roboads/internal/core"
+	"roboads/internal/mat"
+)
+
+// BatchKey fingerprints everything that decides whether two detectors
+// may share one DetectorBatch workspace: the engine's batchable profile
+// (core.Engine.Fingerprint — plant model, mode structure, weighting
+// configuration) combined with the decision parameters. Detectors built
+// from the same robot profile under the same configuration always agree;
+// a key match guarantees congruent mode-bank shapes and identical
+// decision dynamics, so co-stepping them changes no session's output.
+func (d *Detector) BatchKey() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range [2]uint64{d.engine.Fingerprint(), d.decider.cfg.configHash()} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// DetectorBatch steps up to K same-profile detectors per call through
+// one blocked core.EngineBatch pass followed by each detector's own
+// decision maker. Per-session reports are bit-for-bit what each
+// detector's scalar Step would produce: the engine layer is the batched
+// engine (whose contract is bit-identity, see core.EngineBatch), and the
+// decision layer is literally the per-session Decider running on the
+// per-session Output.
+//
+// A DetectorBatch is a workspace, not an owner: detectors are passed per
+// Step call and may differ call to call as long as their BatchKey
+// matches the prototype's. Detectors whose key differs — or whose
+// engine the blocked path cannot carry — are stepped through their own
+// scalar path within the same call, so a mixed batch still answers
+// every slot. The caller must guarantee the detectors are not stepped
+// concurrently elsewhere; the workspace itself must not be shared
+// between concurrent Step calls.
+type DetectorBatch struct {
+	key     uint64
+	eb      *core.EngineBatch
+	engines []*core.Engine // capacity-sized staging, rebound per Step
+}
+
+// NewDetectorBatch returns a batch workspace shaped after proto's
+// engine with room for up to capacity sessions per Step call.
+func NewDetectorBatch(proto *Detector, capacity int) (*DetectorBatch, error) {
+	if proto == nil {
+		return nil, errors.New("detect: batch needs a prototype detector")
+	}
+	eb, err := core.NewEngineBatch(proto.engine, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectorBatch{
+		key:     proto.BatchKey(),
+		eb:      eb,
+		engines: make([]*core.Engine, capacity),
+	}, nil
+}
+
+// Key returns the batch profile fingerprint of the prototype detector.
+func (b *DetectorBatch) Key() uint64 { return b.key }
+
+// Capacity returns the maximum number of detectors per Step call.
+func (b *DetectorBatch) Capacity() int { return b.eb.Capacity() }
+
+// Step runs one control iteration for every detector, batched. The
+// slices must be equal length and no longer than the batch capacity;
+// entry k of the returned slices is exactly what dets[k].Step(us[k],
+// readings[k]) would have returned. Slots whose detector does not match
+// the batch profile fall back to that detector's scalar path — same
+// pure function, same bits — so no slot is left unstepped.
+func (b *DetectorBatch) Step(dets []*Detector, us []mat.Vec, readings []map[string]mat.Vec) ([]*Report, []error) {
+	k := len(dets)
+	if k > b.eb.Capacity() || len(us) != k || len(readings) != k {
+		panic(fmt.Errorf("detect: batch step with %d detectors, %d commands, %d readings (capacity %d)",
+			k, len(us), len(readings), b.eb.Capacity()))
+	}
+	engines := b.engines[:k]
+	for s, d := range dets {
+		engines[s] = nil
+		if d != nil && d.BatchKey() == b.key {
+			engines[s] = d.engine
+		}
+	}
+	outs, errs := b.eb.Step(engines, us, readings)
+
+	reports := make([]*Report, k)
+	for s, d := range dets {
+		if d == nil {
+			errs[s] = errors.New("detect: nil detector in batch")
+			continue
+		}
+		if errors.Is(errs[s], core.ErrBatchShape) {
+			// Profile mismatch (or a shape the blocked path cannot
+			// carry): the scalar path is the fallback, and by the
+			// bit-identity contract its output is the answer either way.
+			reports[s], errs[s] = d.StepContext(context.Background(), us[s], readings[s])
+			continue
+		}
+		if errs[s] != nil {
+			continue
+		}
+		dec, err := d.decider.Decide(outs[s])
+		if err != nil {
+			errs[s] = err
+			continue
+		}
+		reports[s] = &Report{Engine: outs[s], Decision: dec}
+	}
+	return reports, errs
+}

@@ -66,6 +66,45 @@ func (b *Bicycle) F(x, u mat.Vec) mat.Vec {
 	)
 }
 
+// FInto implements FIntoer: F's expressions written into dst.
+func (b *Bicycle) FInto(dst mat.Vec, x, u mat.Vec) {
+	mustDims(b, x, u)
+	theta, v := x[2], x[3]
+	accel, delta := u[0], b.clampSteer(u[1])
+	dst[0] = x[0] + v*math.Cos(theta)*b.Dt
+	dst[1] = x[1] + v*math.Sin(theta)*b.Dt
+	dst[2] = NormalizeAngle(theta + v/b.WheelBase*math.Tan(delta)*b.Dt)
+	dst[3] = v + accel*b.Dt
+}
+
+// AInto implements AIntoer: A's expressions written into dst.
+func (b *Bicycle) AInto(dst *mat.Mat, x, u mat.Vec) {
+	mustDims(b, x, u)
+	theta, v := x[2], x[3]
+	delta := b.clampSteer(u[1])
+	dst.Zero()
+	dst.Set(0, 0, 1)
+	dst.Set(0, 2, -v*math.Sin(theta)*b.Dt)
+	dst.Set(0, 3, math.Cos(theta)*b.Dt)
+	dst.Set(1, 1, 1)
+	dst.Set(1, 2, v*math.Cos(theta)*b.Dt)
+	dst.Set(1, 3, math.Sin(theta)*b.Dt)
+	dst.Set(2, 2, 1)
+	dst.Set(2, 3, math.Tan(delta)/b.WheelBase*b.Dt)
+	dst.Set(3, 3, 1)
+}
+
+// GInto implements GIntoer: G's expressions written into dst.
+func (b *Bicycle) GInto(dst *mat.Mat, x, u mat.Vec) {
+	mustDims(b, x, u)
+	v := x[3]
+	delta := b.clampSteer(u[1])
+	sec := 1 / math.Cos(delta)
+	dst.Zero()
+	dst.Set(2, 1, v/b.WheelBase*sec*sec*b.Dt)
+	dst.Set(3, 0, b.Dt)
+}
+
 // A implements Model with the closed-form state Jacobian.
 func (b *Bicycle) A(x, u mat.Vec) *mat.Mat {
 	mustDims(b, x, u)

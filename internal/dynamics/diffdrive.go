@@ -56,6 +56,46 @@ func (d *DifferentialDrive) F(x, u mat.Vec) mat.Vec {
 	)
 }
 
+// FInto implements FIntoer: F's expressions written into dst.
+func (d *DifferentialDrive) FInto(dst mat.Vec, x, u mat.Vec) {
+	mustDims(d, x, u)
+	v := (u[0] + u[1]) / 2
+	omega := (u[1] - u[0]) / d.WheelBase
+	theta := x[2]
+	dst[0] = x[0] + v*math.Cos(theta)*d.Dt
+	dst[1] = x[1] + v*math.Sin(theta)*d.Dt
+	dst[2] = NormalizeAngle(theta + omega*d.Dt)
+}
+
+// AInto implements AIntoer: A's expressions written into dst.
+func (d *DifferentialDrive) AInto(dst *mat.Mat, x, u mat.Vec) {
+	mustDims(d, x, u)
+	v := (u[0] + u[1]) / 2
+	theta := x[2]
+	dst.Set(0, 0, 1)
+	dst.Set(0, 1, 0)
+	dst.Set(0, 2, -v*math.Sin(theta)*d.Dt)
+	dst.Set(1, 0, 0)
+	dst.Set(1, 1, 1)
+	dst.Set(1, 2, v*math.Cos(theta)*d.Dt)
+	dst.Set(2, 0, 0)
+	dst.Set(2, 1, 0)
+	dst.Set(2, 2, 1)
+}
+
+// GInto implements GIntoer: G's expressions written into dst.
+func (d *DifferentialDrive) GInto(dst *mat.Mat, x, u mat.Vec) {
+	mustDims(d, x, u)
+	theta := x[2]
+	halfDt := d.Dt / 2
+	dst.Set(0, 0, halfDt*math.Cos(theta))
+	dst.Set(0, 1, halfDt*math.Cos(theta))
+	dst.Set(1, 0, halfDt*math.Sin(theta))
+	dst.Set(1, 1, halfDt*math.Sin(theta))
+	dst.Set(2, 0, -d.Dt/d.WheelBase)
+	dst.Set(2, 1, d.Dt/d.WheelBase)
+}
+
 // A implements Model with the closed-form state Jacobian.
 func (d *DifferentialDrive) A(x, u mat.Vec) *mat.Mat {
 	mustDims(d, x, u)

@@ -38,6 +38,57 @@ type Model interface {
 	G(x, u mat.Vec) *mat.Mat
 }
 
+// FIntoer is an optional Model fast path: FInto writes f(x, u) into dst
+// (length StateDim()) without allocating. Implementations must produce
+// values bit-identical to F — the batched engine leans on this to stay
+// bit-for-bit reproducible against the scalar path.
+type FIntoer interface {
+	FInto(dst mat.Vec, x, u mat.Vec)
+}
+
+// AIntoer is an optional Model fast path: AInto writes ∂f/∂x at (x, u)
+// into dst, overwriting every entry. Values must be bit-identical to A.
+type AIntoer interface {
+	AInto(dst *mat.Mat, x, u mat.Vec)
+}
+
+// GIntoer is an optional Model fast path: GInto writes ∂f/∂u at (x, u)
+// into dst, overwriting every entry. Values must be bit-identical to G.
+type GIntoer interface {
+	GInto(dst *mat.Mat, x, u mat.Vec)
+}
+
+// EvalFInto evaluates f(x, u) into dst through the model's fast path
+// when it has one, copying F's freshly allocated result otherwise.
+func EvalFInto(m Model, dst mat.Vec, x, u mat.Vec) mat.Vec {
+	if f, ok := m.(FIntoer); ok {
+		f.FInto(dst, x, u)
+		return dst
+	}
+	copy(dst, m.F(x, u))
+	return dst
+}
+
+// EvalAInto evaluates ∂f/∂x into dst through the model's fast path when
+// it has one, copying A's result otherwise.
+func EvalAInto(m Model, dst *mat.Mat, x, u mat.Vec) *mat.Mat {
+	if f, ok := m.(AIntoer); ok {
+		f.AInto(dst, x, u)
+		return dst
+	}
+	return mat.CopyInto(dst, m.A(x, u))
+}
+
+// EvalGInto evaluates ∂f/∂u into dst through the model's fast path when
+// it has one, copying G's result otherwise.
+func EvalGInto(m Model, dst *mat.Mat, x, u mat.Vec) *mat.Mat {
+	if f, ok := m.(GIntoer); ok {
+		f.GInto(dst, x, u)
+		return dst
+	}
+	return mat.CopyInto(dst, m.G(x, u))
+}
+
 // NormalizeAngle wraps an angle to (−π, π].
 func NormalizeAngle(theta float64) float64 {
 	theta = math.Mod(theta, 2*math.Pi)

@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"roboads/internal/attack"
+	"roboads/internal/detect"
+	"roboads/internal/mat"
+	"roboads/internal/sim"
+)
+
+// batchWidths is the K sweep of the batched-vs-scalar property test.
+// Scenarios rotate through it so the suite collectively covers a batch
+// of one (the degenerate width), small widths, and a width past any
+// plausible coalescing cap, while each scenario stays affordable.
+var batchWidths = [4]int{1, 2, 7, 64}
+
+// runBatchScenario asserts the batched stepping correctness bar for one
+// scenario: K same-profile detectors stepped in lockstep through one
+// DetectorBatch must each produce, at every frame, observations
+// bit-for-bit identical to a lone scalar detector fed the same frames —
+// decisions (and through them the Table II condition codes), selected
+// estimates, anomaly vectors, and mode weights (the normalized
+// likelihoods). Frames are identical across slots, so any cross-session
+// leakage inside the blocked kernels would still surface as divergence
+// against the scalar reference.
+func runBatchScenario(t *testing.T, frames []checkpointFrame, build func() *detect.Detector, k int) {
+	t.Helper()
+	if len(frames) == 0 {
+		t.Fatal("no frames recorded")
+	}
+	ref := stepObs(t, build(), frames, 0, len(frames))
+
+	dets := make([]*detect.Detector, k)
+	for s := range dets {
+		dets[s] = build()
+	}
+	db, err := detect.NewDetectorBatch(dets[0], k)
+	if err != nil {
+		t.Fatalf("batch workspace: %v", err)
+	}
+	if got := db.Capacity(); got != k {
+		t.Fatalf("capacity = %d, want %d", got, k)
+	}
+	for s := 1; s < k; s++ {
+		if dets[s].BatchKey() != db.Key() {
+			t.Fatalf("slot %d batch key %x differs from prototype %x", s, dets[s].BatchKey(), db.Key())
+		}
+	}
+
+	us := make([]mat.Vec, k)
+	readings := make([]map[string]mat.Vec, k)
+	for f, frame := range frames {
+		for s := 0; s < k; s++ {
+			us[s] = frame.u
+			readings[s] = frame.readings
+		}
+		reps, errs := db.Step(dets, us, readings)
+		for s := 0; s < k; s++ {
+			if errs[s] != nil {
+				t.Fatalf("frame %d slot %d: %v", f, s, errs[s])
+			}
+			if got := obsOf(reps[s]); !reflect.DeepEqual(got, ref[f]) {
+				t.Fatalf("frame %d slot %d diverged from scalar (decision %+v vs %+v)",
+					f, s, got.Decision, ref[f].Decision)
+			}
+		}
+	}
+}
+
+// batchFrameBudget bounds the widest sweeps: K=64 multiplies every
+// frame by 64 detector steps, so it runs on a truncated mission while
+// the narrow widths cover the full one (attack windows included).
+func batchFrameBudget(frames []checkpointFrame, k int) []checkpointFrame {
+	if k >= 64 && len(frames) > 250 {
+		return frames[:250]
+	}
+	return frames
+}
+
+// TestBatchedStepKheperaScenarios sweeps every Table II scenario (plus
+// the clean mission) through batched-vs-scalar stepping. The batch
+// width rotates across K ∈ {1, 2, 7, 64} per scenario so the sweep
+// covers every width without multiplying every mission by every K.
+func TestBatchedStepKheperaScenarios(t *testing.T) {
+	scenarios := append([]attack.Scenario{attack.CleanScenario()}, attack.KheperaScenarios()...)
+	for i, scenario := range scenarios {
+		scenario := scenario
+		k := batchWidths[i%len(batchWidths)]
+		t.Run(fmt.Sprintf("s%02d_%s_k%d", scenario.ID, scenario.Name, k), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(1200 + i)
+			frames := batchFrameBudget(recordKheperaFrames(t, scenario, seed), k)
+			build := func() *detect.Detector {
+				setup, err := sim.NewKhepera(sim.LabMission(), &scenario, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				det, err := KheperaDetector(setup, detect.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return det
+			}
+			runBatchScenario(t, frames, build, k)
+		})
+	}
+}
+
+// TestBatchedStepTamiyaScenarios is the bicycle-model counterpart: the
+// grouped-reference mode set, the standstill EKF degrade (DaValid), and
+// the state-dependent Jacobians must all batch bit-for-bit too.
+func TestBatchedStepTamiyaScenarios(t *testing.T) {
+	for i, scenario := range attack.TamiyaScenarios() {
+		scenario := scenario
+		k := batchWidths[i%len(batchWidths)]
+		t.Run(fmt.Sprintf("s%03d_%s_k%d", scenario.ID, scenario.Name, k), func(t *testing.T) {
+			t.Parallel()
+			seed := int64(1250 + i)
+			frames := batchFrameBudget(recordTamiyaFrames(t, scenario, seed), k)
+			build := func() *detect.Detector {
+				setup, err := sim.NewTamiya(sim.LabMission(), &scenario, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				det, err := TamiyaDetector(setup, detect.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return det
+			}
+			runBatchScenario(t, frames, build, k)
+		})
+	}
+}
+
+// TestBatchedStepMixedProfiles pins the heterogeneous-slot fallback: a
+// batch shaped for the Khepera profile fed one Khepera and one Tamiya
+// detector must route the mismatched slot through its own scalar path,
+// leaving both report streams bit-for-bit intact.
+func TestBatchedStepMixedProfiles(t *testing.T) {
+	clean := attack.CleanScenario()
+	kFrames := recordKheperaFrames(t, clean, 77)[:60]
+	tFrames := recordTamiyaFrames(t, clean, 77)[:60]
+
+	buildK := func() *detect.Detector {
+		setup, err := sim.NewKhepera(sim.LabMission(), &clean, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := KheperaDetector(setup, detect.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	buildT := func() *detect.Detector {
+		setup, err := sim.NewTamiya(sim.LabMission(), &clean, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := TamiyaDetector(setup, detect.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	refK := stepObs(t, buildK(), kFrames, 0, len(kFrames))
+	refT := stepObs(t, buildT(), tFrames, 0, len(tFrames))
+
+	kd, td := buildK(), buildT()
+	if kd.BatchKey() == td.BatchKey() {
+		t.Fatal("khepera and tamiya detectors share a batch key")
+	}
+	db, err := detect.NewDetectorBatch(kd, 2)
+	if err != nil {
+		t.Fatalf("batch workspace: %v", err)
+	}
+	for f := range kFrames {
+		reps, errs := db.Step(
+			[]*detect.Detector{kd, td},
+			[]mat.Vec{kFrames[f].u, tFrames[f].u},
+			[]map[string]mat.Vec{kFrames[f].readings, tFrames[f].readings})
+		for s, err := range errs {
+			if err != nil {
+				t.Fatalf("frame %d slot %d: %v", f, s, err)
+			}
+		}
+		if got := obsOf(reps[0]); !reflect.DeepEqual(got, refK[f]) {
+			t.Fatalf("frame %d: batched khepera slot diverged", f)
+		}
+		if got := obsOf(reps[1]); !reflect.DeepEqual(got, refT[f]) {
+			t.Fatalf("frame %d: scalar-fallback tamiya slot diverged", f)
+		}
+	}
+}

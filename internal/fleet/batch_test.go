@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"roboads/internal/attack"
+	"roboads/internal/mat"
+	"roboads/internal/sim"
+	"roboads/internal/trace"
+)
+
+// tamiyaFrames is kheperaFrames for the bicycle platform — the
+// heterogeneous profile of the batched-scheduling tests.
+func tamiyaFrames(t *testing.T, seed int64, n int) []trace.Frame {
+	t.Helper()
+	setup, err := sim.NewTamiya(sim.LabMission(), &attack.Scenario{}, seed)
+	if err != nil {
+		t.Fatalf("tamiya setup: %v", err)
+	}
+	frames := make([]trace.Frame, 0, n)
+	for len(frames) < n {
+		rec, err := setup.Sim.Step()
+		if err != nil {
+			break
+		}
+		frame := trace.Frame{K: rec.K, U: rec.UPlanned, Readings: make(map[string][]float64, len(rec.Readings))}
+		for name, z := range rec.Readings {
+			frame.Readings[name] = z
+		}
+		frames = append(frames, frame)
+		if rec.Done {
+			break
+		}
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames generated")
+	}
+	return frames
+}
+
+// TestFleetBatchedSessionsMatchScalar is the batched-scheduling
+// determinism acceptance test: a mixed fleet — six Khepera sessions the
+// scheduler may coalesce, two Tamiya sessions it must route scalar —
+// ingesting concurrently through a batching-enabled shard pool with
+// durability on produces, per session, bit-for-bit the report stream of
+// a lone in-process detector. Submission chunk sizes differ per session
+// so coalesced lockstep rounds include sessions dropping out mid-job,
+// and the shard pool is smaller than the session count so quanta
+// genuinely interleave. Run under -race in CI (the fleet-batch job).
+func TestFleetBatchedSessionsMatchScalar(t *testing.T) {
+	const kheperaSessions, tamiyaSessions = 6, 2
+	kFrames := kheperaFrames(t, 21, 36)
+	tFrames := tamiyaFrames(t, 22, 36)
+	build := DefaultBuilder()
+	wantK := localReports(t, build, Spec{Robot: "khepera"}, kFrames)
+	wantT := localReports(t, build, Spec{Robot: "tamiya"}, tFrames)
+
+	m, err := NewManager(Config{
+		Workers:    3,
+		QueueDepth: 8,
+		MaxBatch:   8,
+		Batching:   4,
+		Build:      build,
+		Durability: Durability{Dir: t.TempDir(), FsyncEvery: -1, SnapshotEvery: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+
+	type sessionRun struct {
+		id     string
+		frames []trace.Frame
+		want   []WireReport
+	}
+	runs := make([]sessionRun, 0, kheperaSessions+tamiyaSessions)
+	for i := 0; i < kheperaSessions; i++ {
+		info, err := m.Create(Spec{Robot: "khepera"})
+		if err != nil {
+			t.Fatalf("create khepera session %d: %v", i, err)
+		}
+		runs = append(runs, sessionRun{id: info.ID, frames: kFrames, want: wantK})
+	}
+	for i := 0; i < tamiyaSessions; i++ {
+		info, err := m.Create(Spec{Robot: "tamiya"})
+		if err != nil {
+			t.Fatalf("create tamiya session %d: %v", i, err)
+		}
+		runs = append(runs, sessionRun{id: info.ID, frames: tFrames, want: wantT})
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]WireReport, len(runs))
+	errs := make([]error, len(runs))
+	for i, run := range runs {
+		wg.Add(1)
+		go func(i int, run sessionRun) {
+			defer wg.Done()
+			chunk := 1 + i%4 // per-session batch depth: lockstep drop-out coverage
+			for off := 0; off < len(run.frames); off += chunk {
+				end := off + chunk
+				if end > len(run.frames) {
+					end = len(run.frames)
+				}
+				batch := make([]BatchFrame, 0, end-off)
+				for _, frame := range run.frames[off:end] {
+					frame := frame
+					batch = append(batch, BatchFrame{U: mat.Vec(frame.U), Readings: frameReadings(&frame)})
+				}
+				var pending *PendingBatch
+				for {
+					var err error
+					pending, err = m.SubmitBatch(run.id, batch)
+					if errors.Is(err, ErrBackpressure) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					break
+				}
+				results, err := pending.Wait(context.Background())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						errs[i] = res.Err
+						return
+					}
+					got[i] = append(got[i], NewWireReport(res.Report))
+				}
+			}
+		}(i, run)
+	}
+	wg.Wait()
+	for i, run := range runs {
+		if errs[i] != nil {
+			t.Fatalf("session %d (%s): %v", i, run.id, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], run.want) {
+			t.Fatalf("session %d (%s) reports diverged from scalar reference", i, run.id)
+		}
+	}
+}
+
+// TestFleetBatchingDisabledUntouched pins the nil-batch guarantee: with
+// Batching unset the manager allocates no batch machinery and serves
+// through the scalar quantum verbatim.
+func TestFleetBatchingDisabledUntouched(t *testing.T) {
+	m, err := NewManager(Config{Workers: 1, Build: DefaultBuilder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	if m.batches != nil {
+		t.Fatal("batch workspace cache allocated with Batching disabled")
+	}
+}

@@ -120,6 +120,16 @@ type Config struct {
 	// MaxSessions caps live sessions; Create beyond it returns
 	// ErrTooManySessions. Default 1024.
 	MaxSessions int
+	// Batching sets the frame-coalescing width: a shard worker serving a
+	// session additionally drains up to Batching−1 other runnable
+	// sessions with the same batch fingerprint (detect.Detector.BatchKey)
+	// from the run queue and steps their frames in lockstep through one
+	// blocked detect.DetectorBatch pass. Per-session report streams are
+	// bit-for-bit unchanged — batching is purely a throughput knob.
+	// 0 or 1 disables coalescing (the default); sessions whose steppers
+	// are not *detect.Detector, or whose profiles differ, always take the
+	// scalar path.
+	Batching int
 	// IdleTimeout evicts sessions with no frame activity for this long.
 	// 0 disables eviction.
 	IdleTimeout time.Duration
@@ -167,6 +177,11 @@ type Manager struct {
 	// store is the durability layer; nil when Config.Durability is off.
 	store         *store.Store
 	snapshotEvery int
+
+	// batches caches one blocked step workspace per batch fingerprint;
+	// nil when Config.Batching ≤ 1 (coalescing off).
+	batchMu sync.Mutex
+	batches map[uint64]*batchSpace
 
 	queued atomic.Int64
 
@@ -222,6 +237,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		mFrames:      reg.Counter(MetricFrames, "Frames stepped through a session detector."),
 		mErrors:      reg.Counter(MetricFrameErrors, "Frames whose detector step returned an error."),
 		mStepSeconds: reg.Histogram(MetricStepSeconds, "Per-frame detector step latency in seconds.", telemetry.LatencyBuckets()),
+	}
+	if cfg.Batching > 1 {
+		m.batches = make(map[uint64]*batchSpace)
 	}
 	if cfg.Durability.Dir != "" {
 		m.snapshotEvery = cfg.Durability.SnapshotEvery
@@ -546,15 +564,28 @@ func (m *Manager) worker() {
 // this worker's recheck sees scheduled == false and wins the schedule
 // CAS itself.
 func (m *Manager) serve(s *session) {
-	select {
-	case job := <-s.frames:
-		m.mQueue.Set(float64(m.queued.Add(-int64(len(job.frames)))))
+	if m.batches != nil {
+		m.serveBatched(s)
+		return
+	}
+	if job, ok := m.pop(s); ok {
 		m.process(s, job)
-	default:
 	}
 	s.scheduled.Store(false)
 	if len(s.frames) > 0 {
 		m.schedule(s)
+	}
+}
+
+// pop dequeues the session's next job without blocking, keeping the
+// queue-depth gauge in step.
+func (m *Manager) pop(s *session) (frameJob, bool) {
+	select {
+	case job := <-s.frames:
+		m.mQueue.Set(float64(m.queued.Add(-int64(len(job.frames)))))
+		return job, true
+	default:
+		return frameJob{}, false
 	}
 }
 

@@ -1,0 +1,383 @@
+package mat
+
+import "fmt"
+
+// Batch is a bank of K same-shape matrices laid out for one-pass blocked
+// kernels. Two flavors share the type:
+//
+//   - NewBatch allocates one contiguous backing array and carves the K
+//     blocks out of it back-to-back (structure-of-arrays layout: a kernel
+//     sweeping the bank walks memory linearly), and
+//   - NewViewBatch allocates only the K headers; each block is bound to
+//     an externally owned matrix with SetBlock. This is how per-session
+//     state (x̂ₘ, Pˣₘ) and shared constants (R, Q) enter a batched NUISE
+//     stage without being copied.
+//
+// Block(i) returns a *Mat header without allocating, so every scalar
+// mat routine applies unchanged to a batch element. The batched kernels
+// below (MulBatchInto, CholFactorBatchInto, …) are defined as exactly
+// that: the scalar kernel applied block-by-block in one sweep. Each
+// block therefore sees the identical operation — same loop structure,
+// same summation order, same pivot tolerances — as the scalar path,
+// which is what makes the batched engine bit-for-bit reproducible per
+// session.
+type Batch struct {
+	rows, cols int
+	blocks     []Mat
+}
+
+// NewBatch returns a batch of k zero matrices of the given shape backed
+// by one contiguous allocation.
+func NewBatch(k, rows, cols int) *Batch {
+	if k < 0 || rows < 0 || cols < 0 {
+		panic(fmt.Errorf("%w: batch %d of %dx%d", ErrDimension, k, rows, cols))
+	}
+	b := &Batch{rows: rows, cols: cols, blocks: make([]Mat, k)}
+	backing := make([]float64, k*rows*cols)
+	stride := rows * cols
+	for i := range b.blocks {
+		b.blocks[i] = Mat{rows: rows, cols: cols, data: backing[i*stride : (i+1)*stride : (i+1)*stride]}
+	}
+	return b
+}
+
+// NewViewBatch returns a batch of k unbound headers of the given shape.
+// Every block must be bound with SetBlock before use.
+func NewViewBatch(k, rows, cols int) *Batch {
+	if k < 0 || rows < 0 || cols < 0 {
+		panic(fmt.Errorf("%w: batch %d of %dx%d", ErrDimension, k, rows, cols))
+	}
+	return &Batch{rows: rows, cols: cols, blocks: make([]Mat, k)}
+}
+
+// Len returns the number of blocks.
+func (b *Batch) Len() int { return len(b.blocks) }
+
+// Rows returns the per-block row count.
+func (b *Batch) Rows() int { return b.rows }
+
+// Cols returns the per-block column count.
+func (b *Batch) Cols() int { return b.cols }
+
+// Block returns the i-th block as an ordinary matrix header, without
+// allocating. The header stays valid for the life of the batch.
+func (b *Batch) Block(i int) *Mat { return &b.blocks[i] }
+
+// SetBlock binds block i to an externally owned matrix. The matrix must
+// match the batch shape.
+func (b *Batch) SetBlock(i int, m *Mat) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Errorf("%w: block %dx%d into batch of %dx%d", ErrDimension, m.rows, m.cols, b.rows, b.cols))
+	}
+	b.blocks[i] = *m
+}
+
+// VecBatch is a bank of K same-length vectors, the vector counterpart of
+// Batch: one contiguous backing (NewVecBatch) or externally bound views
+// (NewViewVecBatch).
+type VecBatch struct {
+	n      int
+	blocks []Vec
+}
+
+// NewVecBatch returns a batch of k zero vectors of length n backed by
+// one contiguous allocation.
+func NewVecBatch(k, n int) *VecBatch {
+	if k < 0 || n < 0 {
+		panic(fmt.Errorf("%w: vec batch %d of %d", ErrDimension, k, n))
+	}
+	b := &VecBatch{n: n, blocks: make([]Vec, k)}
+	backing := make([]float64, k*n)
+	for i := range b.blocks {
+		b.blocks[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return b
+}
+
+// NewViewVecBatch returns a batch of k unbound vector views of length n.
+func NewViewVecBatch(k, n int) *VecBatch {
+	if k < 0 || n < 0 {
+		panic(fmt.Errorf("%w: vec batch %d of %d", ErrDimension, k, n))
+	}
+	return &VecBatch{n: n, blocks: make([]Vec, k)}
+}
+
+// Len returns the number of blocks.
+func (b *VecBatch) Len() int { return len(b.blocks) }
+
+// Dim returns the per-block length.
+func (b *VecBatch) Dim() int { return b.n }
+
+// Block returns the i-th vector. The slice aliases batch storage.
+func (b *VecBatch) Block(i int) Vec { return b.blocks[i] }
+
+// SetBlock binds block i to an externally owned vector of length n.
+func (b *VecBatch) SetBlock(i int, v Vec) {
+	if len(v) != b.n {
+		panic(fmt.Errorf("%w: vector %d into vec batch of %d", ErrDimension, len(v), b.n))
+	}
+	b.blocks[i] = v
+}
+
+// skip reports whether block i is masked out. A nil mask means every
+// block is active.
+func skip(active []bool, i int) bool { return active != nil && !active[i] }
+
+// The batched kernels below validate shapes once per call — every block
+// of a Batch has the batch shape by construction (NewBatch carving,
+// SetBlock's check) — and then sweep the scalar kernels' raw loop
+// bodies block by block. One shared body per operation keeps the
+// summation order, zero-skip branches, and pivot tolerances identical
+// to the scalar path, which is what makes per-block results
+// bit-identical. Unlike the scalar Into kernels, no per-block aliasing
+// check runs: destination batches must not share storage with operand
+// batches.
+
+func mustBatchShape(dst *Batch, rows, cols int) {
+	if dst.rows != rows || dst.cols != cols {
+		panic(fmt.Errorf("%w: destination batch is %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, rows, cols))
+	}
+}
+
+// MulBatchInto computes dst[i] = a[i]·b[i] for every active block and
+// returns dst.
+func MulBatchInto(dst, a, b *Batch, active []bool) *Batch {
+	if a.cols != b.rows {
+		panic(fmt.Errorf("%w: batch %dx%d times %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, a.rows, b.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		mulRaw(dst.blocks[i].data, a.blocks[i].data, b.blocks[i].data, a.rows, a.cols, b.cols)
+	}
+	return dst
+}
+
+// MulTBatchInto computes dst[i] = a[i]·b[i]ᵀ for every active block.
+func MulTBatchInto(dst, a, b *Batch, active []bool) *Batch {
+	if a.cols != b.cols {
+		panic(fmt.Errorf("%w: batch %dx%d times transpose of %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, a.rows, b.rows)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		mulTRaw(dst.blocks[i].data, a.blocks[i].data, b.blocks[i].data, a.rows, a.cols, b.rows)
+	}
+	return dst
+}
+
+// TMulBatchInto computes dst[i] = a[i]ᵀ·b[i] for every active block.
+func TMulBatchInto(dst, a, b *Batch, active []bool) *Batch {
+	if a.rows != b.rows {
+		panic(fmt.Errorf("%w: batch transpose of %dx%d times %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, a.cols, b.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		tMulRaw(dst.blocks[i].data, a.blocks[i].data, b.blocks[i].data, a.rows, a.cols, b.cols)
+	}
+	return dst
+}
+
+// TBatchInto computes dst[i] = m[i]ᵀ for every active block.
+func TBatchInto(dst, m *Batch, active []bool) *Batch {
+	mustBatchShape(dst, m.cols, m.rows)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		tRaw(dst.blocks[i].data, m.blocks[i].data, m.rows, m.cols)
+	}
+	return dst
+}
+
+// AddBatchInto computes dst[i] = a[i] + b[i] for every active block.
+// dst may be a or b.
+func AddBatchInto(dst, a, b *Batch, active []bool) *Batch {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Errorf("%w: batch %dx%d plus %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, a.rows, a.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, ad, bd := dst.blocks[i].data, a.blocks[i].data, b.blocks[i].data
+		for j := range dd {
+			dd[j] = ad[j] + bd[j]
+		}
+	}
+	return dst
+}
+
+// SubBatchInto computes dst[i] = a[i] − b[i] for every active block.
+// dst may be a or b.
+func SubBatchInto(dst, a, b *Batch, active []bool) *Batch {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Errorf("%w: batch %dx%d minus %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, a.rows, a.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, ad, bd := dst.blocks[i].data, a.blocks[i].data, b.blocks[i].data
+		for j := range dd {
+			dd[j] = ad[j] - bd[j]
+		}
+	}
+	return dst
+}
+
+// ScaleBatchInto computes dst[i] = s·m[i] for every active block. dst
+// may be m.
+func ScaleBatchInto(dst *Batch, s float64, m *Batch, active []bool) *Batch {
+	mustBatchShape(dst, m.rows, m.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, md := dst.blocks[i].data, m.blocks[i].data
+		for j := range dd {
+			dd[j] = s * md[j]
+		}
+	}
+	return dst
+}
+
+// SymmetrizeBatchInto computes dst[i] = (m[i] + m[i]ᵀ)/2 for every
+// active block. dst may be m.
+func SymmetrizeBatchInto(dst, m *Batch, active []bool) *Batch {
+	if m.rows != m.cols {
+		panic(fmt.Errorf("%w: symmetrize batch of %dx%d", ErrDimension, m.rows, m.cols))
+	}
+	mustBatchShape(dst, m.rows, m.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		symRaw(dst.blocks[i].data, m.blocks[i].data, m.rows)
+	}
+	return dst
+}
+
+// IdentityBatchInto sets every active block of dst to the identity.
+func IdentityBatchInto(dst *Batch, active []bool) *Batch {
+	if dst.rows != dst.cols {
+		panic(fmt.Errorf("%w: identity batch of %dx%d", ErrDimension, dst.rows, dst.cols))
+	}
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		idRaw(dst.blocks[i].data, dst.rows)
+	}
+	return dst
+}
+
+// MulVecBatchInto computes dst[i] = m[i]·v[i] for every active block.
+func MulVecBatchInto(dst *VecBatch, m *Batch, v *VecBatch, active []bool) *VecBatch {
+	if m.cols != v.n || dst.n != m.rows {
+		panic(fmt.Errorf("%w: batch %dx%d times vec batch of %d into %d", ErrDimension, m.rows, m.cols, v.n, dst.n))
+	}
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		mulVecRaw(dst.blocks[i], m.blocks[i].data, v.blocks[i], m.rows, m.cols)
+	}
+	return dst
+}
+
+// AddVecBatchInto computes dst[i] = a[i] + b[i] for every active block.
+func AddVecBatchInto(dst, a, b *VecBatch, active []bool) *VecBatch {
+	if a.n != b.n || dst.n != a.n {
+		panic(fmt.Errorf("%w: vec batch add %d + %d into %d", ErrDimension, a.n, b.n, dst.n))
+	}
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, ad, bd := dst.blocks[i], a.blocks[i], b.blocks[i]
+		for j := range dd {
+			dd[j] = ad[j] + bd[j]
+		}
+	}
+	return dst
+}
+
+// SubVecBatchInto computes dst[i] = a[i] − b[i] for every active block.
+func SubVecBatchInto(dst, a, b *VecBatch, active []bool) *VecBatch {
+	if a.n != b.n || dst.n != a.n {
+		panic(fmt.Errorf("%w: vec batch sub %d - %d into %d", ErrDimension, a.n, b.n, dst.n))
+	}
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, ad, bd := dst.blocks[i], a.blocks[i], b.blocks[i]
+		for j := range dd {
+			dd[j] = ad[j] - bd[j]
+		}
+	}
+	return dst
+}
+
+// CholFactorBatchInto factors every active block of m into dst and
+// records per-block success in ok: ok[i] is the scalar CholFactorInto
+// verdict for block i. Blocks that fail keep whatever CholFactorInto
+// left in dst[i]; callers mask them out of later stages. Masked-out
+// blocks keep their previous ok value untouched.
+func CholFactorBatchInto(dst, m *Batch, active []bool, ok []bool) {
+	if m.rows != m.cols {
+		panic(fmt.Errorf("%w: chol batch of %dx%d", ErrDimension, m.rows, m.cols))
+	}
+	mustBatchShape(dst, m.rows, m.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		ok[i] = cholFactorRaw(dst.blocks[i].data, m.blocks[i].data, m.rows)
+	}
+}
+
+// CholSolveVecBatchInto solves l[i]·l[i]ᵀ·dst[i] = b[i] for every
+// active block, given the lower factors in l.
+func CholSolveVecBatchInto(dst *VecBatch, l *Batch, b *VecBatch, active []bool) *VecBatch {
+	if b.n != l.rows || dst.n != l.rows {
+		panic(fmt.Errorf("%w: chol batch solve %dx%d against b of %d into %d", ErrDimension, l.rows, l.cols, b.n, dst.n))
+	}
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		cholSolveVecRaw(dst.blocks[i], l.blocks[i].data, b.blocks[i], l.rows)
+	}
+	return dst
+}
+
+// CholSolveMatBatchInto solves l[i]·l[i]ᵀ·dst[i] = b[i] columnwise for
+// every active block, given the lower factors in l. dst must not be l.
+func CholSolveMatBatchInto(dst, l, b *Batch, active []bool) *Batch {
+	if b.rows != l.rows {
+		panic(fmt.Errorf("%w: chol batch solve %dx%d against %dx%d", ErrDimension, l.rows, l.cols, b.rows, b.cols))
+	}
+	mustBatchShape(dst, l.rows, b.cols)
+	for i := range dst.blocks {
+		if skip(active, i) {
+			continue
+		}
+		dd, bd := dst.blocks[i].data, b.blocks[i].data
+		if &dd[0] != &bd[0] {
+			copy(dd, bd)
+		}
+		cholSolveMatRaw(dd, l.blocks[i].data, l.rows, b.cols)
+	}
+	return dst
+}

@@ -34,19 +34,25 @@ const cholPivotTol = 1e-12
 func CholFactorInto(dst, m *Mat) bool {
 	mustSquare(m)
 	mustShape(dst, m.rows, m.cols)
-	n := m.rows
+	return cholFactorRaw(dst.data, m.data, m.rows)
+}
+
+// cholFactorRaw is CholFactorInto's loop body on raw storage; the
+// batched kernels sweep it with the shape checks hoisted, so both
+// paths share one body and one pivot tolerance.
+func cholFactorRaw(dst, m []float64, n int) bool {
 	var scale float64
 	for i := 0; i < n; i++ {
-		if d := m.At(i, i); d > scale {
+		if d := m[i*n+i]; d > scale {
 			scale = d
 		}
 	}
 	floor := cholPivotTol * scale
 	for i := 0; i < n; i++ {
-		rowI := dst.data[i*n : i*n+i]
+		rowI := dst[i*n : i*n+i]
 		for j := 0; j <= i; j++ {
-			sum := m.At(i, j)
-			rowJ := dst.data[j*n : j*n+j]
+			sum := m[i*n+j]
+			rowJ := dst[j*n : j*n+j]
 			for k, lik := range rowI[:j] {
 				sum -= lik * rowJ[k]
 			}
@@ -54,13 +60,13 @@ func CholFactorInto(dst, m *Mat) bool {
 				if sum <= floor || math.IsNaN(sum) {
 					return false
 				}
-				dst.data[i*n+i] = math.Sqrt(sum)
+				dst[i*n+i] = math.Sqrt(sum)
 			} else {
-				dst.data[i*n+j] = sum / dst.data[j*n+j]
+				dst[i*n+j] = sum / dst[j*n+j]
 			}
 		}
 		for j := i + 1; j < n; j++ {
-			dst.data[i*n+j] = 0
+			dst[i*n+j] = 0
 		}
 	}
 	return true
@@ -75,24 +81,29 @@ func CholSolveVecInto(dst Vec, l *Mat, b Vec) Vec {
 		panic(fmt.Errorf("%w: chol solve %dx%d against b length %d into dst length %d",
 			ErrDimension, n, n, len(b), len(dst)))
 	}
+	cholSolveVecRaw(dst, l.data, b, n)
+	return dst
+}
+
+// cholSolveVecRaw is CholSolveVecInto's loop body on raw storage.
+func cholSolveVecRaw(dst Vec, l []float64, b Vec, n int) {
 	// Forward: L·y = b.
 	for i := 0; i < n; i++ {
 		sum := b[i]
-		row := l.data[i*n : i*n+i]
+		row := l[i*n : i*n+i]
 		for k, lik := range row {
 			sum -= lik * dst[k]
 		}
-		dst[i] = sum / l.data[i*n+i]
+		dst[i] = sum / l[i*n+i]
 	}
 	// Back: Lᵀ·x = y.
 	for i := n - 1; i >= 0; i-- {
 		sum := dst[i]
 		for k := i + 1; k < n; k++ {
-			sum -= l.data[k*n+i] * dst[k]
+			sum -= l[k*n+i] * dst[k]
 		}
-		dst[i] = sum / l.data[i*n+i]
+		dst[i] = sum / l[i*n+i]
 	}
-	return dst
 }
 
 // CholSolveMatInto solves (L·Lᵀ)·X = B for every column of B at once,
@@ -111,43 +122,49 @@ func CholSolveMatInto(dst, l, b *Mat) *Mat {
 	if dst != b {
 		copy(dst.data, b.data)
 	}
+	cholSolveMatRaw(dst.data, l.data, n, c)
+	return dst
+}
+
+// cholSolveMatRaw is CholSolveMatInto's loop body on raw storage; dst
+// must already hold B on entry (the caller copies when they differ).
+func cholSolveMatRaw(dst, l []float64, n, c int) {
 	// Forward: L·Y = B, all columns in lockstep (row-major friendly).
 	for i := 0; i < n; i++ {
-		rowI := dst.data[i*c : (i+1)*c]
+		rowI := dst[i*c : (i+1)*c]
 		for k := 0; k < i; k++ {
-			lik := l.data[i*n+k]
+			lik := l[i*n+k]
 			if lik == 0 {
 				continue
 			}
-			rowK := dst.data[k*c : (k+1)*c]
+			rowK := dst[k*c : (k+1)*c]
 			for j, yv := range rowK {
 				rowI[j] -= lik * yv
 			}
 		}
-		inv := 1 / l.data[i*n+i]
+		inv := 1 / l[i*n+i]
 		for j := range rowI {
 			rowI[j] *= inv
 		}
 	}
 	// Back: Lᵀ·X = Y.
 	for i := n - 1; i >= 0; i-- {
-		rowI := dst.data[i*c : (i+1)*c]
+		rowI := dst[i*c : (i+1)*c]
 		for k := i + 1; k < n; k++ {
-			lki := l.data[k*n+i]
+			lki := l[k*n+i]
 			if lki == 0 {
 				continue
 			}
-			rowK := dst.data[k*c : (k+1)*c]
+			rowK := dst[k*c : (k+1)*c]
 			for j, xv := range rowK {
 				rowI[j] -= lki * xv
 			}
 		}
-		inv := 1 / l.data[i*n+i]
+		inv := 1 / l[i*n+i]
 		for j := range rowI {
 			rowI[j] *= inv
 		}
 	}
-	return dst
 }
 
 // CholInvQuadForm returns the Mahalanobis statistic vᵀ·M⁻¹·v for
@@ -347,9 +364,13 @@ func RangeBasisInto(dst, m, work *Mat) bool {
 // control iteration (the engine's evidence terms and the decision
 // maker's χ² tests share the per-sensor covariance blocks). Entries pin
 // their keys, so Reset must be called once per iteration to keep the
-// cache from growing without bound. Not safe for concurrent use.
+// cache from growing without bound. Factor storage is recycled across
+// Resets through a per-dimension free list — callers must not retain a
+// returned factor past the next Reset. Not safe for concurrent use.
 type CholCache struct {
 	factors map[*Mat]cholEntry
+	pool    map[int][]*Mat
+	work    Vec
 }
 
 type cholEntry struct {
@@ -359,12 +380,33 @@ type cholEntry struct {
 
 // NewCholCache returns an empty factor cache.
 func NewCholCache() *CholCache {
-	return &CholCache{factors: make(map[*Mat]cholEntry)}
+	return &CholCache{
+		factors: make(map[*Mat]cholEntry),
+		pool:    make(map[int][]*Mat),
+	}
 }
 
-// Reset drops every cached factor.
+// Reset drops every cached factor, recycling factor storage for the
+// next iteration.
 func (c *CholCache) Reset() {
+	for _, e := range c.factors {
+		if e.l != nil {
+			c.pool[e.l.rows] = append(c.pool[e.l.rows], e.l)
+		}
+	}
 	clear(c.factors)
+}
+
+// factorStorage returns an n×n matrix for a new factor, reusing
+// recycled storage when available. CholFactorInto overwrites every
+// entry, so recycled contents never leak.
+func (c *CholCache) factorStorage(n int) *Mat {
+	if free := c.pool[n]; len(free) > 0 {
+		l := free[len(free)-1]
+		c.pool[n] = free[:len(free)-1]
+		return l
+	}
+	return New(n, n)
 }
 
 // Factor returns the cached Cholesky factor of m, computing and caching
@@ -373,9 +415,10 @@ func (c *CholCache) Factor(m *Mat) (*Mat, bool) {
 	if e, hit := c.factors[m]; hit {
 		return e.l, e.ok
 	}
-	l := New(m.rows, m.cols)
+	l := c.factorStorage(m.rows)
 	ok := CholFactorInto(l, m)
 	if !ok {
+		c.pool[l.rows] = append(c.pool[l.rows], l)
 		l = nil
 	}
 	c.factors[m] = cholEntry{l: l, ok: ok}
@@ -387,7 +430,10 @@ func (c *CholCache) Factor(m *Mat) (*Mat, bool) {
 // it is not (preserving the caller's singular-covariance semantics).
 func (c *CholCache) InvQuadForm(m *Mat, v Vec) (float64, error) {
 	if l, ok := c.Factor(m); ok {
-		return CholInvQuadForm(l, v, nil), nil
+		if len(c.work) < l.rows {
+			c.work = make(Vec, l.rows)
+		}
+		return CholInvQuadForm(l, v, c.work[:l.rows]), nil
 	}
 	return m.InvQuadForm(v)
 }

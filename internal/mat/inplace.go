@@ -24,21 +24,30 @@ func MulInto(dst, a, b *Mat) *Mat {
 	}
 	mustShape(dst, a.rows, b.cols)
 	mustDistinct(dst, a, b)
-	clear(dst.data)
-	for i := 0; i < a.rows; i++ {
-		rowOut := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for k := 0; k < a.cols; k++ {
-			av := a.At(i, k)
+	mulRaw(dst.data, a.data, b.data, a.rows, a.cols, b.cols)
+	return dst
+}
+
+// mulRaw is MulInto's loop body on raw storage: a (ar×ac) times
+// b (ac×bc) into dst. The batched kernels sweep it directly with the
+// shape checks hoisted out of the per-block loop; keeping one body
+// keeps the summation order — and therefore the bits — identical on
+// both paths.
+func mulRaw(dst, a, b []float64, ar, ac, bc int) {
+	clear(dst)
+	for i := 0; i < ar; i++ {
+		rowOut := dst[i*bc : (i+1)*bc]
+		rowA := a[i*ac : (i+1)*ac]
+		for k, av := range rowA {
 			if av == 0 {
 				continue
 			}
-			rowB := b.data[k*b.cols : (k+1)*b.cols]
+			rowB := b[k*bc : (k+1)*bc]
 			for j, bv := range rowB {
 				rowOut[j] += av * bv
 			}
 		}
 	}
-	return dst
 }
 
 // MulTInto stores a·bᵀ into dst and returns dst.
@@ -48,18 +57,25 @@ func MulTInto(dst, a, b *Mat) *Mat {
 	}
 	mustShape(dst, a.rows, b.rows)
 	mustDistinct(dst, a, b)
-	for i := 0; i < a.rows; i++ {
-		rowA := a.data[i*a.cols : (i+1)*a.cols]
-		for j := 0; j < b.rows; j++ {
-			rowB := b.data[j*b.cols : (j+1)*b.cols]
+	mulTRaw(dst.data, a.data, b.data, a.rows, a.cols, b.rows)
+	return dst
+}
+
+// mulTRaw is MulTInto's loop body on raw storage: a (ar×ac) times the
+// transpose of b (br×ac) into dst (ar×br).
+func mulTRaw(dst, a, b []float64, ar, ac, br int) {
+	for i := 0; i < ar; i++ {
+		rowA := a[i*ac : (i+1)*ac]
+		rowOut := dst[i*br : (i+1)*br]
+		for j := 0; j < br; j++ {
+			rowB := b[j*ac : (j+1)*ac]
 			var sum float64
 			for k, av := range rowA {
 				sum += av * rowB[k]
 			}
-			dst.data[i*dst.cols+j] = sum
+			rowOut[j] = sum
 		}
 	}
-	return dst
 }
 
 // TMulInto stores aᵀ·b into dst and returns dst.
@@ -69,32 +85,54 @@ func TMulInto(dst, a, b *Mat) *Mat {
 	}
 	mustShape(dst, a.cols, b.cols)
 	mustDistinct(dst, a, b)
-	clear(dst.data)
-	for k := 0; k < a.rows; k++ {
-		rowB := b.data[k*b.cols : (k+1)*b.cols]
-		for i := 0; i < a.cols; i++ {
-			av := a.data[k*a.cols+i]
+	tMulRaw(dst.data, a.data, b.data, a.rows, a.cols, b.cols)
+	return dst
+}
+
+// tMulRaw is TMulInto's loop body on raw storage: the transpose of
+// a (ar×ac) times b (ar×bc) into dst (ac×bc).
+func tMulRaw(dst, a, b []float64, ar, ac, bc int) {
+	clear(dst)
+	for k := 0; k < ar; k++ {
+		rowB := b[k*bc : (k+1)*bc]
+		rowA := a[k*ac : (k+1)*ac]
+		for i, av := range rowA {
 			if av == 0 {
 				continue
 			}
-			rowOut := dst.data[i*dst.cols : (i+1)*dst.cols]
+			rowOut := dst[i*bc : (i+1)*bc]
 			for j, bv := range rowB {
 				rowOut[j] += av * bv
 			}
 		}
 	}
-	return dst
 }
 
 // TInto stores aᵀ into dst and returns dst.
 func TInto(dst, a *Mat) *Mat {
 	mustShape(dst, a.cols, a.rows)
 	mustDistinct(dst, a, a)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			dst.Set(j, i, a.At(i, j))
+	tRaw(dst.data, a.data, a.rows, a.cols)
+	return dst
+}
+
+// tRaw is TInto's loop body on raw storage: the transpose of a (ar×ac)
+// into dst (ac×ar).
+func tRaw(dst, a []float64, ar, ac int) {
+	for i := 0; i < ar; i++ {
+		rowA := a[i*ac : (i+1)*ac]
+		for j, v := range rowA {
+			dst[j*ar+i] = v
 		}
 	}
+}
+
+// CopyInto copies src's values into the same-shaped dst and returns
+// dst — Clone semantics without the allocation, for callers that own a
+// stable destination buffer.
+func CopyInto(dst, src *Mat) *Mat {
+	mustShape(dst, src.rows, src.cols)
+	copy(dst.data, src.data)
 	return dst
 }
 
@@ -132,25 +170,35 @@ func ScaleInto(dst *Mat, s float64, a *Mat) *Mat {
 func SymmetrizeInto(dst, a *Mat) *Mat {
 	mustSquare(a)
 	mustShape(dst, a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		for j := i; j < a.cols; j++ {
-			v := 0.5 * (a.At(i, j) + a.At(j, i))
-			dst.Set(i, j, v)
-			dst.Set(j, i, v)
+	symRaw(dst.data, a.data, a.rows)
+	return dst
+}
+
+// symRaw is SymmetrizeInto's loop body on raw storage (n×n blocks).
+func symRaw(dst, a []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := 0.5 * (a[i*n+j] + a[j*n+i])
+			dst[i*n+j] = v
+			dst[j*n+i] = v
 		}
 	}
-	return dst
 }
 
 // IdentityInto stores the identity into the square matrix dst and
 // returns dst.
 func IdentityInto(dst *Mat) *Mat {
 	mustSquare(dst)
-	clear(dst.data)
-	for i := 0; i < dst.rows; i++ {
-		dst.Set(i, i, 1)
-	}
+	idRaw(dst.data, dst.rows)
 	return dst
+}
+
+// idRaw is IdentityInto's loop body on raw storage (n×n blocks).
+func idRaw(dst []float64, n int) {
+	clear(dst)
+	for i := 0; i < n; i++ {
+		dst[i*n+i] = 1
+	}
 }
 
 // MulVecInto stores a·v into dst and returns dst. dst must not alias v.
@@ -161,15 +209,21 @@ func MulVecInto(dst Vec, a *Mat, v Vec) Vec {
 	if len(dst) != a.rows {
 		panic(fmt.Errorf("%w: destination length %d, want %d", ErrDimension, len(dst), a.rows))
 	}
-	for i := 0; i < a.rows; i++ {
-		row := a.data[i*a.cols : (i+1)*a.cols]
+	mulVecRaw(dst, a.data, v, a.rows, a.cols)
+	return dst
+}
+
+// mulVecRaw is MulVecInto's loop body on raw storage: a (ar×ac) times v
+// into dst.
+func mulVecRaw(dst, a []float64, v Vec, ar, ac int) {
+	for i := 0; i < ar; i++ {
+		row := a[i*ac : (i+1)*ac]
 		var sum float64
 		for j, av := range row {
 			sum += av * v[j]
 		}
 		dst[i] = sum
 	}
-	return dst
 }
 
 // AddVecInto stores a + b into dst and returns dst. dst may alias a or b.

@@ -215,6 +215,36 @@ func (m *Mat) Submatrix(r0, r1, c0, c1 int) *Mat {
 	return out
 }
 
+// SubmatrixInto copies the dst.rows×dst.cols block of m starting at
+// (r0, c0) into dst and returns dst — Submatrix without the allocation.
+func (m *Mat) SubmatrixInto(dst *Mat, r0, c0 int) *Mat {
+	if r0 < 0 || c0 < 0 || r0+dst.rows > m.rows || c0+dst.cols > m.cols {
+		panic(fmt.Errorf("%w: block %dx%d at (%d,%d) of %dx%d",
+			ErrDimension, dst.rows, dst.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < dst.rows; i++ {
+		src := m.data[(r0+i)*m.cols+c0:]
+		copy(dst.data[i*dst.cols:(i+1)*dst.cols], src[:dst.cols])
+	}
+	return dst
+}
+
+// RowSpan returns a view of rows [r0,r1) sharing m's storage (rows are
+// stored contiguously, so a row band needs no copying). Writes through
+// the view write into m.
+func (m *Mat) RowSpan(r0, r1 int) *Mat {
+	if r0 < 0 || r1 < r0 || r1 > m.rows {
+		panic(fmt.Errorf("%w: row span [%d,%d) of %dx%d", ErrDimension, r0, r1, m.rows, m.cols))
+	}
+	return &Mat{rows: r1 - r0, cols: m.cols, data: m.data[r0*m.cols : r1*m.cols]}
+}
+
+// Zero clears every entry in place and returns m.
+func (m *Mat) Zero() *Mat {
+	clear(m.data)
+	return m
+}
+
 // SetSubmatrix copies b into m starting at (r0, c0), in place.
 func (m *Mat) SetSubmatrix(r0, c0 int, b *Mat) {
 	if r0+b.rows > m.rows || c0+b.cols > m.cols {

@@ -73,6 +73,43 @@ func (s *Lidar) H(x mat.Vec) mat.Vec {
 	return append(out, x[2])
 }
 
+// HInto implements HIntoer: the same ray casts as H, written into dst.
+func (s *Lidar) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 3)
+	origin := world.Point{X: x[0], Y: x[1]}
+	for i, beam := range s.BeamAngles {
+		d, _ := s.Map.RaycastWalls(origin, x[2]+beam, s.MaxRange)
+		dst[i] = d
+	}
+	dst[s.Dim()-1] = x[2]
+}
+
+// CInto implements CIntoer: C's closed-form per-beam derivative written
+// into dst (cleared first — clipped or degenerate beams contribute zero
+// rows, matching C's freshly zeroed allocation).
+func (s *Lidar) CInto(dst *mat.Mat, x mat.Vec) {
+	mustStateLen(s.Name(), x, 3)
+	dst.Zero()
+	origin := world.Point{X: x[0], Y: x[1]}
+	for i, beam := range s.BeamAngles {
+		phi := x[2] + beam
+		t, wall, ok := s.Map.RaycastWallsSeg(origin, phi, s.MaxRange)
+		if !ok {
+			continue
+		}
+		sin, cos := math.Sincos(phi)
+		ex, ey := wall.B.X-wall.A.X, wall.B.Y-wall.A.Y
+		den := cos*ey - sin*ex
+		if den == 0 {
+			continue
+		}
+		dst.Set(i, 0, -ey/den)
+		dst.Set(i, 1, ex/den)
+		dst.Set(i, 2, -t*(-sin*ey-cos*ex)/den)
+	}
+	dst.Set(s.Dim()-1, 2, 1)
+}
+
 // C implements Sensor, differentiating each beam's range against the
 // wall it terminates on. With the beam direction û = (cos φ, sin φ),
 // φ = θ + beam, and the hit wall's edge vector e, the raycast solves

@@ -41,6 +41,12 @@ func (s *IPS) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1], x[2])
 }
 
+// HInto implements HIntoer.
+func (s *IPS) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 3)
+	dst[0], dst[1], dst[2] = x[0], x[1], x[2]
+}
+
 // C implements Sensor. The Jacobian is state-independent and cached.
 func (s *IPS) C(x mat.Vec) *mat.Mat {
 	if m := s.consts.c.Load(); m != nil {
@@ -107,6 +113,12 @@ func (s *WheelEncoder) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1], x[2])
 }
 
+// HInto implements HIntoer.
+func (s *WheelEncoder) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 3)
+	dst[0], dst[1], dst[2] = x[0], x[1], x[2]
+}
+
 // C implements Sensor. The Jacobian is state-independent and cached.
 func (s *WheelEncoder) C(x mat.Vec) *mat.Mat {
 	if m := s.consts.c.Load(); m != nil {
@@ -165,6 +177,12 @@ func (s *GPS) H(x mat.Vec) mat.Vec {
 	return mat.VecOf(x[0], x[1])
 }
 
+// HInto implements HIntoer.
+func (s *GPS) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 2)
+	dst[0], dst[1] = x[0], x[1]
+}
+
 // C implements Sensor. The Jacobian is state-independent and cached.
 func (s *GPS) C(x mat.Vec) *mat.Mat {
 	if m := s.consts.c.Load(); m != nil {
@@ -216,6 +234,12 @@ func (s *Magnetometer) Dim() int { return 1 }
 func (s *Magnetometer) H(x mat.Vec) mat.Vec {
 	mustStateLen(s.Name(), x, 3)
 	return mat.VecOf(x[2])
+}
+
+// HInto implements HIntoer.
+func (s *Magnetometer) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 3)
+	dst[0] = x[2]
 }
 
 // C implements Sensor. The Jacobian is state-independent and cached.
@@ -276,6 +300,12 @@ func (s *IMU) Dim() int { return 2 }
 func (s *IMU) H(x mat.Vec) mat.Vec {
 	mustStateLen(s.Name(), x, 4)
 	return mat.VecOf(x[2], x[3])
+}
+
+// HInto implements HIntoer.
+func (s *IMU) HInto(dst mat.Vec, x mat.Vec) {
+	mustStateLen(s.Name(), x, 4)
+	dst[0], dst[1] = x[2], x[3]
 }
 
 // C implements Sensor. The Jacobian is state-independent and cached.

@@ -80,6 +80,45 @@ func cacheInts(p *atomic.Pointer[[]int], v []int) []int {
 // ErrEmptyStack indicates an attempt to stack zero sensors.
 var ErrEmptyStack = errors.New("sensors: empty sensor stack")
 
+// HIntoer is an optional Sensor fast path: HInto writes h(x) into dst
+// (length Dim()) without allocating. Implementations must produce
+// values bit-identical to H — the batched engine leans on this to stay
+// bit-for-bit reproducible against the scalar path.
+type HIntoer interface {
+	HInto(dst mat.Vec, x mat.Vec)
+}
+
+// CIntoer is an optional Sensor fast path: CInto writes the Jacobian
+// ∂h/∂x at x into dst (Dim()×len(x)), overwriting every entry, without
+// allocating. Values must be bit-identical to C.
+type CIntoer interface {
+	CInto(dst *mat.Mat, x mat.Vec)
+}
+
+// EvalHInto evaluates h(x) into dst through the sensor's fast path when
+// it has one, copying H's freshly allocated result otherwise. Either
+// way dst holds exactly H(x)'s values.
+func EvalHInto(s Sensor, dst mat.Vec, x mat.Vec) mat.Vec {
+	if f, ok := s.(HIntoer); ok {
+		f.HInto(dst, x)
+		return dst
+	}
+	copy(dst, s.H(x))
+	return dst
+}
+
+// EvalCInto evaluates the Jacobian at x into dst through the sensor's
+// fast path when it has one, copying C's result otherwise (free of
+// surprises for constant-Jacobian sensors, which return a cached
+// matrix).
+func EvalCInto(s Sensor, dst *mat.Mat, x mat.Vec) *mat.Mat {
+	if f, ok := s.(CIntoer); ok {
+		f.CInto(dst, x)
+		return dst
+	}
+	return mat.CopyInto(dst, s.C(x))
+}
+
 // WrapResidual wraps the listed angle components of a residual in place
 // and returns it.
 func WrapResidual(r mat.Vec, angleIdx []int) mat.Vec {
@@ -151,6 +190,36 @@ func (s *Stacked) H(x mat.Vec) mat.Vec {
 		out = append(out, p.H(x)...)
 	}
 	return out
+}
+
+// HInto implements HIntoer: each part evaluates into its slice of dst.
+func (s *Stacked) HInto(dst mat.Vec, x mat.Vec) {
+	off := 0
+	for _, p := range s.parts {
+		EvalHInto(p, dst[off:off+p.Dim()], x)
+		off += p.Dim()
+	}
+}
+
+// CInto implements CIntoer: each part's Jacobian lands in its row band
+// of dst — through the part's own fast path when it has one, by copy
+// otherwise. Every row of dst is overwritten either way.
+func (s *Stacked) CInto(dst *mat.Mat, x mat.Vec) {
+	if len(s.parts) == 1 {
+		// Mirrors C's single-part delegation, and skips the row-band
+		// view header a one-part span would allocate.
+		EvalCInto(s.parts[0], dst, x)
+		return
+	}
+	row := 0
+	for _, p := range s.parts {
+		if f, ok := p.(CIntoer); ok {
+			f.CInto(dst.RowSpan(row, row+p.Dim()), x)
+		} else {
+			dst.SetSubmatrix(row, 0, p.C(x))
+		}
+		row += p.Dim()
+	}
 }
 
 // C implements Sensor.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead ci
+.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead loadgensmoke ci
 
 build:
 	$(GO) build ./...
@@ -97,10 +97,26 @@ benchdiff:
 # addition is one nil-map check per quantum). The 5% threshold is
 # tighter than single-run noise on shared hardware, so the gate compares
 # the fastest of three long runs (-best); all three baseline entries are
-# recorded under the same best-of-3 protocol.
+# recorded under the same best-of-3 protocol. -allocs additionally pins
+# allocs/op at the recorded counts exactly — allocations are
+# deterministic, so disabled frame tracing (a nil Tracer in the fleet
+# config) showing even one extra alloc per frame fails the gate.
 benchoverhead:
-	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json -threshold 0.05 -best \
+	$(GO) run ./cmd/benchdiff -baseline BENCH_engine.json -threshold 0.05 -best -allocs \
 		-only '^BenchmarkEngineStep(Telemetry)?$$|^BenchmarkFleetStep$$' \
 		-command "$(GO) test -run xxx -bench '^BenchmarkEngineStep(Telemetry)?$$|^BenchmarkFleetStep$$' -benchtime=20000x -count=3 ."
+
+# Serving-stack smoke (DESIGN.md §14): build the real binary, let
+# loadgen spawn it with tracing and group commit on, drive 8 sessions in
+# lockstep batches for ~10s with a kill -9 at half time, and require the
+# server's per-stage p50 attribution to sum within 10% of its end-to-end
+# p50. Appends a record to BENCH_serve.json and gates it against the
+# most recent same-shape record via benchdiff -serve.
+loadgensmoke:
+	$(GO) build -o /tmp/roboads-loadgen ./cmd/roboads
+	$(GO) run ./cmd/loadgen -spawn -roboads /tmp/roboads-loadgen \
+		-sessions 8 -duration 10s -batch 4 -crash \
+		-check-attribution 0.10 -label smoke -out BENCH_serve.json
+	$(GO) run ./cmd/benchdiff -serve BENCH_serve.json -threshold 0.5
 
 ci: build vet test race

@@ -54,19 +54,29 @@ type baselineEnv struct {
 }
 
 type benchEntry struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSample is one parsed benchmark result line. Allocs are present
+// only when the benchmark reported them (b.ReportAllocs or -benchmem).
+type benchSample struct {
+	NsPerOp   float64
+	Allocs    int64
+	HasAllocs bool
 }
 
 // benchLine matches one `go test -bench` result line, stripping the
-// -GOMAXPROCS suffix go appends to benchmark names (Benchmark-8 etc.).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+// -GOMAXPROCS suffix go appends to benchmark names (Benchmark-8 etc.),
+// and capturing allocs/op when the line carries it.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) allocs/op)?`)
 
-// parseBenchOutput extracts name → ns/op from `go test -bench` output.
+// parseBenchOutput extracts name → sample from `go test -bench` output.
 // Later occurrences of the same benchmark (e.g. -count > 1) overwrite
 // earlier ones; with best, the fastest occurrence wins instead — the
 // standard noise-robust reduction for a tight gate on shared hardware.
-func parseBenchOutput(r io.Reader, best bool) (map[string]float64, error) {
-	out := make(map[string]float64)
+func parseBenchOutput(r io.Reader, best bool) (map[string]benchSample, error) {
+	out := make(map[string]benchSample)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -78,10 +88,18 @@ func parseBenchOutput(r io.Reader, best bool) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: bad ns/op %q for %s: %w", m[2], m[1], err)
 		}
-		if prev, ok := out[m[1]]; best && ok && prev < ns {
+		s := benchSample{NsPerOp: ns}
+		if m[3] != "" {
+			allocs, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad allocs/op %q for %s: %w", m[3], m[1], err)
+			}
+			s.Allocs, s.HasAllocs = allocs, true
+		}
+		if prev, ok := out[m[1]]; best && ok && prev.NsPerOp < ns {
 			continue
 		}
-		out[m[1]] = ns
+		out[m[1]] = s
 	}
 	return out, sc.Err()
 }
@@ -113,18 +131,33 @@ type diffResult struct {
 	Name               string
 	Baseline, Current  float64 // ns/op; Current is 0 when Missing
 	Missing, Regressed bool
+	// Alloc gate outcome (-allocs): allocations are deterministic, so
+	// any count above baseline fails; AllocsUnknown warns when the gate
+	// is on but the output line carried no allocs/op.
+	BaselineAllocs, CurrentAllocs int64
+	AllocRegressed, AllocsUnknown bool
 }
 
 // compare evaluates every baseline benchmark against the current run.
-// A benchmark regresses when its ns/op exceeds baseline·(1+threshold).
-// Results come back sorted by name for stable output.
-func compare(baseline map[string]benchEntry, current map[string]float64, threshold float64) []diffResult {
+// A benchmark regresses when its ns/op exceeds baseline·(1+threshold)
+// or — with allocsGate, for baselines that record allocs_per_op — when
+// its allocs/op exceeds the recorded count at all. Results come back
+// sorted by name for stable output.
+func compare(baseline map[string]benchEntry, current map[string]benchSample, threshold float64, allocsGate bool) []diffResult {
 	results := make([]diffResult, 0, len(baseline))
 	for name, b := range baseline {
-		r := diffResult{Name: name, Baseline: b.NsPerOp}
-		if ns, ok := current[name]; ok {
-			r.Current = ns
-			r.Regressed = ns > b.NsPerOp*(1+threshold)
+		r := diffResult{Name: name, Baseline: b.NsPerOp, BaselineAllocs: b.AllocsPerOp}
+		if cur, ok := current[name]; ok {
+			r.Current = cur.NsPerOp
+			r.Regressed = cur.NsPerOp > b.NsPerOp*(1+threshold)
+			if allocsGate && b.AllocsPerOp > 0 {
+				if cur.HasAllocs {
+					r.CurrentAllocs = cur.Allocs
+					r.AllocRegressed = cur.Allocs > b.AllocsPerOp
+				} else {
+					r.AllocsUnknown = true
+				}
+			}
 		} else {
 			r.Missing = true
 		}
@@ -162,7 +195,13 @@ func run() error {
 	only := flag.String("only", "", "regex restricting the comparison to matching baseline benchmarks")
 	command := flag.String("command", "", "shell command to run instead of the baseline's recorded one")
 	best := flag.Bool("best", false, "with repeated runs (-count > 1), compare the fastest occurrence of each benchmark instead of the last")
+	allocs := flag.Bool("allocs", false, "also gate allocs/op: any count above the baseline's allocs_per_op fails (allocations are deterministic — no threshold)")
+	serve := flag.String("serve", "", "diff the newest record in this BENCH_serve.json against its most recent same-shape predecessor instead of running benchmarks")
 	flag.Parse()
+
+	if *serve != "" {
+		return runServe(*serve, *threshold, os.Stdout)
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -215,7 +254,7 @@ func run() error {
 	}
 
 	failed := false
-	for _, r := range compare(base.Benchmarks, current, *threshold) {
+	for _, r := range compare(base.Benchmarks, current, *threshold, *allocs) {
 		switch {
 		case r.Missing:
 			fmt.Printf("WARN  %-55s baseline %9.0f ns/op, not in output\n", r.Name, r.Baseline)
@@ -226,6 +265,17 @@ func run() error {
 		default:
 			fmt.Printf("ok    %-55s %9.0f -> %9.0f ns/op (%+.1f%%)\n",
 				r.Name, r.Baseline, r.Current, 100*(r.Current/r.Baseline-1))
+		}
+		switch {
+		case r.AllocRegressed:
+			failed = true
+			fmt.Printf("FAIL  %-55s %9d -> %9d allocs/op (allocations must not grow)\n",
+				r.Name, r.BaselineAllocs, r.CurrentAllocs)
+		case r.AllocsUnknown:
+			fmt.Printf("WARN  %-55s baseline %9d allocs/op, none in output (benchmark not reporting allocs?)\n",
+				r.Name, r.BaselineAllocs)
+		case *allocs && r.BaselineAllocs > 0 && !r.Missing:
+			fmt.Printf("ok    %-55s %9d -> %9d allocs/op\n", r.Name, r.BaselineAllocs, r.CurrentAllocs)
 		}
 	}
 	if failed {

@@ -20,17 +20,17 @@ ok  	roboads	1.2s
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkNUISEStep":                            17398,
-		"BenchmarkNUISEStepScratch":                     6583.5,
-		"BenchmarkEngineStepParallel/modes=3/workers=2": 54115,
+	want := map[string]benchSample{
+		"BenchmarkNUISEStep":                            {NsPerOp: 17398, Allocs: 198, HasAllocs: true},
+		"BenchmarkNUISEStepScratch":                     {NsPerOp: 6583.5, Allocs: 45, HasAllocs: true},
+		"BenchmarkEngineStepParallel/modes=3/workers=2": {NsPerOp: 54115},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+	for name, s := range want {
+		if got[name] != s {
+			t.Errorf("%s = %+v, want %+v", name, got[name], s)
 		}
 	}
 }
@@ -41,8 +41,8 @@ func TestParseBenchOutputRepeatedRunsKeepLast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX"] != 300 {
-		t.Errorf("BenchmarkX = %v, want last run 300", got["BenchmarkX"])
+	if got["BenchmarkX"].NsPerOp != 300 {
+		t.Errorf("BenchmarkX = %v, want last run 300", got["BenchmarkX"].NsPerOp)
 	}
 }
 
@@ -53,13 +53,13 @@ func TestCompare(t *testing.T) {
 		"BenchmarkEdge":    {NsPerOp: 1000},
 		"BenchmarkMissing": {NsPerOp: 1000},
 	}
-	current := map[string]float64{
-		"BenchmarkFast":  900,
-		"BenchmarkSlow":  1200,
-		"BenchmarkEdge":  1150, // exactly at the limit: not a regression
-		"BenchmarkExtra": 50,   // untracked benchmarks are ignored
+	current := map[string]benchSample{
+		"BenchmarkFast":  {NsPerOp: 900},
+		"BenchmarkSlow":  {NsPerOp: 1200},
+		"BenchmarkEdge":  {NsPerOp: 1150}, // exactly at the limit: not a regression
+		"BenchmarkExtra": {NsPerOp: 50},   // untracked benchmarks are ignored
 	}
-	results := compare(baseline, current, 0.15)
+	results := compare(baseline, current, 0.15, false)
 	if len(results) != 4 {
 		t.Fatalf("%d results, want 4", len(results))
 	}
@@ -128,8 +128,46 @@ func TestParseBenchOutputBestKeepsFastest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX"] != 200 {
-		t.Errorf("BenchmarkX = %v, want fastest run 200", got["BenchmarkX"])
+	if got["BenchmarkX"].NsPerOp != 200 {
+		t.Errorf("BenchmarkX = %v, want fastest run 200", got["BenchmarkX"].NsPerOp)
+	}
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	baseline := map[string]benchEntry{
+		"BenchmarkStable":   {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkGrew":     {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkNoAllocs": {NsPerOp: 1000}, // pre-allocs baseline entry
+		"BenchmarkSilent":   {NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	current := map[string]benchSample{
+		"BenchmarkStable":   {NsPerOp: 1000, Allocs: 100, HasAllocs: true},
+		"BenchmarkGrew":     {NsPerOp: 1000, Allocs: 101, HasAllocs: true},
+		"BenchmarkNoAllocs": {NsPerOp: 1000, Allocs: 9999, HasAllocs: true},
+		"BenchmarkSilent":   {NsPerOp: 1000}, // output without allocs/op
+	}
+	byName := make(map[string]diffResult)
+	for _, r := range compare(baseline, current, 0.15, true) {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkStable"]; r.AllocRegressed || r.AllocsUnknown {
+		t.Errorf("BenchmarkStable flagged: %+v", r)
+	}
+	if r := byName["BenchmarkGrew"]; !r.AllocRegressed {
+		t.Errorf("BenchmarkGrew (+1 alloc) not flagged: %+v", r)
+	}
+	if r := byName["BenchmarkNoAllocs"]; r.AllocRegressed || r.AllocsUnknown {
+		t.Errorf("baseline without allocs_per_op must not gate: %+v", r)
+	}
+	if r := byName["BenchmarkSilent"]; !r.AllocsUnknown || r.AllocRegressed {
+		t.Errorf("output without allocs/op should warn, not fail: %+v", r)
+	}
+
+	// Gate off: nothing alloc-related fires.
+	for _, r := range compare(baseline, current, 0.15, false) {
+		if r.AllocRegressed || r.AllocsUnknown {
+			t.Errorf("alloc gate fired with -allocs off: %+v", r)
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"roboads/internal/benchserve"
+)
+
+// serveBaseline picks the comparison baseline for the newest record in
+// the trajectory: the most recent earlier record with the same label,
+// the same load shape (Config is comparable by design), and the same
+// CPU count — serving throughput on a 1-CPU recording container is not
+// a baseline for an 8-core runner. Returns nil when no earlier record
+// qualifies (first run of a new shape).
+func serveBaseline(f *benchserve.File) (current, baseline *benchserve.Record) {
+	if len(f.Records) == 0 {
+		return nil, nil
+	}
+	cur := f.Records[len(f.Records)-1]
+	for i := len(f.Records) - 2; i >= 0; i-- {
+		r := f.Records[i]
+		if r.Label == cur.Label && r.Config == cur.Config && r.Env.NumCPU == cur.Env.NumCPU {
+			return cur, r
+		}
+	}
+	return cur, nil
+}
+
+// serveDiff is one gated serving metric's comparison outcome.
+type serveDiff struct {
+	Name              string
+	Baseline, Current float64
+	// Regressed means the metric moved in its bad direction beyond the
+	// threshold (throughput down, latency up).
+	Regressed bool
+}
+
+// compareServe gates the newest record against its baseline:
+// framesPerSecond may not drop, and step p99 may not rise, beyond the
+// threshold fraction. p50 and recovery time ride along informationally
+// (compared, never failing — both are too environment-sensitive for a
+// hard gate at this threshold).
+func compareServe(cur, base *benchserve.Record, threshold float64) []serveDiff {
+	diffs := []serveDiff{
+		{
+			Name:     "framesPerSecond",
+			Baseline: base.Results.FramesPerSecond,
+			Current:  cur.Results.FramesPerSecond,
+			Regressed: base.Results.FramesPerSecond > 0 &&
+				cur.Results.FramesPerSecond < base.Results.FramesPerSecond*(1-threshold),
+		},
+		{
+			Name:     "stepLatencyMs.p99",
+			Baseline: base.Results.StepLatencyMs.P99,
+			Current:  cur.Results.StepLatencyMs.P99,
+			Regressed: base.Results.StepLatencyMs.P99 > 0 &&
+				cur.Results.StepLatencyMs.P99 > base.Results.StepLatencyMs.P99*(1+threshold),
+		},
+		{Name: "stepLatencyMs.p50", Baseline: base.Results.StepLatencyMs.P50, Current: cur.Results.StepLatencyMs.P50},
+	}
+	if base.Results.RecoverySeconds > 0 || cur.Results.RecoverySeconds > 0 {
+		diffs = append(diffs, serveDiff{Name: "recoverySeconds", Baseline: base.Results.RecoverySeconds, Current: cur.Results.RecoverySeconds})
+	}
+	return diffs
+}
+
+// runServe is the -serve entry point: load the trajectory, gate its
+// newest record against the matching baseline, exit nonzero on
+// regression. A record with no baseline passes informationally — the
+// next run of the same shape will have one.
+func runServe(path string, threshold float64, w io.Writer) error {
+	f, err := benchserve.Load(path)
+	if err != nil {
+		return err
+	}
+	cur, base := serveBaseline(f)
+	if cur == nil {
+		return fmt.Errorf("benchdiff: %s has no records", path)
+	}
+	fmt.Fprintf(w, "serve record: %s label=%q sessions=%d batch=%d rate=%g crash=%v numcpu=%d\n",
+		cur.RecordedAt, cur.Label, cur.Config.Sessions, cur.Config.Batch,
+		cur.Config.RateHz, cur.Config.Crash, cur.Env.NumCPU)
+	if base == nil {
+		fmt.Fprintf(w, "ok    no earlier record with this label+config+numcpu; nothing to gate\n")
+		return nil
+	}
+	fmt.Fprintf(w, "baseline: %s\n", base.RecordedAt)
+	failed := false
+	for _, d := range compareServe(cur, base, threshold) {
+		status := "ok   "
+		if d.Regressed {
+			status = "FAIL "
+			failed = true
+		}
+		pct := 0.0
+		if d.Baseline != 0 {
+			pct = 100 * (d.Current/d.Baseline - 1)
+		}
+		fmt.Fprintf(w, "%s %-22s %12.3f -> %12.3f (%+.1f%%)\n", status, d.Name, d.Baseline, d.Current, pct)
+	}
+	if failed {
+		return fmt.Errorf("benchdiff: serving regression beyond %.0f%%", 100*threshold)
+	}
+	return nil
+}

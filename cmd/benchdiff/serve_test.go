@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roboads/internal/benchserve"
+)
+
+func serveRecord(label string, fps, p99 float64) *benchserve.Record {
+	return &benchserve.Record{
+		Label:      label,
+		RecordedAt: "2026-08-08T00:00:00Z",
+		Config:     benchserve.Config{Sessions: 8, Batch: 4, Wire: "binary", Robot: "khepera", DurationSeconds: 10},
+		Env:        benchserve.Env{NumCPU: 1},
+		Results: benchserve.Results{
+			FramesPerSecond: fps,
+			StepLatencyMs:   benchserve.LatencyMs{P50: 10, P99: p99},
+		},
+	}
+}
+
+func TestServeBaselinePicksSameShape(t *testing.T) {
+	other := serveRecord("", 500, 30)
+	other.Config.Sessions = 64 // different shape: never a baseline
+	older := serveRecord("", 900, 31)
+	newer := serveRecord("", 1000, 30)
+	cur := serveRecord("", 1100, 29)
+	f := &benchserve.File{Version: 1, Records: []*benchserve.Record{older, other, newer, cur}}
+
+	gotCur, gotBase := serveBaseline(f)
+	if gotCur != cur {
+		t.Fatalf("current = %+v, want newest record", gotCur)
+	}
+	if gotBase != newer {
+		t.Fatalf("baseline = %+v, want most recent same-shape record", gotBase)
+	}
+
+	// Different NumCPU never qualifies either.
+	cur8 := serveRecord("", 1100, 29)
+	cur8.Env.NumCPU = 8
+	f = &benchserve.File{Records: []*benchserve.Record{newer, cur8}}
+	if _, base := serveBaseline(f); base != nil {
+		t.Fatalf("cross-numcpu baseline accepted: %+v", base)
+	}
+
+	// A lone record has no baseline.
+	f = &benchserve.File{Records: []*benchserve.Record{cur}}
+	if c, base := serveBaseline(f); c != cur || base != nil {
+		t.Fatalf("lone record: current=%v baseline=%v", c, base)
+	}
+}
+
+func TestCompareServe(t *testing.T) {
+	base := serveRecord("", 1000, 30)
+	byName := func(diffs []serveDiff) map[string]serveDiff {
+		m := make(map[string]serveDiff)
+		for _, d := range diffs {
+			m[d.Name] = d
+		}
+		return m
+	}
+
+	// Within threshold both ways: passes.
+	d := byName(compareServe(serveRecord("", 950, 32), base, 0.15))
+	if d["framesPerSecond"].Regressed || d["stepLatencyMs.p99"].Regressed {
+		t.Fatalf("in-threshold run flagged: %+v", d)
+	}
+
+	// Throughput collapse fails.
+	d = byName(compareServe(serveRecord("", 700, 30), base, 0.15))
+	if !d["framesPerSecond"].Regressed {
+		t.Fatalf("-30%% throughput not flagged: %+v", d)
+	}
+
+	// p99 blowup fails.
+	d = byName(compareServe(serveRecord("", 1000, 60), base, 0.15))
+	if !d["stepLatencyMs.p99"].Regressed {
+		t.Fatalf("2x p99 not flagged: %+v", d)
+	}
+
+	// p50 is informational only.
+	worse := serveRecord("", 1000, 30)
+	worse.Results.StepLatencyMs.P50 = 100
+	for _, diff := range compareServe(worse, base, 0.15) {
+		if diff.Regressed {
+			t.Fatalf("informational metric failed the gate: %+v", diff)
+		}
+	}
+}
+
+func TestRunServe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	// First record of a shape: informational pass.
+	if err := benchserve.Append(path, serveRecord("smoke", 1000, 30)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runServe(path, 0.15, &out); err != nil {
+		t.Fatalf("no-baseline run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "nothing to gate") {
+		t.Fatalf("no-baseline run not announced:\n%s", out.String())
+	}
+
+	// A healthy follow-up passes.
+	if err := benchserve.Append(path, serveRecord("smoke", 1020, 29)); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runServe(path, 0.15, &out); err != nil {
+		t.Fatalf("healthy follow-up failed: %v\n%s", err, out.String())
+	}
+
+	// A collapsed follow-up fails.
+	if err := benchserve.Append(path, serveRecord("smoke", 500, 29)); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runServe(path, 0.15, &out); err == nil {
+		t.Fatalf("-50%% throughput passed the gate:\n%s", out.String())
+	}
+
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

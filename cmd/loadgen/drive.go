@@ -1,0 +1,385 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"roboads/internal/eval"
+	"roboads/internal/fleet"
+	"roboads/internal/mat"
+	"roboads/internal/stat"
+	"roboads/internal/trace"
+)
+
+// frameGen synthesizes a plausible mission for one session: the robot's
+// kinematic model driven by a fixed command under process noise, with
+// readings from the profile's sensor suite — the same construction the
+// simulator uses, minus attacks, so every frame steps cleanly and the
+// load is the nominal-mission serving cost.
+type frameGen struct {
+	p   eval.Profile
+	rng *stat.RNG
+	x   mat.Vec
+	u   mat.Vec
+	k   int
+}
+
+func newFrameGen(robot string, seed int64) (*frameGen, error) {
+	p, err := eval.RobotProfile(robot)
+	if err != nil {
+		return nil, err
+	}
+	u := make(mat.Vec, p.Model.ControlDim())
+	for i := range u {
+		// A steady command at 30% of the plausibility envelope: moving,
+		// comfortably inside the gate.
+		if i < p.UMax.Len() && p.UMax[i] > 0 {
+			u[i] = 0.3 * p.UMax[i]
+		} else {
+			u[i] = 0.1
+		}
+	}
+	return &frameGen{p: p, rng: stat.NewRNG(seed), x: p.X0.Clone(), u: u}, nil
+}
+
+func (g *frameGen) next() *trace.Frame {
+	g.x = g.p.Model.F(g.x, g.u).Add(g.rng.GaussianVec(g.p.ProcessStd))
+	f := &trace.Frame{K: g.k, U: []float64(g.u), Readings: make(map[string][]float64, len(g.p.Suite))}
+	for _, s := range g.p.Suite {
+		f.Readings[s.Name()] = []float64(s.H(g.x))
+	}
+	g.k++
+	return f
+}
+
+// sessionResult is one session's share of the run.
+type sessionResult struct {
+	sent, acked int
+	// retries counts client-observed backpressure (429 resubmissions on
+	// /step; the streaming endpoint absorbs backpressure server-side).
+	retries int
+	// latencies holds one client-observed ack latency (seconds) per
+	// acked frame; in stream mode every frame of a lockstep batch
+	// records the batch round trip.
+	latencies []float64
+	err       error
+}
+
+// driveAll runs one drive phase: every session gets its own generator
+// (seeded per session, so a crash-recovery phase regenerates nothing)
+// and its own goroutine, all stopping at the shared deadline.
+func driveAll(base string, ids []string, cfg config, dur time.Duration) []sessionResult {
+	deadline := time.Now().Add(dur)
+	results := make([]sessionResult, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(slot int, id string) {
+			defer wg.Done()
+			gen, err := newFrameGen(cfg.robot, cfg.seed+int64(slot))
+			if err != nil {
+				results[slot].err = err
+				return
+			}
+			if cfg.batch > 1 {
+				results[slot] = driveStream(base, id, gen, cfg, deadline)
+			} else {
+				results[slot] = driveStep(base, id, gen, cfg, deadline)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	return results
+}
+
+// pace sleeps out the remainder of the submission interval (rate
+// pacing); a closed-loop run (rate 0) never sleeps.
+func pace(cfg config, iterStart time.Time) {
+	if cfg.rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(cfg.batch) / cfg.rate * float64(time.Second))
+	if rest := interval - time.Since(iterStart); rest > 0 {
+		time.Sleep(rest)
+	}
+}
+
+// driveStep posts one frame per /step request, resubmitting on 429
+// with the server's hint — each resubmission counts as client-observed
+// backpressure, and the recorded latency spans first post to final ack
+// (the latency a real control loop would see).
+func driveStep(base, id string, gen *frameGen, cfg config, deadline time.Time) sessionResult {
+	var res sessionResult
+	url := base + "/v1/sessions/" + id + "/step"
+	for time.Now().Before(deadline) {
+		iterStart := time.Now()
+		body, err := json.Marshal(gen.next())
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.sent++
+		t0 := time.Now()
+		for {
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				res.err = err
+				return res
+			}
+			var line fleet.ReplyLine
+			derr := json.NewDecoder(resp.Body).Decode(&line)
+			resp.Body.Close()
+			if derr != nil {
+				res.err = derr
+				return res
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				res.retries++
+				delay := 25 * time.Millisecond
+				if line.RetryAfterMs > 0 {
+					delay = time.Duration(line.RetryAfterMs) * time.Millisecond
+				}
+				time.Sleep(delay)
+				continue
+			}
+			if line.Error != "" {
+				res.err = fmt.Errorf("frame %d: %s", line.K, line.Error)
+				return res
+			}
+			res.acked++
+			res.latencies = append(res.latencies, time.Since(t0).Seconds())
+			break
+		}
+		pace(cfg, iterStart)
+	}
+	return res
+}
+
+// driveStream drives the /frames streaming endpoint in lockstep
+// batches: write cfg.batch frames, read cfg.batch reply lines, repeat.
+// The request body is an io.Pipe so the stream stays open for the whole
+// phase (the server answers full duplex); each frame of a batch records
+// the batch round trip as its latency.
+func driveStream(base, id string, gen *frameGen, cfg config, deadline time.Time) sessionResult {
+	var res sessionResult
+	contentType := fleet.ContentTypeBinaryFrames
+	if cfg.wire == "json" {
+		contentType = "application/x-ndjson"
+	}
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+id+"/frames", pr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		res.err = fmt.Errorf("frames stream: status %d", resp.StatusCode)
+		return res
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	var buf []byte
+	var jsonBuf bytes.Buffer
+	enc := json.NewEncoder(&jsonBuf)
+	for time.Now().Before(deadline) {
+		iterStart := time.Now()
+		buf = buf[:0]
+		jsonBuf.Reset()
+		for i := 0; i < cfg.batch; i++ {
+			f := gen.next()
+			if cfg.wire == "json" {
+				if err := enc.Encode(f); err != nil {
+					res.err = err
+					return res
+				}
+			} else {
+				buf = trace.AppendFrameRecord(buf, f)
+			}
+		}
+		if cfg.wire == "json" {
+			buf = jsonBuf.Bytes()
+		}
+		t0 := time.Now()
+		if _, err := pw.Write(buf); err != nil {
+			res.err = err
+			return res
+		}
+		res.sent += cfg.batch
+		for i := 0; i < cfg.batch; i++ {
+			if !sc.Scan() {
+				res.err = fmt.Errorf("reply stream ended after %d acks: %v", res.acked, sc.Err())
+				return res
+			}
+			var line fleet.ReplyLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				res.err = err
+				return res
+			}
+			if line.Error != "" {
+				res.err = fmt.Errorf("frame %d: %s", line.K, line.Error)
+				return res
+			}
+			res.acked++
+		}
+		rt := time.Since(t0).Seconds()
+		for i := 0; i < cfg.batch; i++ {
+			res.latencies = append(res.latencies, rt)
+		}
+		pace(cfg, iterStart)
+	}
+	return res
+}
+
+// createSessions opens n sessions for the robot, or restores them if a
+// recovering server still holds their state.
+func createSessions(base, robot string, n int) ([]string, error) {
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		body, err := json.Marshal(fleet.CreateRequest{Robot: robot})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusCreated {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return nil, fmt.Errorf("create session: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+		var info fleet.SessionInfo
+		derr := json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		ids = append(ids, info.ID)
+	}
+	return ids, nil
+}
+
+func deleteSession(base, id string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// awaitSessions polls GET /v1/sessions until at least n sessions are
+// live — after a crash restart, the moment startup recovery has revived
+// the fleet.
+func awaitSessions(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/sessions")
+		if err == nil {
+			var list []fleet.SessionStatus
+			derr := json.NewDecoder(resp.Body).Decode(&list)
+			resp.Body.Close()
+			if derr == nil && len(list) >= n {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not recover %d sessions within %s", n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// serveChild is a spawned `roboads serve` process.
+type serveChild struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// spawnServe starts a fleet-only server on an ephemeral port and waits
+// for its "serving on http://..." ready line. The child is a real
+// binary (not `go run`) so kill -9 reaches the server itself.
+func spawnServe(cfg config) (*serveChild, error) {
+	args := []string{
+		"serve",
+		"-addr", "127.0.0.1:0",
+		"-scenario=-1",
+		"-state-dir", cfg.stateDir,
+		"-fsync-every", strconv.Itoa(cfg.fsyncEvery),
+		"-commit-window", cfg.commitWindow.String(),
+	}
+	cmd := exec.Command(cfg.roboadsBin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn %s: %w", cfg.roboadsBin, err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "serving on http://"); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				select {
+				case ready <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-ready:
+		return &serveChild{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, errors.New("spawned server produced no ready line within 30s")
+	}
+}
+
+// killAndRestart SIGKILLs the child — no drain, no final fsync beyond
+// what the WAL already guaranteed — and starts a fresh server on the
+// same state directory.
+func (c *serveChild) killAndRestart(cfg config) (*serveChild, error) {
+	if err := c.cmd.Process.Kill(); err != nil {
+		return nil, err
+	}
+	c.cmd.Wait()
+	fmt.Fprintln(os.Stderr, "kill -9 delivered; restarting on", cfg.stateDir)
+	return spawnServe(cfg)
+}
+
+// stop terminates the child at end of run. Idempotent enough for the
+// deferred double-stop after a crash restart (Kill on a dead process
+// just errors).
+func (c *serveChild) stop() {
+	if c == nil || c.cmd == nil || c.cmd.Process == nil {
+		return
+	}
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}

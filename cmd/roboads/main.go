@@ -85,6 +85,7 @@ func run(args []string) error {
 	snapshotEvery := fs.Int("snapshot-every", 0, "frames between automatic session checkpoints (serve); 0 = 256, negative = manual only")
 	fsyncEvery := fs.Int("fsync-every", 0, "WAL fsync cadence in frames (serve); 0 or 1 = every frame, negative = never")
 	commitWindow := fs.Duration("commit-window", 0, "group-commit window (serve); >0 amortizes one fsync over all sessions' WAL appends per window (supersedes -fsync-every; frames still ack only after the covering fsync)")
+	traceFrames := fs.Bool("trace", true, "frame-lifecycle tracing (serve): per-stage latency histograms in /metrics and span exemplars at /v1/debug/trace; false = zero span work on the frame path")
 	wire := fs.String("wire", "binary", "frame wire format for replay -remote: binary|json (replies are identical either way)")
 	binary := fs.Bool("binary", false, "record in the binary trace format (smaller, faster to replay; replay auto-detects either)")
 	if err := fs.Parse(rest); err != nil {
@@ -106,6 +107,7 @@ func run(args []string) error {
 			interval:   *interval,
 			fleetIdle:  *fleetIdle,
 			fleetBatch: *fleetBatch,
+			trace:      *traceFrames,
 
 			stateDir:      *stateDir,
 			snapshotEvery: *snapshotEvery,

@@ -57,6 +57,10 @@ type serveOptions struct {
 	// session's appends, and a frame is acknowledged only after the
 	// group fsync covering it. Supersedes fsyncEvery.
 	commitWindow time.Duration
+	// trace enables frame-lifecycle tracing: per-stage latency
+	// histograms in /metrics and reservoir-sampled span exemplars at
+	// /v1/debug/trace. Off, the frame path does no span work at all.
+	trace bool
 	// onReady, when set, receives the bound listen address once the
 	// HTTP surface is up (tests bind to 127.0.0.1:0).
 	onReady func(net.Addr)
@@ -89,12 +93,17 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 	} else if idle < 0 {
 		idle = 0
 	}
+	var tracer *telemetry.Tracer
+	if opts.trace {
+		tracer = telemetry.NewTracer(tel.Registry())
+	}
 	mgr, err := fleet.NewManager(fleet.Config{
 		QueueDepth:  opts.fleetQueue,
 		Batching:    opts.fleetBatch,
 		IdleTimeout: idle,
 		Build:       fleet.DefaultBuilder(),
 		Metrics:     tel.Registry(),
+		Trace:       tracer,
 		Durability: fleet.Durability{
 			Dir:           opts.stateDir,
 			SnapshotEvery: opts.snapshotEvery,

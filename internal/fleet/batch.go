@@ -8,6 +8,7 @@ import (
 
 	"roboads/internal/detect"
 	"roboads/internal/mat"
+	"roboads/internal/telemetry"
 )
 
 // Frame coalescing (Config.Batching > 1): a shard worker serving a
@@ -198,6 +199,9 @@ func (m *Manager) processBatch(db *detect.DetectorBatch, items []batchItem) {
 			dets = append(dets, it.det)
 			us = append(us, it.job.frames[j].U)
 			readings = append(readings, it.job.frames[j].Readings)
+			// Coalesce stage: steal-loop time plus the rounds this frame
+			// waited for its predecessors to clear the blocked pass.
+			it.job.frames[j].Span.Lap(telemetry.StageCoalesce)
 		}
 		if len(slots) == 0 {
 			break
@@ -217,13 +221,20 @@ func (m *Manager) processBatch(db *detect.DetectorBatch, items []batchItem) {
 		elapsed := time.Since(start).Seconds()
 		for i, idx := range slots {
 			it := items[idx]
+			fr := it.job.frames[j]
+			// The blocked pass (plus earlier slots' WAL work this round)
+			// is the frame's step stage — the same shared-cost
+			// attribution elapsed carries below.
+			fr.Span.Lap(telemetry.StageStep)
 			rep, err := reps[i], errs[i]
 			m.mFrames.Inc()
 			if err == nil && it.s.ds != nil {
-				if derr := m.logFrame(it.s, it.job.frames[j], rep); derr != nil {
+				if derr := m.logFrame(it.s, fr, rep); derr != nil {
 					rep, err = nil, derr
 				} else {
 					appended[idx]++
+					fr.Span.Lap(telemetry.StageWALAppend)
+					fr.Span.Shift(telemetry.StageWALAppend, telemetry.StageFsync, it.s.ds.LastSyncNanos())
 				}
 			}
 			if err != nil {
@@ -244,8 +255,17 @@ func (m *Manager) processBatch(db *detect.DetectorBatch, items []batchItem) {
 						results[idx][i] = FrameResult{Err: cerr}
 					}
 				}
-			} else if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
-				m.persistSnapshot(s)
+			} else {
+				if m.cfg.Trace != nil {
+					for i := range it.job.frames {
+						if results[idx][i].Err == nil {
+							it.job.frames[i].Span.Lap(telemetry.StageFsync)
+						}
+					}
+				}
+				if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
+					m.persistSnapshot(s)
+				}
 			}
 		}
 		s.stepMu.Unlock()

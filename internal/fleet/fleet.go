@@ -46,6 +46,20 @@ const (
 	MetricEvictions = "roboads_fleet_evictions_total"
 	// MetricRejectedFrames counts frames rejected with backpressure.
 	MetricRejectedFrames = "roboads_fleet_rejected_frames_total"
+	// MetricRejects is the cause-labeled reject family
+	// (roboads_fleet_rejects_total{cause="..."}): queue_full counts
+	// frames bounced off a full session queue (the same events as
+	// MetricRejectedFrames, kept for compat), session_closed counts
+	// frames aimed at a closing session, shutting_down counts frames
+	// refused because the manager is draining, and session_cap counts
+	// Create calls refused at MaxSessions.
+	MetricRejects = "roboads_fleet_rejects_total"
+	// RejectCauseQueueFull .. RejectCauseSessionCap are the cause label
+	// values of MetricRejects.
+	RejectCauseQueueFull     = "queue_full"
+	RejectCauseSessionClosed = "session_closed"
+	RejectCauseShuttingDown  = "shutting_down"
+	RejectCauseSessionCap    = "session_cap"
 	// MetricFrames counts frames stepped through a detector.
 	MetricFrames = "roboads_fleet_frames_total"
 	// MetricFrameErrors counts frames whose detector step failed.
@@ -140,6 +154,12 @@ type Config struct {
 	// Metrics receives the fleet gauges and counters; nil uses a
 	// private registry (metrics still maintained, just not exported).
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, enables frame-lifecycle tracing: spans
+	// arriving on BatchFrame.Span get queue-wait, coalesce, step, WAL,
+	// and fsync laps as the frame moves through the shard pool. Nil
+	// (the default) disables tracing; the frame hot path then performs
+	// no span work at all — no clock reads, no allocations.
+	Trace *telemetry.Tracer
 	// Durability, when its Dir is set, persists every session (snapshot
 	// + frame WAL) and recovers persisted sessions at startup. The zero
 	// value disables persistence; the frame hot path is then untouched.
@@ -189,6 +209,9 @@ type Manager struct {
 	mOpened, mEvicted, mRejected *telemetry.Counter
 	mFrames, mErrors             *telemetry.Counter
 	mStepSeconds                 *telemetry.Histogram
+	// Cause-split reject counters (MetricRejects family).
+	mRejQueueFull, mRejSessionClosed *telemetry.Counter
+	mRejShuttingDown, mRejSessionCap *telemetry.Counter
 }
 
 const (
@@ -237,6 +260,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		mFrames:      reg.Counter(MetricFrames, "Frames stepped through a session detector."),
 		mErrors:      reg.Counter(MetricFrameErrors, "Frames whose detector step returned an error."),
 		mStepSeconds: reg.Histogram(MetricStepSeconds, "Per-frame detector step latency in seconds.", telemetry.LatencyBuckets()),
+
+		mRejQueueFull:     reg.Counter(MetricRejects+`{cause="`+RejectCauseQueueFull+`"}`, "Rejections by cause."),
+		mRejSessionClosed: reg.Counter(MetricRejects+`{cause="`+RejectCauseSessionClosed+`"}`, "Rejections by cause."),
+		mRejShuttingDown:  reg.Counter(MetricRejects+`{cause="`+RejectCauseShuttingDown+`"}`, "Rejections by cause."),
+		mRejSessionCap:    reg.Counter(MetricRejects+`{cause="`+RejectCauseSessionCap+`"}`, "Rejections by cause."),
 	}
 	if cfg.Batching > 1 {
 		m.batches = make(map[uint64]*batchSpace)
@@ -292,6 +320,7 @@ func (m *Manager) Create(spec Spec) (SessionInfo, error) {
 	m.mu.Lock()
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		m.mu.Unlock()
+		m.mRejSessionCap.Inc()
 		return SessionInfo{}, ErrTooManySessions
 	}
 	m.nextID++
@@ -405,6 +434,7 @@ func (m *Manager) SubmitBatch(id string, frames []BatchFrame) (*PendingBatch, er
 	m.gate.RLock()
 	if m.state.Load() != stateRunning {
 		m.gate.RUnlock()
+		m.mRejShuttingDown.Add(int64(len(frames)))
 		return nil, ErrClosed
 	}
 	s, err := m.lookup(id)
@@ -420,8 +450,19 @@ func (m *Manager) SubmitBatch(id string, frames []BatchFrame) (*PendingBatch, er
 		m.inflight.Done()
 		if errors.Is(err, ErrBackpressure) {
 			m.mRejected.Add(int64(len(frames)))
+			m.mRejQueueFull.Add(int64(len(frames)))
+		} else if errors.Is(err, ErrClosed) {
+			m.mRejSessionClosed.Add(int64(len(frames)))
 		}
 		return nil, err
+	}
+	if m.cfg.Trace != nil {
+		// The admit lap closes here — it absorbs submit-path work and,
+		// on the streaming path, any backpressure-retry wait the caller
+		// spent between decode and this successful push.
+		for i := range frames {
+			frames[i].Span.Lap(telemetry.StageAdmit)
+		}
 	}
 	s.touch(m.now())
 	m.mQueue.Set(float64(m.queued.Add(int64(len(frames)))))
@@ -583,6 +624,11 @@ func (m *Manager) pop(s *session) (frameJob, bool) {
 	select {
 	case job := <-s.frames:
 		m.mQueue.Set(float64(m.queued.Add(-int64(len(job.frames)))))
+		if m.cfg.Trace != nil {
+			for i := range job.frames {
+				job.frames[i].Span.Lap(telemetry.StageQueueWait)
+			}
+		}
 		return job, true
 	default:
 		return frameJob{}, false
@@ -607,8 +653,13 @@ func (m *Manager) process(s *session, job frameJob) {
 	} else {
 		appended := 0
 		for i, fr := range job.frames {
+			// A frame deep in the job waited for its predecessors since
+			// the queue-wait lap; that batch-position wait is the
+			// coalesce stage.
+			fr.Span.Lap(telemetry.StageCoalesce)
 			start := time.Now()
 			rep, err := s.stepper.StepContext(context.Background(), fr.U, fr.Readings)
+			fr.Span.Lap(telemetry.StageStep)
 			m.mFrames.Inc()
 			if err == nil && s.ds != nil {
 				// Reply-after-fsync ordering: the frame is in the WAL
@@ -620,6 +671,11 @@ func (m *Manager) process(s *session, job frameJob) {
 					rep, err = nil, derr
 				} else {
 					appended++
+					fr.Span.Lap(telemetry.StageWALAppend)
+					// An inline fsync (FsyncEvery policy) ran inside the
+					// append; reattribute its share so fsync cost never
+					// hides in the append stage.
+					fr.Span.Shift(telemetry.StageWALAppend, telemetry.StageFsync, s.ds.LastSyncNanos())
 				}
 			}
 			if err != nil {
@@ -639,12 +695,27 @@ func (m *Manager) process(s *session, job frameJob) {
 						results[i] = FrameResult{Err: cerr}
 					}
 				}
-			} else if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
-				// Checkpoint cadence runs after the commit barrier so
-				// WAL rotation never discards un-fsynced appends. The
-				// frames are already durable; a failed checkpoint only
-				// postpones compaction, so it does not fail the batch.
-				m.persistSnapshot(s)
+			} else {
+				if m.cfg.Trace != nil {
+					// Group-commit window attribution: time between a
+					// frame's WAL append and the commit barrier covering
+					// it — for early frames of a deep job that includes
+					// the batch mates stepped before the shared fsync,
+					// which is exactly the latency group commit trades
+					// for throughput.
+					for i := range job.frames {
+						if results[i].Err == nil {
+							job.frames[i].Span.Lap(telemetry.StageFsync)
+						}
+					}
+				}
+				if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
+					// Checkpoint cadence runs after the commit barrier so
+					// WAL rotation never discards un-fsynced appends. The
+					// frames are already durable; a failed checkpoint only
+					// postpones compaction, so it does not fail the batch.
+					m.persistSnapshot(s)
+				}
 			}
 		}
 	}
@@ -749,6 +820,12 @@ func (m *Manager) evictIdle() {
 type BatchFrame struct {
 	U        mat.Vec
 	Readings map[string]mat.Vec
+	// Span, when frame tracing is on, carries the frame's lifecycle
+	// record; the shard pool laps queue-wait, coalesce, step, WAL, and
+	// fsync stages on it. Nil (the default, and always when
+	// Config.Trace is nil) traces nothing. The submitter retains
+	// ownership: the fleet never finishes or drops a span.
+	Span *telemetry.Span
 }
 
 // FrameResult is the outcome of one frame of a batch: a report or an

@@ -77,7 +77,7 @@ func FuzzFrameBatch(f *testing.F) {
 		fbr := &frameBatchReader{br: bufio.NewReaderSize(bytes.NewReader(data), 1<<16), binary: bin, max: 4}
 		total := 0
 		for {
-			frames, err := fbr.next()
+			frames, _, err := fbr.next()
 			if len(frames) > fbr.max {
 				t.Fatalf("batch of %d exceeds cap %d", len(frames), fbr.max)
 			}

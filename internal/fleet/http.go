@@ -12,7 +12,9 @@ import (
 	"strconv"
 	"time"
 
+	"roboads/internal/detect"
 	"roboads/internal/mat"
+	"roboads/internal/telemetry"
 	"roboads/internal/trace"
 )
 
@@ -27,6 +29,8 @@ import (
 //	                                     in, ReplyLine NDJSON out, batched greedily
 //	POST   /v1/sessions/{id}/checkpoint  snapshot the session now (→ CheckpointInfo)
 //	DELETE /v1/sessions/{id}             close a session (and discard its persisted state)
+//	GET    /v1/debug/trace               frame-lifecycle trace snapshot (telemetry.TraceSnapshot);
+//	                                     {"enabled": false} when Config.Trace is nil
 //
 // Frames use the trace wire format (trace.Frame, no header line), so a
 // recorded trace body replays against a live session verbatim. The
@@ -41,6 +45,9 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/frames", m.handleFrames)
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", m.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
+	// ServeTrace and Snapshot are nil-receiver-safe, so a traceless
+	// manager still answers (with {"enabled": false}).
+	mux.HandleFunc("GET /v1/debug/trace", m.cfg.Trace.ServeTrace)
 	return mux
 }
 
@@ -120,13 +127,23 @@ func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
 // handle: a full queue answers 429 with a Retry-After header and the
 // frame must be resubmitted.
 func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	id := r.PathValue("id")
 	var frame trace.Frame
 	if err := json.NewDecoder(r.Body).Decode(&frame); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode frame: %w", err))
 		return
 	}
-	rep, err := m.Step(r.Context(), id, mat.Vec(frame.U), frameReadings(&frame))
+	sp := m.cfg.Trace.Begin(id, start)
+	sp.SetK(frame.K)
+	sp.Lap(telemetry.StageDecode)
+	rep, err := m.stepSpanned(r.Context(), id, &frame, &sp)
+	defer func() {
+		// The span survives exactly when the frame stepped and we hold
+		// its reply; the final lap covers encode + write-out.
+		sp.Lap(telemetry.StageReply)
+		sp.Finish()
+	}()
 	if err != nil {
 		var bp *BackpressureError
 		switch {
@@ -153,6 +170,26 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 	wire := NewWireReport(rep)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(ReplyLine{K: wire.K, Report: &wire})
+}
+
+// stepSpanned is Step with the frame's span attached. Span ownership
+// follows the frame: a rejected frame's span is dropped (rejections
+// have no lifecycle to record) and an abandoned wait leaves the span
+// with the still-stepping frame — both cases nil *sp so the caller
+// cannot touch a span it no longer owns.
+func (m *Manager) stepSpanned(ctx context.Context, id string, frame *trace.Frame, sp **telemetry.Span) (*detect.Report, error) {
+	b, err := m.SubmitBatch(id, []BatchFrame{{U: mat.Vec(frame.U), Readings: frameReadings(frame), Span: *sp}})
+	if err != nil {
+		(*sp).Drop()
+		*sp = nil
+		return nil, err
+	}
+	res, err := b.Wait(ctx)
+	if err != nil {
+		*sp = nil
+		return nil, err
+	}
+	return res[0].Report, res[0].Err
 }
 
 // handleFrames is the streaming ingest: trace.Frame NDJSON (or, with
@@ -182,23 +219,29 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 	rc.Flush()
 
 	fbr := &frameBatchReader{
-		br:     bufio.NewReaderSize(r.Body, 1<<16),
-		binary: r.Header.Get("Content-Type") == ContentTypeBinaryFrames,
-		max:    m.cfg.MaxBatch,
+		br:      bufio.NewReaderSize(r.Body, 1<<16),
+		binary:  r.Header.Get("Content-Type") == ContentTypeBinaryFrames,
+		max:     m.cfg.MaxBatch,
+		tr:      m.cfg.Trace,
+		session: id,
 	}
 	enc := json.NewEncoder(w)
 	for {
-		frames, readErr := fbr.next()
+		frames, spans, readErr := fbr.next()
 		if len(frames) > 0 {
 			batch := make([]BatchFrame, len(frames))
 			for i := range frames {
 				batch[i] = BatchFrame{U: mat.Vec(frames[i].U), Readings: frameReadings(&frames[i])}
+				if spans != nil {
+					batch[i].Span = spans[i]
+				}
 			}
 			results, err := m.submitBatchRetrying(r.Context(), id, batch)
 			if err != nil {
 				// The whole batch failed before stepping (closed session,
 				// canceled request): one terminal line, like the
-				// sequential path's first failing frame.
+				// sequential path's first failing frame. Span ownership
+				// was settled inside submitBatchRetrying.
 				enc.Encode(ReplyLine{K: frames[0].K, Error: err.Error(), Closed: errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound)})
 				rc.Flush()
 				return
@@ -215,11 +258,13 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 					line.Report = &wire
 				}
 				if encErr := enc.Encode(line); encErr != nil {
-					return // client went away
+					finishSpans(spans) // client went away mid-reply
+					return
 				}
 				closed = closed || line.Closed
 			}
 			rc.Flush()
+			finishSpans(spans)
 			if closed {
 				return
 			}
@@ -236,33 +281,70 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 
 // frameBatchReader reads ingest frames in greedy batches from either
 // wire format. next blocks for one frame, then takes whatever is
-// already buffered; it never blocks to grow a batch.
+// already buffered; it never blocks to grow a batch. With tr set, each
+// frame also gets a span whose decode lap covers only time spent on
+// bytes already received — a lap clock started before a blocking read
+// would bill the client's think time to the server.
 type frameBatchReader struct {
-	br     *bufio.Reader
-	binary bool
-	max    int
+	br      *bufio.Reader
+	binary  bool
+	max     int
+	tr      *telemetry.Tracer
+	session string
 }
 
 // next returns the next batch. Frames decoded before a malformed one
 // are returned alongside the error so no accepted input is dropped;
-// err is io.EOF exactly when the stream ended cleanly.
-func (f *frameBatchReader) next() ([]trace.Frame, error) {
+// err is io.EOF exactly when the stream ended cleanly. spans is nil
+// when tracing is off, else index-aligned with frames.
+func (f *frameBatchReader) next() ([]trace.Frame, []*telemetry.Span, error) {
 	var frames []trace.Frame
+	var spans []*telemetry.Span
 	for len(frames) < f.max {
 		// Only the first frame of a batch may block on the client.
 		if len(frames) > 0 && !f.buffered() {
 			break
 		}
+		var start time.Time
+		timed := false
+		if f.tr != nil {
+			// Anchor before the read only when it cannot block — then
+			// the decode lap measures real decode work.
+			if timed = len(frames) > 0 || f.buffered(); timed {
+				start = time.Now()
+			}
+		}
 		frame, err := f.readFrame()
 		if err != nil {
-			return frames, err
+			return frames, spans, err
 		}
 		if frame == nil {
 			continue // blank NDJSON line
 		}
+		if f.tr != nil {
+			if !timed {
+				// The read blocked on the wire: start the span now and
+				// let its decode stage read ~0 rather than charging the
+				// wait to the server.
+				start = time.Now()
+			}
+			sp := f.tr.Begin(f.session, start)
+			sp.SetK(frame.K)
+			sp.Lap(telemetry.StageDecode)
+			spans = append(spans, sp)
+		}
 		frames = append(frames, *frame)
 	}
-	return frames, nil
+	return frames, spans, nil
+}
+
+// finishSpans closes a batch's spans after its replies are written:
+// one reply-stage lap each, then the terminal observe.
+func finishSpans(spans []*telemetry.Span) {
+	for _, sp := range spans {
+		sp.Lap(telemetry.StageReply)
+		sp.Finish()
+	}
 }
 
 // buffered reports whether a complete frame is already in the read
@@ -322,10 +404,17 @@ func (m *Manager) submitBatchRetrying(ctx context.Context, id string, frames []B
 	for {
 		b, err := m.SubmitBatch(id, frames)
 		if err == nil {
+			// On a ctx expiry here the frames (and their spans) are
+			// still in flight; the spans are simply never finished.
 			return b.Wait(ctx)
 		}
 		var bp *BackpressureError
 		if !errors.As(err, &bp) {
+			// Terminal rejection: nothing was accepted, so the spans
+			// come back to us — drop them unobserved.
+			for i := range frames {
+				frames[i].Span.Drop()
+			}
 			return nil, err
 		}
 		if timer == nil {

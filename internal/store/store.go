@@ -324,6 +324,18 @@ func (s *SessionStore) Append(frame *trace.Frame) error {
 	return nil
 }
 
+// LastSyncNanos returns the wall time of the inline fsync carried by
+// the most recent Append, or 0 when that append synced nothing (fsync
+// batching, group commit, or durability off). Frame tracing uses it to
+// split fsync cost out of the WAL-append stage; like every SessionStore
+// method it is serialized by the owning session's step lock.
+func (s *SessionStore) LastSyncNanos() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.syncNanos
+}
+
 // WriteSnapshot persists a checkpoint of the session at its current
 // applied-frame count and rotates the WAL: the snapshot is written to a
 // temporary file, fsynced, atomically renamed to snapshot-<k>, the

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"roboads/internal/trace"
 )
@@ -228,6 +229,7 @@ type walWriter struct {
 	seq        int // last appended sequence number
 	fsyncEvery int // 1: every append; n>1: every n appends; <0: never
 	sinceSync  int
+	syncNanos  int64  // wall time of the most recent append's inline fsync; 0 when it carried none
 	buf        []byte // reused binary record encoding buffer
 }
 
@@ -250,6 +252,7 @@ func openWAL(path string, lastSeq, fsyncEvery int) (*walWriter, error) {
 // writer's reused buffer — the hot durable path carries no JSON marshal
 // and amortizes to zero allocations per append.
 func (w *walWriter) append(frame *trace.Frame) (seq int, synced bool, err error) {
+	w.syncNanos = 0
 	w.buf, err = AppendWALRecordBinary(w.buf[:0], w.seq+1, frame)
 	if err != nil {
 		return 0, false, err
@@ -260,9 +263,13 @@ func (w *walWriter) append(frame *trace.Frame) (seq int, synced bool, err error)
 	w.seq++
 	w.sinceSync++
 	if w.fsyncEvery > 0 && w.sinceSync >= w.fsyncEvery {
+		// Timed so frame tracing can reattribute the inline fsync's
+		// share of the append out of the wal_append stage.
+		t0 := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return 0, false, fmt.Errorf("store: fsync WAL: %w", err)
 		}
+		w.syncNanos = time.Since(t0).Nanoseconds()
 		w.sinceSync = 0
 		return w.seq, true, nil
 	}

@@ -121,6 +121,7 @@ type HistogramSnapshot struct {
 	Sum   float64 `json:"sum"`
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
 	Max   float64 `json:"max"`
 }
@@ -135,7 +136,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		i := int(p * float64(len(r)-1))
 		return r[i]
 	}
-	s.P50, s.P90, s.P99, s.Max = q(0.50), q(0.90), q(0.99), r[len(r)-1]
+	s.P50, s.P90, s.P95, s.P99, s.Max = q(0.50), q(0.90), q(0.95), q(0.99), r[len(r)-1]
 	return s
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead loadgensmoke ci
+.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead loadgensmoke multinodesmoke ci
 
 build:
 	$(GO) build ./...
@@ -118,5 +118,22 @@ loadgensmoke:
 		-sessions 8 -duration 10s -batch 4 -crash \
 		-check-attribution 0.10 -label smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchdiff -serve BENCH_serve.json -threshold 0.5
+
+# Multi-node smoke (DESIGN.md §15): loadgen spawns three serve nodes
+# plus a router and drives 16 sessions through the router — live
+# migrations to the next-ranked node at half time plus a kill -9 of the
+# first node, with the run required to finish every session through the
+# failover. Appends a record to BENCH_serve.json and gates it against
+# the most recent same-shape record. Then the replication acceptance
+# e2e: a primary/follower pair under -ack-policy=follower, a mid-stream
+# migration, a SIGKILL of the primary, follower self-promotion, and a
+# bit-for-bit resume of every session's report stream.
+multinodesmoke:
+	$(GO) build -o /tmp/roboads-multinode ./cmd/roboads
+	$(GO) run ./cmd/loadgen -spawn -roboads /tmp/roboads-multinode \
+		-nodes 3 -sessions 16 -duration 10s -batch 4 -crash -migrate \
+		-label multinode -out BENCH_serve.json
+	$(GO) run ./cmd/benchdiff -serve BENCH_serve.json -threshold 0.5
+	$(GO) test -count=1 -run TestMultinodeFailoverMigration ./cmd/roboads/
 
 ci: build vet test race

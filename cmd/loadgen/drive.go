@@ -2,21 +2,21 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"roboads/client"
+	"roboads/internal/api"
 	"roboads/internal/eval"
-	"roboads/internal/fleet"
+	"roboads/internal/router"
 	"roboads/internal/mat"
 	"roboads/internal/stat"
 	"roboads/internal/trace"
@@ -76,10 +76,11 @@ type sessionResult struct {
 	err       error
 }
 
-// driveAll runs one drive phase: every session gets its own generator
-// (seeded per session, so a crash-recovery phase regenerates nothing)
-// and its own goroutine, all stopping at the shared deadline.
-func driveAll(base string, ids []string, cfg config, dur time.Duration) []sessionResult {
+// driveAll runs one drive phase: every session gets its own generator —
+// seeded per session, and reused across phases so a crash-recovery or
+// migration phase continues the mission rather than restarting it — and
+// its own goroutine, all stopping at the shared deadline.
+func driveAll(base string, ids []string, gens []*frameGen, cfg config, dur time.Duration) []sessionResult {
 	deadline := time.Now().Add(dur)
 	results := make([]sessionResult, len(ids))
 	var wg sync.WaitGroup
@@ -87,20 +88,28 @@ func driveAll(base string, ids []string, cfg config, dur time.Duration) []sessio
 		wg.Add(1)
 		go func(slot int, id string) {
 			defer wg.Done()
-			gen, err := newFrameGen(cfg.robot, cfg.seed+int64(slot))
-			if err != nil {
-				results[slot].err = err
-				return
-			}
 			if cfg.batch > 1 {
-				results[slot] = driveStream(base, id, gen, cfg, deadline)
+				results[slot] = driveStream(base, id, gens[slot], cfg, deadline)
 			} else {
-				results[slot] = driveStep(base, id, gen, cfg, deadline)
+				results[slot] = driveStep(base, id, gens[slot], cfg, deadline)
 			}
 		}(i, id)
 	}
 	wg.Wait()
 	return results
+}
+
+// makeGens builds one deterministic generator per session slot.
+func makeGens(cfg config) ([]*frameGen, error) {
+	gens := make([]*frameGen, cfg.sessions)
+	for i := range gens {
+		g, err := newFrameGen(cfg.robot, cfg.seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	return gens, nil
 }
 
 // pace sleeps out the remainder of the submission interval (rate
@@ -115,52 +124,31 @@ func pace(cfg config, iterStart time.Time) {
 	}
 }
 
-// driveStep posts one frame per /step request, resubmitting on 429
-// with the server's hint — each resubmission counts as client-observed
-// backpressure, and the recorded latency spans first post to final ack
-// (the latency a real control loop would see).
+// driveStep posts one frame per /step request via the client package,
+// which resubmits on 429 with the server's exact millisecond hint —
+// each resubmission counts as client-observed backpressure, and the
+// recorded latency spans first post to final ack (the latency a real
+// control loop would see).
 func driveStep(base, id string, gen *frameGen, cfg config, deadline time.Time) sessionResult {
 	var res sessionResult
-	url := base + "/v1/sessions/" + id + "/step"
+	c := client.New(base, client.WithRetryHook(func(time.Duration) { res.retries++ }))
+	ctx := context.Background()
 	for time.Now().Before(deadline) {
 		iterStart := time.Now()
-		body, err := json.Marshal(gen.next())
+		frame := gen.next()
+		res.sent++
+		t0 := time.Now()
+		line, err := c.Step(ctx, id, frame)
 		if err != nil {
 			res.err = err
 			return res
 		}
-		res.sent++
-		t0 := time.Now()
-		for {
-			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-			if err != nil {
-				res.err = err
-				return res
-			}
-			var line fleet.ReplyLine
-			derr := json.NewDecoder(resp.Body).Decode(&line)
-			resp.Body.Close()
-			if derr != nil {
-				res.err = derr
-				return res
-			}
-			if resp.StatusCode == http.StatusTooManyRequests {
-				res.retries++
-				delay := 25 * time.Millisecond
-				if line.RetryAfterMs > 0 {
-					delay = time.Duration(line.RetryAfterMs) * time.Millisecond
-				}
-				time.Sleep(delay)
-				continue
-			}
-			if line.Error != "" {
-				res.err = fmt.Errorf("frame %d: %s", line.K, line.Error)
-				return res
-			}
-			res.acked++
-			res.latencies = append(res.latencies, time.Since(t0).Seconds())
-			break
+		if line.Error != "" {
+			res.err = fmt.Errorf("frame %d: %s", line.K, line.Error)
+			return res
 		}
+		res.acked++
+		res.latencies = append(res.latencies, time.Since(t0).Seconds())
 		pace(cfg, iterStart)
 	}
 	return res
@@ -168,71 +156,31 @@ func driveStep(base, id string, gen *frameGen, cfg config, deadline time.Time) s
 
 // driveStream drives the /frames streaming endpoint in lockstep
 // batches: write cfg.batch frames, read cfg.batch reply lines, repeat.
-// The request body is an io.Pipe so the stream stays open for the whole
-// phase (the server answers full duplex); each frame of a batch records
-// the batch round trip as its latency.
+// The client stream stays open for the whole phase (the server answers
+// full duplex); each frame of a batch records the batch round trip as
+// its latency.
 func driveStream(base, id string, gen *frameGen, cfg config, deadline time.Time) sessionResult {
 	var res sessionResult
-	contentType := fleet.ContentTypeBinaryFrames
-	if cfg.wire == "json" {
-		contentType = "application/x-ndjson"
-	}
-	pr, pw := io.Pipe()
-	defer pw.Close()
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+id+"/frames", pr)
+	stream, err := client.New(base).Stream(context.Background(), id, cfg.wire != "json")
 	if err != nil {
 		res.err = err
 		return res
 	}
-	req.Header.Set("Content-Type", contentType)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		res.err = err
-		return res
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		res.err = fmt.Errorf("frames stream: status %d", resp.StatusCode)
-		return res
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-
-	var buf []byte
-	var jsonBuf bytes.Buffer
-	enc := json.NewEncoder(&jsonBuf)
+	defer stream.Close()
 	for time.Now().Before(deadline) {
 		iterStart := time.Now()
-		buf = buf[:0]
-		jsonBuf.Reset()
-		for i := 0; i < cfg.batch; i++ {
-			f := gen.next()
-			if cfg.wire == "json" {
-				if err := enc.Encode(f); err != nil {
-					res.err = err
-					return res
-				}
-			} else {
-				buf = trace.AppendFrameRecord(buf, f)
-			}
-		}
-		if cfg.wire == "json" {
-			buf = jsonBuf.Bytes()
-		}
 		t0 := time.Now()
-		if _, err := pw.Write(buf); err != nil {
-			res.err = err
-			return res
+		for i := 0; i < cfg.batch; i++ {
+			if err := stream.Send(gen.next()); err != nil {
+				res.err = err
+				return res
+			}
 		}
 		res.sent += cfg.batch
 		for i := 0; i < cfg.batch; i++ {
-			if !sc.Scan() {
-				res.err = fmt.Errorf("reply stream ended after %d acks: %v", res.acked, sc.Err())
-				return res
-			}
-			var line fleet.ReplyLine
-			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-				res.err = err
+			line, err := stream.Recv()
+			if err != nil {
+				res.err = fmt.Errorf("reply stream ended after %d acks: %w", res.acked, err)
 				return res
 			}
 			if line.Error != "" {
@@ -250,29 +198,15 @@ func driveStream(base, id string, gen *frameGen, cfg config, deadline time.Time)
 	return res
 }
 
-// createSessions opens n sessions for the robot, or restores them if a
-// recovering server still holds their state.
+// createSessions opens n sessions for the robot. Through a router, each
+// create is placed by consistent hash of the assigned ID.
 func createSessions(base, robot string, n int) ([]string, error) {
+	c := client.New(base)
 	ids := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		body, err := json.Marshal(fleet.CreateRequest{Robot: robot})
+		info, err := c.Create(context.Background(), api.CreateRequest{Robot: robot})
 		if err != nil {
-			return nil, err
-		}
-		resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusCreated {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			return nil, fmt.Errorf("create session: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-		}
-		var info fleet.SessionInfo
-		derr := json.NewDecoder(resp.Body).Decode(&info)
-		resp.Body.Close()
-		if derr != nil {
-			return nil, derr
+			return nil, fmt.Errorf("create session: %w", err)
 		}
 		ids = append(ids, info.ID)
 	}
@@ -280,29 +214,20 @@ func createSessions(base, robot string, n int) ([]string, error) {
 }
 
 func deleteSession(base, id string) {
-	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
-	if err != nil {
-		return
-	}
-	if resp, err := http.DefaultClient.Do(req); err == nil {
-		resp.Body.Close()
-	}
+	client.New(base).Delete(context.Background(), id)
 }
 
 // awaitSessions polls GET /v1/sessions until at least n sessions are
 // live — after a crash restart, the moment startup recovery has revived
-// the fleet.
+// the fleet (through a router, the moment its health checker readmits
+// the restarted node too).
 func awaitSessions(base string, n int, timeout time.Duration) error {
+	c := client.New(base)
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := http.Get(base + "/v1/sessions")
-		if err == nil {
-			var list []fleet.SessionStatus
-			derr := json.NewDecoder(resp.Body).Decode(&list)
-			resp.Body.Close()
-			if derr == nil && len(list) >= n {
-				return nil
-			}
+		list, err := c.List(context.Background())
+		if err == nil && len(list) >= n {
+			return nil
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("server did not recover %d sessions within %s", n, timeout)
@@ -311,39 +236,31 @@ func awaitSessions(base string, n int, timeout time.Duration) error {
 	}
 }
 
-// serveChild is a spawned `roboads serve` process.
+// serveChild is a spawned `roboads serve` or `roboads route` process.
 type serveChild struct {
 	cmd  *exec.Cmd
 	base string // http://host:port
 }
 
-// spawnServe starts a fleet-only server on an ephemeral port and waits
-// for its "serving on http://..." ready line. The child is a real
+// spawnChild starts the roboads binary with args on an ephemeral port
+// and waits for its "... on http://ADDR" ready line on stderr. A real
 // binary (not `go run`) so kill -9 reaches the server itself.
-func spawnServe(cfg config) (*serveChild, error) {
-	args := []string{
-		"serve",
-		"-addr", "127.0.0.1:0",
-		"-scenario=-1",
-		"-state-dir", cfg.stateDir,
-		"-fsync-every", strconv.Itoa(cfg.fsyncEvery),
-		"-commit-window", cfg.commitWindow.String(),
-	}
-	cmd := exec.Command(cfg.roboadsBin, args...)
+func spawnChild(bin string, args []string) (*serveChild, error) {
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("spawn %s: %w", cfg.roboadsBin, err)
+		return nil, fmt.Errorf("spawn %s: %w", bin, err)
 	}
 	ready := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
-			if rest, ok := strings.CutPrefix(line, "serving on http://"); ok {
-				addr, _, _ := strings.Cut(rest, " ")
+			if idx := strings.Index(line, " on http://"); idx >= 0 {
+				addr, _, _ := strings.Cut(line[idx+len(" on http://"):], " ")
 				select {
 				case ready <- addr:
 				default:
@@ -357,20 +274,51 @@ func spawnServe(cfg config) (*serveChild, error) {
 	case <-time.After(30 * time.Second):
 		cmd.Process.Kill()
 		cmd.Wait()
-		return nil, errors.New("spawned server produced no ready line within 30s")
+		return nil, errors.New("spawned process produced no ready line within 30s")
 	}
+}
+
+// spawnServe starts a fleet-only server over the given state directory;
+// addr "" picks an ephemeral port.
+func spawnServe(cfg config, stateDir, addr string) (*serveChild, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return spawnChild(cfg.roboadsBin, []string{
+		"serve",
+		"-addr", addr,
+		"-scenario=-1",
+		"-state-dir", stateDir,
+		"-fsync-every", strconv.Itoa(cfg.fsyncEvery),
+		"-commit-window", cfg.commitWindow.String(),
+	})
+}
+
+// spawnRoute starts a router fronting the node base URLs.
+func spawnRoute(cfg config, nodes []string) (*serveChild, error) {
+	return spawnChild(cfg.roboadsBin, []string{
+		"route",
+		"-addr", "127.0.0.1:0",
+		"-nodes", strings.Join(nodes, ","),
+		"-health-interval", "100ms",
+	})
 }
 
 // killAndRestart SIGKILLs the child — no drain, no final fsync beyond
 // what the WAL already guaranteed — and starts a fresh server on the
-// same state directory.
-func (c *serveChild) killAndRestart(cfg config) (*serveChild, error) {
+// same state directory. With sameAddr the replacement rebinds the dead
+// child's port, so a router's static node list still reaches it.
+func (c *serveChild) killAndRestart(cfg config, stateDir string, sameAddr bool) (*serveChild, error) {
 	if err := c.cmd.Process.Kill(); err != nil {
 		return nil, err
 	}
 	c.cmd.Wait()
-	fmt.Fprintln(os.Stderr, "kill -9 delivered; restarting on", cfg.stateDir)
-	return spawnServe(cfg)
+	addr := ""
+	if sameAddr {
+		addr = strings.TrimPrefix(c.base, "http://")
+	}
+	fmt.Fprintln(os.Stderr, "kill -9 delivered; restarting on", stateDir)
+	return spawnServe(cfg, stateDir, addr)
 }
 
 // stop terminates the child at end of run. Idempotent enough for the
@@ -382,4 +330,100 @@ func (c *serveChild) stop() {
 	}
 	c.cmd.Process.Kill()
 	c.cmd.Wait()
+}
+
+// cluster is a spawned multi-node fleet: N serve children plus a router
+// fronting them. All loadgen traffic goes through the router base.
+type cluster struct {
+	nodes  []*serveChild
+	dirs   []string
+	router *serveChild
+}
+
+// spawnCluster starts cfg.nodes serve children (each on its own state
+// subdirectory, so a killed node restarts over its own WALs) and a
+// router over their base URLs.
+func spawnCluster(cfg config, stateDir string) (*cluster, error) {
+	cl := &cluster{}
+	for i := 0; i < cfg.nodes; i++ {
+		dir := filepath.Join(stateDir, fmt.Sprintf("node%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			cl.stop()
+			return nil, err
+		}
+		node, err := spawnServe(cfg, dir, "")
+		if err != nil {
+			cl.stop()
+			return nil, err
+		}
+		cl.nodes = append(cl.nodes, node)
+		cl.dirs = append(cl.dirs, dir)
+	}
+	bases := make([]string, len(cl.nodes))
+	for i, n := range cl.nodes {
+		bases[i] = n.base
+	}
+	router, err := spawnRoute(cfg, bases)
+	if err != nil {
+		cl.stop()
+		return nil, err
+	}
+	cl.router = router
+	return cl, nil
+}
+
+// bases lists the node base URLs in spawn order — the router's -nodes
+// list, which is also what placement ranking hashes over.
+func (cl *cluster) bases() []string {
+	out := make([]string, len(cl.nodes))
+	for i, n := range cl.nodes {
+		out[i] = n.base
+	}
+	return out
+}
+
+func (cl *cluster) stop() {
+	cl.router.stop()
+	for _, n := range cl.nodes {
+		n.stop()
+	}
+}
+
+// migrateHalf live-migrates every other session to its next-ranked node
+// (the session's failover successor in placement order), through the
+// router — proof the fleet keeps serving while sessions move. Returns
+// how many moved.
+func migrateHalf(base string, ids, nodes []string) (int, error) {
+	c := client.New(base)
+	moved := 0
+	for i, id := range ids {
+		if i%2 != 0 {
+			continue
+		}
+		target := router.Rank(id, nodes)[1]
+		if _, err := c.Migrate(context.Background(), id, target); err != nil {
+			return moved, fmt.Errorf("session %s -> %s: %w", id, target, err)
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// checkRecovered asserts the durability contract after kill -9: per
+// session, frames acked before the kill ≤ frames recovered ≤ frames
+// sent. Group commit acks only after the covering fsync, so recovery
+// may never come up short of an ack.
+func checkRecovered(base string, ids []string, firstHalf []sessionResult) error {
+	c := client.New(base)
+	for i, id := range ids {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			return fmt.Errorf("status %s: %w", id, err)
+		}
+		if st.FramesApplied < firstHalf[i].acked || st.FramesApplied > firstHalf[i].sent {
+			return fmt.Errorf("session %s: recovered %d frames with %d acked, %d sent (want acked <= recovered <= sent)",
+				id, st.FramesApplied, firstHalf[i].acked, firstHalf[i].sent)
+		}
+	}
+	return nil
 }

@@ -49,9 +49,18 @@ type config struct {
 	robot string
 	seed  int64
 
-	// crash SIGKILLs the spawned server at half time, restarts it on
-	// the same state dir, measures time back to all sessions
-	// recovered, and finishes the run on the revived sessions.
+	// nodes > 1 spawns that many serve children plus a `roboads route`
+	// router fronting them, and drives all traffic through the router
+	// (multi-node mode; requires spawn).
+	nodes int
+	// migrate live-migrates every other session to its next-ranked node
+	// at half time (multi-node mode only).
+	migrate bool
+
+	// crash SIGKILLs the spawned server at half time (in multi-node
+	// mode: the first node, while the router fails traffic over),
+	// restarts it on the same state dir, measures time back to all
+	// sessions recovered, and finishes the run on the revived sessions.
 	crash bool
 	// checkAttribution, when > 0, fails the run unless the server's
 	// per-stage p50 sum is within this fraction of its end-to-end p50
@@ -85,7 +94,9 @@ func run(args []string) error {
 	fs.StringVar(&cfg.wire, "wire", "binary", "frame wire format for -batch>1 streams: binary|json")
 	fs.StringVar(&cfg.robot, "robot", "khepera", "robot profile driven in every session")
 	fs.Int64Var(&cfg.seed, "seed", 42, "base seed for the per-session frame generators")
-	fs.BoolVar(&cfg.crash, "crash", false, "SIGKILL the spawned server at half time and measure recovery")
+	fs.IntVar(&cfg.nodes, "nodes", 1, "spawn this many serve nodes plus a router and drive through the router (multi-node mode; needs -spawn)")
+	fs.BoolVar(&cfg.migrate, "migrate", false, "live-migrate every other session to its next-ranked node at half time (needs -nodes > 1)")
+	fs.BoolVar(&cfg.crash, "crash", false, "SIGKILL the spawned server (multi-node: the first node) at half time and measure recovery")
 	fs.Float64Var(&cfg.checkAttribution, "check-attribution", 0, "fail unless |sum(stage p50) - e2e p50| <= this fraction of e2e p50 (0 = report only)")
 	fs.StringVar(&cfg.out, "out", "BENCH_serve.json", "serving benchmark trajectory to append to; empty = don't write")
 	fs.StringVar(&cfg.label, "label", "", "record label (benchdiff -serve compares records with equal label+config)")
@@ -106,6 +117,15 @@ func run(args []string) error {
 	}
 	if cfg.crash && !cfg.spawn {
 		return fmt.Errorf("-crash needs -spawn (cannot SIGKILL a server loadgen does not own)")
+	}
+	if cfg.nodes < 1 {
+		return fmt.Errorf("-nodes (%d) must be at least 1", cfg.nodes)
+	}
+	if cfg.nodes > 1 && !cfg.spawn {
+		return fmt.Errorf("-nodes > 1 needs -spawn (loadgen owns the cluster it routes)")
+	}
+	if cfg.migrate && cfg.nodes < 2 {
+		return fmt.Errorf("-migrate needs -nodes > 1 (a migration target)")
 	}
 
 	rec, err := runLoad(cfg)
@@ -139,6 +159,7 @@ func run(args []string) error {
 func runLoad(cfg config) (*Record, error) {
 	base := cfg.addr
 	var child *serveChild
+	var cl *cluster
 	if cfg.spawn {
 		dir := cfg.stateDir
 		if dir == "" {
@@ -151,12 +172,21 @@ func runLoad(cfg config) (*Record, error) {
 		}
 		cfg.stateDir = dir
 		var err error
-		child, err = spawnServe(cfg)
-		if err != nil {
-			return nil, err
+		if cfg.nodes > 1 {
+			cl, err = spawnCluster(cfg, dir)
+			if err != nil {
+				return nil, err
+			}
+			defer cl.stop()
+			base = cl.router.base
+		} else {
+			child, err = spawnServe(cfg, dir, "")
+			if err != nil {
+				return nil, err
+			}
+			defer child.stop()
+			base = child.base
 		}
-		defer child.stop()
-		base = child.base
 	}
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -167,6 +197,10 @@ func runLoad(cfg config) (*Record, error) {
 		return nil, fmt.Errorf("scrape /snapshot: %w (server up at %s?)", err, base)
 	}
 
+	gens, err := makeGens(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ids, err := createSessions(base, cfg.robot, cfg.sessions)
 	if err != nil {
 		return nil, err
@@ -175,28 +209,54 @@ func runLoad(cfg config) (*Record, error) {
 	var recovery float64
 	var results []sessionResult
 	driveStart := time.Now()
-	if cfg.crash {
+	if cfg.crash || cfg.migrate {
 		half := cfg.duration / 2
-		results = driveAll(base, ids, cfg, half)
-		killedAt := time.Now()
-		restarted, err := child.killAndRestart(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("crash recovery: %w", err)
+		results = driveAll(base, ids, gens, cfg, half)
+		if cfg.migrate {
+			moved, err := migrateHalf(base, ids, cl.bases())
+			if err != nil {
+				return nil, fmt.Errorf("migrate: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "migrated %d of %d sessions to their next-ranked nodes\n", moved, len(ids))
 		}
-		child = restarted
-		defer child.stop()
-		base = child.base
-		if err := awaitSessions(base, cfg.sessions, 30*time.Second); err != nil {
-			return nil, fmt.Errorf("crash recovery: %w", err)
+		if cfg.crash {
+			killedAt := time.Now()
+			if cl != nil {
+				// Kill the first node; the router fails traffic over while
+				// it is down, and its static node list still reaches the
+				// replacement on the same port.
+				restarted, err := cl.nodes[0].killAndRestart(cfg, cl.dirs[0], true)
+				if err != nil {
+					return nil, fmt.Errorf("crash recovery: %w", err)
+				}
+				cl.nodes[0] = restarted
+			} else {
+				restarted, err := child.killAndRestart(cfg, cfg.stateDir, false)
+				if err != nil {
+					return nil, fmt.Errorf("crash recovery: %w", err)
+				}
+				child = restarted
+				defer child.stop()
+				base = child.base
+			}
+			if err := awaitSessions(base, cfg.sessions, 30*time.Second); err != nil {
+				return nil, fmt.Errorf("crash recovery: %w", err)
+			}
+			recovery = time.Since(killedAt).Seconds()
+			fmt.Fprintf(os.Stderr, "recovered %d sessions %.3fs after kill -9\n", cfg.sessions, recovery)
+			// Durability contract: every frame acked before the kill is
+			// present after recovery, and nothing not sent appears.
+			if err := checkRecovered(base, ids, results); err != nil {
+				return nil, fmt.Errorf("crash recovery: %w", err)
+			}
 		}
-		recovery = time.Since(killedAt).Seconds()
-		fmt.Fprintf(os.Stderr, "recovered %d sessions %.3fs after kill -9\n", cfg.sessions, recovery)
-		// The restarted server restores the same session IDs; finish
-		// the run on them to prove they actually serve.
-		tail := driveAll(base, ids, cfg, half)
+		// The fleet restores the same session IDs; finish the run on
+		// them — the generators continue their missions where the first
+		// half stopped — to prove the sessions actually serve.
+		tail := driveAll(base, ids, gens, cfg, half)
 		results = append(results, tail...)
 	} else {
-		results = driveAll(base, ids, cfg, cfg.duration)
+		results = driveAll(base, ids, gens, cfg, cfg.duration)
 	}
 	driveSeconds := time.Since(driveStart).Seconds()
 	if cfg.crash {

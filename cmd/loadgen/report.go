@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"roboads/client"
 	"roboads/internal/benchserve"
 	"roboads/internal/fleet"
 	"roboads/internal/telemetry"
@@ -50,8 +52,12 @@ func scrapeSnapshot(base string) (*metricsSnapshot, error) {
 }
 
 func scrapeTrace(base string) (*telemetry.TraceSnapshot, error) {
+	raw, err := client.New(base).DebugTrace(context.Background())
+	if err != nil {
+		return nil, err
+	}
 	var snap telemetry.TraceSnapshot
-	if err := getJSON(base+"/v1/debug/trace", &snap); err != nil {
+	if err := json.Unmarshal(raw, &snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil
@@ -154,6 +160,8 @@ func buildRecord(cfg config, results []sessionResult, driveSeconds, recovery flo
 			CommitWindowMs:  float64(cfg.commitWindow) / float64(time.Millisecond),
 			Crash:           cfg.crash,
 			Spawned:         cfg.spawn,
+			Nodes:           cfg.nodes,
+			Migrate:         cfg.migrate,
 		},
 		Env: benchserve.Env{
 			Go:     runtime.Version(),

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -30,14 +31,18 @@ func TestServeHelperProcess(t *testing.T) {
 	}
 	snapEvery, _ := strconv.Atoi(os.Getenv("ROBOADS_SNAPSHOT_EVERY"))
 	commitWindow, _ := time.ParseDuration(os.Getenv("ROBOADS_COMMIT_WINDOW"))
+	promoteAfter, _ := time.ParseDuration(os.Getenv("ROBOADS_PROMOTE_AFTER"))
 	addrFile := os.Getenv("ROBOADS_ADDR_FILE")
 	err := serveScenario(context.Background(), serveOptions{
 		addr:          "127.0.0.1:0",
 		scenarioID:    -1,
-		quiet:         true,
+		quiet:         os.Getenv("ROBOADS_HELPER_VERBOSE") != "1",
 		stateDir:      os.Getenv("ROBOADS_STATE_DIR"),
 		snapshotEvery: snapEvery,
 		commitWindow:  commitWindow,
+		follow:        os.Getenv("ROBOADS_FOLLOW"),
+		ackPolicy:     cmp.Or(os.Getenv("ROBOADS_ACK_POLICY"), "primary"),
+		promoteAfter:  promoteAfter,
 		onReady: func(a net.Addr) {
 			// Atomic publish: the parent polls for this file.
 			tmp := addrFile + ".tmp"
@@ -52,7 +57,9 @@ func TestServeHelperProcess(t *testing.T) {
 
 // spawnServeHelper starts the helper process and waits for its bound
 // address. The returned process is running until explicitly killed.
-func spawnServeHelper(t *testing.T, stateDir, addrFile string, snapshotEvery int, commitWindow time.Duration) (*exec.Cmd, string) {
+// extraEnv entries ("KEY=value") layer additional serve options on —
+// ROBOADS_FOLLOW, ROBOADS_ACK_POLICY, ROBOADS_PROMOTE_AFTER.
+func spawnServeHelper(t *testing.T, stateDir, addrFile string, snapshotEvery int, commitWindow time.Duration, extraEnv ...string) (*exec.Cmd, string) {
 	t.Helper()
 	os.Remove(addrFile)
 	cmd := exec.Command(os.Args[0], "-test.run", "TestServeHelperProcess$")
@@ -63,6 +70,7 @@ func spawnServeHelper(t *testing.T, stateDir, addrFile string, snapshotEvery int
 		"ROBOADS_SNAPSHOT_EVERY="+strconv.Itoa(snapshotEvery),
 		"ROBOADS_COMMIT_WINDOW="+commitWindow.String(),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

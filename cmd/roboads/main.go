@@ -27,7 +27,11 @@
 //	serve    [-addr A] [-scenario N] host the fleet session API (/v1/sessions)
 //	                                 with live telemetry (/metrics, /snapshot,
 //	                                 /debug/pprof); -scenario -1 skips the
-//	                                 local mission loop
+//	                                 local mission loop; -follow URL starts
+//	                                 the node as a replication follower
+//	route    -nodes A,B,C [-addr A]  front N serve nodes as one fleet:
+//	                                 consistent-hash placement, failover,
+//	                                 migration redirect chasing
 //	all      [-trials N] [-seed S]   run everything above (except fig6 TSV)
 //
 // run and replay also accept -telemetry ADDR to expose the same HTTP
@@ -88,6 +92,12 @@ func run(args []string) error {
 	traceFrames := fs.Bool("trace", true, "frame-lifecycle tracing (serve): per-stage latency histograms in /metrics and span exemplars at /v1/debug/trace; false = zero span work on the frame path")
 	wire := fs.String("wire", "binary", "frame wire format for replay -remote: binary|json (replies are identical either way)")
 	binary := fs.Bool("binary", false, "record in the binary trace format (smaller, faster to replay; replay auto-detects either)")
+	follow := fs.String("follow", "", "start as a replication follower of the primary at this base URL (serve); requires -state-dir, serves nothing until the primary goes silent past -promote-after")
+	ackPolicy := fs.String("ack-policy", "primary", "reply durability bar (serve): primary = ack after local fsync, follower = additionally wait for the connected follower's replication ack")
+	ackTimeout := fs.Duration("ack-timeout", 0, "bound on the follower-ack wait (serve); 0 = 5s")
+	promoteAfter := fs.Duration("promote-after", 0, "primary silence a follower tolerates before promoting (serve -follow); 0 = 2s")
+	nodes := fs.String("nodes", "", "comma-separated fleet node base URLs (route), e.g. 127.0.0.1:8081,127.0.0.1:8082")
+	healthInterval := fs.Duration("health-interval", 0, "node /readyz poll cadence (route); 0 = 500ms")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -113,6 +123,28 @@ func run(args []string) error {
 			snapshotEvery: *snapshotEvery,
 			fsyncEvery:    *fsyncEvery,
 			commitWindow:  *commitWindow,
+
+			follow:       *follow,
+			ackPolicy:    *ackPolicy,
+			ackTimeout:   *ackTimeout,
+			promoteAfter: *promoteAfter,
+		})
+	case "route":
+		if *nodes == "" {
+			return errors.New("route: -nodes is required (comma-separated node base URLs)")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var list []string
+		for _, n := range strings.Split(*nodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				list = append(list, n)
+			}
+		}
+		return runRoute(ctx, routeOptions{
+			addr:           *addr,
+			nodes:          list,
+			healthInterval: *healthInterval,
 		})
 	case "table2":
 		result, err := eval.Table2(*trials, *seed)
@@ -215,7 +247,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|serve|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|serve|route|all> [flags]`)
 }
 
 func runScenario(id int, seed int64, workers int, telemetryAddr string) error {

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"roboads/client"
+	"roboads/internal/api"
+	"roboads/internal/router"
+)
+
+// waitGaugeAtLeast polls a node's /metrics until the named series
+// reaches want.
+func waitGaugeAtLeast(t *testing.T, base, name string, want float64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if metricValue(t, string(body), name) >= want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %g on %s", name, want, base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitNodeReady polls a node's /readyz until it answers 200.
+func waitNodeReady(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	c := client.New(base)
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Ready(context.Background()) == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready", base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMultinodeFailoverMigration is the multi-node acceptance test, all
+// /v1 traffic flowing through the consistent-hash router:
+//
+//   - a primary with -ack-policy=follower, a -follow replica tailing its
+//     WAL stream, and an independent third node form the fleet;
+//   - two sessions placed (by proposed ID) on the primary drive the same
+//     recorded mission; one is live-migrated to the third node mid-run
+//     while the other stays as the unmigrated control;
+//   - the primary is then SIGKILLed; the follower promotes and the
+//     router fails traffic over;
+//   - afterwards acked ≤ recovered ≤ sent must hold for the control
+//     session, and both sessions' resumed timelines must be bit-for-bit
+//     the uninterrupted in-process reference — which makes the migrated
+//     timeline identical to the unmigrated control's.
+func TestMultinodeFailoverMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multinode e2e in -short mode")
+	}
+	const (
+		total   = 90 // frames per session
+		half    = 45 // migration point
+		postMig = 60 // frames driven before the kill
+	)
+	frames := recordedFrames(t, 301, total)
+	ref := localWireReports(t, frames)
+
+	tmp := t.TempDir()
+	// The primary acks a frame only after the follower's own
+	// group-commit fsync covers it (zero acked-frame loss on SIGKILL).
+	cmdP, addrP := spawnServeHelper(t, filepath.Join(tmp, "p"), filepath.Join(tmp, "p.addr"),
+		32, 2*time.Millisecond, "ROBOADS_ACK_POLICY=follower")
+	defer cmdP.Process.Kill()
+	baseP := "http://" + addrP
+	cmdF, addrF := spawnServeHelper(t, filepath.Join(tmp, "f"), filepath.Join(tmp, "f.addr"),
+		32, 2*time.Millisecond, "ROBOADS_FOLLOW="+baseP, "ROBOADS_PROMOTE_AFTER=750ms")
+	defer cmdF.Process.Kill()
+	baseF := "http://" + addrF
+	cmdN, addrN := spawnServeHelper(t, filepath.Join(tmp, "n"), filepath.Join(tmp, "n.addr"),
+		32, 2*time.Millisecond)
+	defer cmdN.Process.Kill()
+	baseN := "http://" + addrN
+
+	// No acks before the replication stream is up, or they would degrade
+	// to local durability only and the zero-loss contract would not bind.
+	waitGaugeAtLeast(t, baseP, "roboads_fleet_repl_followers", 1, 10*time.Second)
+
+	nodes := []string{baseP, baseF, baseN}
+	rt, err := router.New(router.Config{Nodes: nodes, HealthInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rsrv := httptest.NewServer(rt.Handler())
+	defer rsrv.Close()
+	rc := client.New(rsrv.URL)
+	ctx := context.Background()
+
+	// Propose IDs the hash places on the primary, so both sessions are
+	// replicated and in the blast radius of the kill.
+	var ids []string
+	for i := 0; len(ids) < 2 && i < 10000; i++ {
+		if id := fmt.Sprintf("mn-%04d", i); router.Rank(id, nodes)[0] == baseP {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 2 {
+		t.Fatal("found no primary-owned session IDs")
+	}
+	migID, ctlID := ids[0], ids[1]
+	for _, id := range []string{migID, ctlID} {
+		info, err := rc.Create(ctx, api.CreateRequest{Robot: "khepera", ID: id})
+		if err != nil {
+			t.Fatalf("create %s through router: %v", id, err)
+		}
+		if info.ID != id {
+			t.Fatalf("proposed ID %s, got %s", id, info.ID)
+		}
+		if _, err := client.New(baseP).Status(ctx, id); err != nil {
+			t.Fatalf("session %s not placed on its hash owner: %v", id, err)
+		}
+	}
+
+	acked := map[string]int{}
+	step := func(id string, f int) {
+		t.Helper()
+		line, err := stepRemote(rsrv.URL, id, &frames[f])
+		if err != nil {
+			t.Fatalf("step %s frame %d: %v", id, f, err)
+		}
+		if !reflect.DeepEqual(*line.Report, ref[f]) {
+			t.Fatalf("session %s: report %d diverged from reference", id, f)
+		}
+		acked[id]++
+	}
+	for f := 0; f < half; f++ {
+		step(migID, f)
+		step(ctlID, f)
+	}
+
+	// Live-migrate one session to the independent node, mid-mission.
+	mresp, err := rc.Migrate(ctx, migID, baseN)
+	if err != nil {
+		t.Fatalf("migrate %s: %v", migID, err)
+	}
+	if mresp.FramesApplied != half {
+		t.Fatalf("migration boundary at %d frames, want %d", mresp.FramesApplied, half)
+	}
+	// The router chases the tombstone redirect transparently.
+	for f := half; f < postMig; f++ {
+		step(migID, f)
+		step(ctlID, f)
+	}
+	st, err := client.New(baseN).Status(ctx, migID)
+	if err != nil {
+		t.Fatalf("migrated session not live on target: %v", err)
+	}
+	if st.FramesApplied != postMig {
+		t.Fatalf("target has %d frames of %s, want %d", st.FramesApplied, migID, postMig)
+	}
+
+	// SIGKILL the primary: no drain, no hooks. The follower promotes
+	// after its silence window and the router fails over to it.
+	if err := cmdP.Process.Kill(); err != nil {
+		t.Fatalf("kill -9 primary: %v", err)
+	}
+	cmdP.Wait()
+	waitNodeReady(t, baseF, 15*time.Second)
+
+	// Durability across failover: every frame the dead primary acked is
+	// on the promoted follower.
+	stc, err := client.New(baseF).Status(ctx, ctlID)
+	if err != nil {
+		t.Fatalf("control session after failover: %v", err)
+	}
+	if stc.FramesApplied < acked[ctlID] || stc.FramesApplied > postMig {
+		t.Fatalf("control session: recovered %d frames with %d acked, %d sent",
+			stc.FramesApplied, acked[ctlID], postMig)
+	}
+
+	// Resume both sessions through the router; every continued report
+	// must be bit-for-bit the reference timeline.
+	for f := stc.FramesApplied; f < total; f++ {
+		step(ctlID, f)
+	}
+	for f := postMig; f < total; f++ {
+		step(migID, f)
+	}
+}

@@ -1,18 +1,14 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
+	"roboads/client"
 	"roboads/internal/detect"
 	"roboads/internal/fleet"
 	"roboads/internal/trace"
@@ -35,60 +31,33 @@ func wireCondition(s string) detect.Condition {
 	return c
 }
 
-// stepRemote posts one frame to /step, absorbing backpressure with the
-// server's hint. It prefers the exact ReplyLine.RetryAfterMs from the
-// 429 body: the Retry-After header only speaks whole seconds, so the
-// default 25ms hint ceils to "1" there — a coarse fallback for generic
-// HTTP clients, 40x too long for this one.
+// stepRemote posts one frame to /step via the client package, which
+// absorbs backpressure with the server's exact millisecond hint. A
+// frame-level error in the reply surfaces as a Go error here.
 func stepRemote(base, id string, frame *trace.Frame) (*fleet.ReplyLine, error) {
-	body, err := json.Marshal(frame)
+	line, err := client.New(base).Step(context.Background(), id, frame)
 	if err != nil {
 		return nil, err
 	}
-	for {
-		resp, err := http.Post(base+"/v1/sessions/"+id+"/step", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		var line fleet.ReplyLine
-		derr := json.NewDecoder(resp.Body).Decode(&line)
-		header := resp.Header
-		resp.Body.Close()
-		if derr != nil {
-			return nil, derr
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			time.Sleep(retryDelay(header, &line))
-			continue
-		}
-		if line.Error != "" {
-			return nil, fmt.Errorf("frame %d: %s", line.K, line.Error)
-		}
-		return &line, nil
+	if line.Error != "" {
+		return nil, fmt.Errorf("frame %d: %s", line.K, line.Error)
 	}
+	return &line, nil
 }
 
-// retryDelay resolves a 429's backoff: the exact millisecond hint from
-// the body when present, else the whole-second Retry-After header, else
-// a conservative default.
-func retryDelay(header http.Header, line *fleet.ReplyLine) time.Duration {
-	if line != nil && line.RetryAfterMs > 0 {
-		return time.Duration(line.RetryAfterMs) * time.Millisecond
-	}
-	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
-	}
-	return 25 * time.Millisecond
+func createRemoteSession(base, robot string) (fleet.SessionInfo, error) {
+	return client.New(base).Create(context.Background(), fleet.CreateRequest{Robot: robot})
 }
 
 // replayRemote streams a recorded trace to a live `roboads serve` fleet
-// endpoint: it creates a session for the trace's robot, posts every
-// frame over the streaming ingest — as binary frame records (wire
-// "binary", the default) or trace NDJSON (wire "json") — prints the
-// condition timeline from the streamed reply lines, and closes the
-// session. The hosted session is built from the same robot profile as
-// the local replay detector, so the remote timeline is bit-for-bit the
-// local one, whichever wire carries the frames.
+// endpoint (or a `roboads route` front): it creates a session for the
+// trace's robot, posts every frame over the streaming ingest — as
+// binary frame records (wire "binary", the default) or trace NDJSON
+// (wire "json") — prints the condition timeline from the streamed reply
+// lines, and closes the session. The hosted session is built from the
+// same robot profile as the local replay detector, so the remote
+// timeline is bit-for-bit the local one, whichever wire carries the
+// frames.
 func replayRemote(input, remote, wire string) error {
 	in := os.Stdin
 	if input != "" {
@@ -104,46 +73,29 @@ func replayRemote(input, remote, wire string) error {
 		return err
 	}
 	header := reader.Header()
-	base := strings.TrimSuffix(remote, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
 
-	info, err := createRemoteSession(base, header.Robot)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+info.ID, nil)
-		if err != nil {
-			return
-		}
-		if resp, err := http.DefaultClient.Do(req); err == nil {
-			resp.Body.Close()
-		}
-	}()
-
-	// Frames ship as one body — the trace minus its header — in the
-	// chosen wire format; the server steps them in order, batching
-	// greedily, and streams a reply line each.
-	var body bytes.Buffer
-	var contentType string
-	var encode func(*trace.Frame) error
+	var binary bool
 	switch wire {
 	case "", "binary":
-		contentType = fleet.ContentTypeBinaryFrames
-		encode = func(f *trace.Frame) error {
-			body.Write(trace.AppendFrameRecord(nil, f))
-			return nil
-		}
+		binary = true
 	case "json":
-		contentType = "application/x-ndjson"
-		enc := json.NewEncoder(&body)
-		encode = func(f *trace.Frame) error { return enc.Encode(f) }
+		binary = false
 	default:
 		return fmt.Errorf("unknown wire format %q (want binary|json)", wire)
 	}
-	frames := 0
+
+	ctx := context.Background()
+	c := client.New(remote)
+	info, err := c.Create(ctx, fleet.CreateRequest{Robot: header.Robot})
+	if err != nil {
+		return err
+	}
+	defer c.Delete(context.Background(), info.ID)
+
+	// Read the whole trace up front, then stream it while consuming the
+	// reply lines: the sender goroutine keeps the ingest fed, and the
+	// reply loop below applies backpressure naturally.
+	var frames []*trace.Frame
 	for {
 		frame, err := reader.Next()
 		if errors.Is(err, io.EOF) {
@@ -152,26 +104,32 @@ func replayRemote(input, remote, wire string) error {
 		if err != nil {
 			return err
 		}
-		if err := encode(frame); err != nil {
-			return err
-		}
-		frames++
+		frames = append(frames, frame)
 	}
-	resp, err := http.Post(base+"/v1/sessions/"+info.ID+"/frames", contentType, &body)
+
+	stream, err := c.Stream(ctx, info.ID, binary)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote frames: status %d", resp.StatusCode)
-	}
+	defer stream.Close()
+	sendErr := make(chan error, 1)
+	go func() {
+		for _, frame := range frames {
+			if err := stream.Send(frame); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- stream.CloseSend()
+	}()
 
 	replayed, prev := 0, ""
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		var line fleet.ReplyLine
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+	for {
+		line, err := stream.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
 			return fmt.Errorf("remote reply: %w", err)
 		}
 		if line.Error != "" || line.Report == nil {
@@ -184,33 +142,12 @@ func replayRemote(input, remote, wire string) error {
 			prev = line.Report.Condition
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := <-sendErr; err != nil {
 		return err
 	}
-	if replayed != frames {
-		return fmt.Errorf("remote replay: sent %d frames, got %d reports", frames, replayed)
+	if replayed != len(frames) {
+		return fmt.Errorf("remote replay: sent %d frames, got %d reports", len(frames), replayed)
 	}
-	fmt.Fprintf(os.Stderr, "replayed %d iterations remotely (session %s on %s)\n", replayed, info.ID, base)
+	fmt.Fprintf(os.Stderr, "replayed %d iterations remotely (session %s on %s)\n", replayed, info.ID, c.Base())
 	return nil
-}
-
-func createRemoteSession(base, robot string) (fleet.SessionInfo, error) {
-	body, err := json.Marshal(fleet.CreateRequest{Robot: robot})
-	if err != nil {
-		return fleet.SessionInfo{}, err
-	}
-	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fleet.SessionInfo{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fleet.SessionInfo{}, fmt.Errorf("create remote session: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	var info fleet.SessionInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return fleet.SessionInfo{}, err
-	}
-	return info, nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"roboads/internal/router"
+	"roboads/internal/telemetry"
+)
+
+// routeOptions configures the fleet router front.
+type routeOptions struct {
+	addr string
+	// nodes are the fleet nodes' base URLs. Placement is rendezvous
+	// hashing of the session ID over this list, so every router given
+	// the same list agrees on an owner with no coordination.
+	nodes []string
+	// healthInterval is the /readyz poll cadence (0: 500ms).
+	healthInterval time.Duration
+	// onReady, when set, receives the bound listen address.
+	onReady func(net.Addr)
+	quiet   bool
+}
+
+// runRoute fronts the node list as one logical fleet: /v1 traffic is
+// placed by consistent hash and proxied, with failover to successor
+// nodes, migration redirects chased, and retry hints honored. The
+// router's own telemetry (/metrics, /debug/pprof) shares the listener.
+func runRoute(ctx context.Context, opts routeOptions) error {
+	topts := telemetry.Options{}
+	if !opts.quiet {
+		topts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
+	tel := telemetry.New(topts)
+
+	logf := func(string, ...any) {}
+	if !opts.quiet {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	rt, err := router.New(router.Config{
+		Nodes:          opts.nodes,
+		HealthInterval: opts.healthInterval,
+		Metrics:        tel.Registry(),
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	h := rt.Handler()
+	srv, addr, err := tel.ServeWith(opts.addr, map[string]http.Handler{
+		"/v1/":         h,
+		"GET /healthz": h,
+		"GET /readyz":  h,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if !opts.quiet {
+		fmt.Fprintf(os.Stderr, "routing %d nodes on http://%s\n", len(opts.nodes), addr)
+	}
+	if opts.onReady != nil {
+		opts.onReady(addr)
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"roboads/internal/core"
@@ -61,6 +62,22 @@ type serveOptions struct {
 	// histograms in /metrics and reservoir-sampled span exemplars at
 	// /v1/debug/trace. Off, the frame path does no span work at all.
 	trace bool
+	// follow starts the node as a replication follower of the primary at
+	// this base URL: it tails the primary's WAL stream into its own
+	// durable state (requires stateDir) and serves nothing — /readyz
+	// stays 503 — until the primary goes silent past promoteAfter, at
+	// which point it promotes and opens for traffic.
+	follow string
+	// ackPolicy is the primary's reply durability bar
+	// (fleet.Config.AckPolicy): "primary" (default) acks after the local
+	// fsync barrier, "follower" additionally waits for the connected
+	// follower's replication ack. Ignored in -follow mode.
+	ackPolicy string
+	// ackTimeout bounds the follower-ack wait (0: fleet default 5s).
+	ackTimeout time.Duration
+	// promoteAfter is how long a follower tolerates primary silence
+	// before promoting (0: 2s).
+	promoteAfter time.Duration
 	// onReady, when set, receives the bound listen address once the
 	// HTTP surface is up (tests bind to 127.0.0.1:0).
 	onReady func(net.Addr)
@@ -97,6 +114,15 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 	if opts.trace {
 		tracer = telemetry.NewTracer(tel.Registry())
 	}
+	ackPolicy := opts.ackPolicy
+	if opts.follow != "" {
+		if opts.stateDir == "" {
+			return fmt.Errorf("serve: -follow requires -state-dir (the follower replicates into durable state)")
+		}
+		// A follower's own acks gate nothing downstream; the follower-ack
+		// bar only makes sense on the primary.
+		ackPolicy = fleet.AckPrimary
+	}
 	mgr, err := fleet.NewManager(fleet.Config{
 		QueueDepth:  opts.fleetQueue,
 		Batching:    opts.fleetBatch,
@@ -104,6 +130,8 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 		Build:       fleet.DefaultBuilder(),
 		Metrics:     tel.Registry(),
 		Trace:       tracer,
+		AckPolicy:   ackPolicy,
+		AckTimeout:  opts.ackTimeout,
 		Durability: fleet.Durability{
 			Dir:           opts.stateDir,
 			SnapshotEvery: opts.snapshotEvery,
@@ -115,7 +143,34 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 		return err
 	}
 
-	srv, addr, err := tel.ServeWith(opts.addr, map[string]http.Handler{"/v1/": mgr.Handler()})
+	// The readiness gate: a normal node is ready the moment NewManager
+	// returns (recovery has finished by then); a follower serves nothing
+	// until it promotes. /readyz reflects the same gate, so a router
+	// never places work on a node that would 503 it.
+	var promoted atomic.Bool
+	promoted.Store(opts.follow == "")
+	ready := func() bool { return promoted.Load() && mgr.Ready() }
+	healthz := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	readyz := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready() {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"node not ready","code":"not_ready","retryAfterMs":1000}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv, addr, err := tel.ServeWith(opts.addr, map[string]http.Handler{
+		"/v1/":         fleet.GatedHandler(mgr.Handler(), ready),
+		"GET /healthz": healthz,
+		"GET /readyz":  readyz,
+	})
 	if err != nil {
 		mgr.Shutdown(context.Background())
 		return err
@@ -139,6 +194,27 @@ func serveScenario(ctx context.Context, opts serveOptions) error {
 	}
 	if opts.onReady != nil {
 		opts.onReady(addr)
+	}
+
+	if opts.follow != "" {
+		go func() {
+			f := &fleet.Follower{
+				Manager:      mgr,
+				Primary:      opts.follow,
+				PromoteAfter: opts.promoteAfter,
+			}
+			if !opts.quiet {
+				f.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+			}
+			if err := f.Run(ctx); err == nil {
+				// The primary is presumed dead; this node holds every
+				// acked frame and takes over.
+				promoted.Store(true)
+				if !opts.quiet {
+					fmt.Fprintf(os.Stderr, "promoted: serving (was following %s)\n", opts.follow)
+				}
+			}
+		}()
 	}
 
 	if opts.scenarioID < 0 {

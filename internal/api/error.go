@@ -1,0 +1,78 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error codes. Every non-2xx /v1 response body is an Error envelope
+// carrying exactly one of these; clients dispatch on Code instead of
+// string-matching messages. The set is append-only.
+const (
+	// CodeBadRequest: the request was malformed (bad JSON, unknown
+	// robot, invalid parameters).
+	CodeBadRequest = "bad_request"
+	// CodeBackpressure: the session's queue is full; retry after
+	// RetryAfterMs.
+	CodeBackpressure = "backpressure"
+	// CodeNotFound: no such session on this node.
+	CodeNotFound = "not_found"
+	// CodeClosed: the session was closed or evicted.
+	CodeClosed = "closed"
+	// CodeSessionCap: the node is at its session capacity.
+	CodeSessionCap = "session_cap"
+	// CodeSessionLive: the session already exists live (restore,
+	// import, or proposed-ID collision).
+	CodeSessionLive = "session_live"
+	// CodeDurabilityDisabled: the node has no state directory.
+	CodeDurabilityDisabled = "durability_disabled"
+	// CodeMigrating: the session is mid-migration on this node; retry
+	// after RetryAfterMs and re-resolve placement.
+	CodeMigrating = "migrating"
+	// CodeMoved: the session migrated away; Location is the base URL of
+	// the node now hosting it.
+	CodeMoved = "moved"
+	// CodeNotReady: the node is up but not serving (still recovering,
+	// following a primary, or shutting down).
+	CodeNotReady = "not_ready"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the versioned machine-readable /v1 error envelope:
+//
+//	{"error":"...", "code":"backpressure", "retryAfterMs":25}
+//
+// It implements error, so the typed client returns the decoded envelope
+// directly and callers dispatch on Code (or errors.As).
+type Error struct {
+	// Message is the human-readable description (JSON name "error").
+	Message string `json:"error"`
+	// Code is the machine-readable cause, one of the Code* constants.
+	Code string `json:"code"`
+	// RetryAfterMs advises when to retry (backpressure, migrating).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+	// Location is the base URL now hosting the session (moved).
+	Location string `json:"location,omitempty"`
+	// Status is the HTTP status the envelope arrived with. It is not
+	// part of the wire form — the client fills it in on decode.
+	Status int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e == nil {
+		return "<nil>"
+	}
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given
+// code.
+func IsCode(err error, code string) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}

@@ -47,6 +47,11 @@ type Config struct {
 	CommitWindowMs  float64 `json:"commitWindowMs"`
 	Crash           bool    `json:"crash"`
 	Spawned         bool    `json:"spawned"`
+	// Nodes > 1 means a spawned multi-node cluster (that many serve
+	// processes behind a router); 0/1 is the single-node harness.
+	Nodes int `json:"nodes,omitempty"`
+	// Migrate means half the sessions were live-migrated at half time.
+	Migrate bool `json:"migrate,omitempty"`
 }
 
 // Env captures the machine, for cross-run comparability.

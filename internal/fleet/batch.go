@@ -239,12 +239,22 @@ func (m *Manager) processBatch(db *detect.DetectorBatch, items []batchItem) {
 			}
 			if err != nil {
 				m.mErrors.Inc()
+			} else {
+				it.s.applied.Add(1)
 			}
 			m.mStepSeconds.Observe(elapsed)
 			results[idx][j] = FrameResult{Report: rep, Err: err}
 		}
 	}
 
+	for idx := range items {
+		if appended[idx] > 0 {
+			// Wake the replication stream before the commit barriers so
+			// the follower's fsync overlaps the group's.
+			m.replNotify()
+			break
+		}
+	}
 	for idx, it := range items {
 		s := it.s
 		if active[idx] && s.ds != nil && appended[idx] > 0 {
@@ -265,6 +275,13 @@ func (m *Manager) processBatch(db *detect.DetectorBatch, items []batchItem) {
 				}
 				if m.snapshotEvery > 0 && s.ds.SinceSnapshot() >= m.snapshotEvery {
 					m.persistSnapshot(s)
+				}
+				if werr := m.waitFollowerAck(s); werr != nil {
+					for i := range results[idx] {
+						if results[idx][i].Err == nil {
+							results[idx][i] = FrameResult{Err: werr}
+						}
+					}
 				}
 			}
 		}

@@ -53,18 +53,6 @@ type StateStepper interface {
 	ImportState(*detect.State) error
 }
 
-// CheckpointInfo describes one completed checkpoint, returned by
-// Manager.Checkpoint and POST /v1/sessions/{id}/checkpoint.
-type CheckpointInfo struct {
-	// SessionID is the checkpointed session.
-	SessionID string `json:"sessionId"`
-	// FramesApplied is the absolute frame count folded into the
-	// snapshot — the point recovery resumes from with an empty WAL.
-	FramesApplied int `json:"framesApplied"`
-	// SnapshotBytes is the encoded snapshot size on disk.
-	SnapshotBytes int `json:"snapshotBytes"`
-}
-
 // Checkpoint forces a snapshot of one live session right now, rotating
 // its WAL. It runs under the session's step lock: the snapshot captures
 // a frame boundary, never a mid-step state, and the session cannot be
@@ -209,9 +197,23 @@ func (m *Manager) rebuildSession(id string) (*session, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	fail := func(err error) (*session, int, error) {
+	s, err := m.buildFromState(id, snap, frames)
+	if err != nil {
 		ds.Close()
-		return nil, 0, fmt.Errorf("fleet: restore session %s: %w", id, err)
+		return nil, 0, err
+	}
+	s.ds = ds
+	return s, len(frames), nil
+}
+
+// buildFromState rebuilds a detector session from a decoded snapshot
+// plus a frame tail: build from the recorded profile, cross-check
+// identity, import the state, replay the tail. Shared by disk recovery
+// (rebuildSession) and migration import on a non-durable node. The
+// returned session has no SessionStore attached and is not registered.
+func (m *Manager) buildFromState(id string, snap *store.Snapshot, frames []*trace.Frame) (*session, error) {
+	fail := func(err error) (*session, error) {
+		return nil, fmt.Errorf("fleet: restore session %s: %w", id, err)
 	}
 	spec := Spec{Robot: snap.Robot, Workers: snap.Workers}
 	stepper, info, err := m.cfg.Build(spec)
@@ -242,9 +244,10 @@ func (m *Manager) rebuildSession(id string) (*session, int, error) {
 		}
 	}
 	info.ID = id
-	s := &session{info: info, spec: spec, stepper: stepper, ds: ds, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	s := &session{info: info, spec: spec, stepper: stepper, frames: make(chan frameJob, m.cfg.QueueDepth)}
+	s.applied.Store(int64(snap.FramesApplied + len(frames)))
 	s.touch(m.now())
-	return s, len(frames), nil
+	return s, nil
 }
 
 // validateIdentity cross-checks the freshly built detector's wire

@@ -30,6 +30,14 @@ var (
 	// ErrSessionLive reports a restore request for a session that is
 	// already live; there is nothing to restore.
 	ErrSessionLive = errors.New("fleet: session already live")
+	// ErrMigrating reports a frame or control call that raced a live
+	// migration: the session is draining for export. The frame was NOT
+	// accepted; retry shortly and be prepared for ErrMoved.
+	ErrMigrating = errors.New("fleet: session migrating")
+	// ErrMoved reports a session that migrated to another node. The
+	// concrete error is a *MovedError carrying the target's base URL;
+	// errors.As recovers it.
+	ErrMoved = errors.New("fleet: session moved")
 )
 
 // BackpressureError is the concrete rejection returned when a session's
@@ -51,3 +59,22 @@ func (e *BackpressureError) Error() string {
 
 // Is makes errors.Is(err, ErrBackpressure) true for any BackpressureError.
 func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// MovedError is the concrete rejection for a session that live-migrated
+// off this node. The tombstone it reads from survives until the node
+// restarts; the router chases the redirect transparently, and direct
+// clients should re-resolve placement at Target.
+type MovedError struct {
+	// SessionID is the migrated session.
+	SessionID string
+	// Target is the base URL of the node now hosting it.
+	Target string
+}
+
+// Error implements error.
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("fleet: session %s moved to %s", e.SessionID, e.Target)
+}
+
+// Is makes errors.Is(err, ErrMoved) true for any MovedError.
+func (e *MovedError) Is(target error) bool { return target == ErrMoved }

@@ -54,12 +54,14 @@ const (
 	// refused because the manager is draining, and session_cap counts
 	// Create calls refused at MaxSessions.
 	MetricRejects = "roboads_fleet_rejects_total"
-	// RejectCauseQueueFull .. RejectCauseSessionCap are the cause label
-	// values of MetricRejects.
+	// RejectCauseQueueFull .. RejectCauseMigrating are the cause label
+	// values of MetricRejects. migrating counts frames bounced off a
+	// session that is draining for live migration.
 	RejectCauseQueueFull     = "queue_full"
 	RejectCauseSessionClosed = "session_closed"
 	RejectCauseShuttingDown  = "shutting_down"
 	RejectCauseSessionCap    = "session_cap"
+	RejectCauseMigrating     = "migrating"
 	// MetricFrames counts frames stepped through a detector.
 	MetricFrames = "roboads_fleet_frames_total"
 	// MetricFrameErrors counts frames whose detector step failed.
@@ -86,32 +88,16 @@ type Spec struct {
 	// comes from the shard pool, not from intra-session fan-out).
 	// Mode-bank output is bit-for-bit independent of this knob.
 	Workers int `json:"workers,omitempty"`
+	// ID optionally proposes the session identifier (the router places
+	// sessions by consistent hash of the ID, so it names them up front).
+	// Empty lets the manager assign "s-NNNNNN". A proposed ID that is
+	// already live fails with ErrSessionLive.
+	ID string `json:"id,omitempty"`
 }
 
-// SessionInfo identifies a live session. Robot, Sensors, and Dt mirror
-// the trace.Header fields (same JSON names), so a session advertises the
-// exact wire contract a recorded trace carries.
-type SessionInfo struct {
-	// ID is the manager-assigned session identifier.
-	ID string `json:"id"`
-	// Robot names the hosted platform profile.
-	Robot string `json:"robot"`
-	// Sensors lists the expected sensing workflow names per frame.
-	Sensors []string `json:"sensors"`
-	// Dt is the control period in seconds.
-	Dt float64 `json:"dtSeconds"`
-}
-
-// SessionStatus is SessionInfo plus live queue occupancy, as reported by
-// Manager.Sessions and GET /v1/sessions.
-type SessionStatus struct {
-	SessionInfo
-	// QueueDepth is the session's current frame backlog.
-	QueueDepth int `json:"queueDepth"`
-	// IdleSeconds is the time since the session last accepted or
-	// finished a frame.
-	IdleSeconds float64 `json:"idleSeconds"`
-}
+// SessionInfo and SessionStatus are defined in internal/api (aliased in
+// wire.go): they are wire structs shared with the router and the typed
+// client.
 
 // Builder constructs the detector pipeline behind one session. The
 // returned SessionInfo needs Robot/Sensors/Dt only; the manager assigns
@@ -164,7 +150,26 @@ type Config struct {
 	// + frame WAL) and recovers persisted sessions at startup. The zero
 	// value disables persistence; the frame hot path is then untouched.
 	Durability Durability
+	// AckPolicy chooses the durability bar a frame must clear before its
+	// reply: AckPrimary (the default) replies after the local WAL
+	// fsync/commit barrier; AckFollower additionally waits for a
+	// connected follower's replication ack (its own group-commit fsync),
+	// so a SIGKILL of this node loses zero acked frames. Requires
+	// durability; ignored without it.
+	AckPolicy string
+	// AckTimeout bounds the AckFollower wait; a frame whose follower ack
+	// does not arrive in time is answered with an error (it is NOT
+	// acked, so the at-most-acked-loss contract holds). Default 5s.
+	AckTimeout time.Duration
 }
+
+// AckPolicy values.
+const (
+	// AckPrimary: reply after the local durability barrier.
+	AckPrimary = "primary"
+	// AckFollower: reply after the follower's replication ack too.
+	AckFollower = "follower"
+)
 
 // Manager is the fleet session service. All methods are safe for
 // concurrent use. Shutdown may be called once; every other method
@@ -188,7 +193,11 @@ type Manager struct {
 	// snapshot, WAL close) is still running; Restore waits on the entry
 	// so it never reads or reopens files mid-teardown.
 	closing map[string]chan struct{}
-	nextID  int64
+	// tombstones maps migrated-away session IDs to the base URL of the
+	// node that took them; lookups answer ErrMoved with the target until
+	// this node restarts.
+	tombstones map[string]string
+	nextID     int64
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -197,6 +206,10 @@ type Manager struct {
 	// store is the durability layer; nil when Config.Durability is off.
 	store         *store.Store
 	snapshotEvery int
+	// repl is the primary-side replication hub (non-nil exactly when
+	// durability is on): it wakes the /v1/internal/replicate stream after
+	// WAL appends and tracks follower acks for AckFollower waits.
+	repl *replHub
 
 	// batches caches one blocked step workspace per batch fingerprint;
 	// nil when Config.Batching ≤ 1 (coalescing off).
@@ -212,6 +225,7 @@ type Manager struct {
 	// Cause-split reject counters (MetricRejects family).
 	mRejQueueFull, mRejSessionClosed *telemetry.Counter
 	mRejShuttingDown, mRejSessionCap *telemetry.Counter
+	mRejMigrating                    *telemetry.Counter
 }
 
 const (
@@ -241,16 +255,25 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 25 * time.Millisecond
 	}
+	switch cfg.AckPolicy {
+	case "", AckPrimary, AckFollower:
+	default:
+		return nil, fmt.Errorf("fleet: unknown AckPolicy %q", cfg.AckPolicy)
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	m := &Manager{
-		cfg:      cfg,
-		runq:     make(chan *session, cfg.MaxSessions),
-		sessions: make(map[string]*session),
-		closing:  make(map[string]chan struct{}),
-		now:      time.Now,
+		cfg:        cfg,
+		runq:       make(chan *session, cfg.MaxSessions),
+		sessions:   make(map[string]*session),
+		closing:    make(map[string]chan struct{}),
+		tombstones: make(map[string]string),
+		now:        time.Now,
 
 		mLive:        reg.Gauge(MetricSessionsLive, "Live fleet sessions."),
 		mQueue:       reg.Gauge(MetricQueueDepth, "Frames queued across all sessions."),
@@ -265,6 +288,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		mRejSessionClosed: reg.Counter(MetricRejects+`{cause="`+RejectCauseSessionClosed+`"}`, "Rejections by cause."),
 		mRejShuttingDown:  reg.Counter(MetricRejects+`{cause="`+RejectCauseShuttingDown+`"}`, "Rejections by cause."),
 		mRejSessionCap:    reg.Counter(MetricRejects+`{cause="`+RejectCauseSessionCap+`"}`, "Rejections by cause."),
+		mRejMigrating:     reg.Counter(MetricRejects+`{cause="`+RejectCauseMigrating+`"}`, "Rejections by cause."),
 	}
 	if cfg.Batching > 1 {
 		m.batches = make(map[uint64]*batchSpace)
@@ -283,6 +307,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 		m.store = st
+		m.repl = newReplHub(reg)
 		// Recover persisted sessions before any worker or client can
 		// observe the manager, so recovered IDs are live from the start
 		// and freshly assigned IDs never collide with them.
@@ -323,10 +348,31 @@ func (m *Manager) Create(spec Spec) (SessionInfo, error) {
 		m.mRejSessionCap.Inc()
 		return SessionInfo{}, ErrTooManySessions
 	}
-	m.nextID++
-	id := fmt.Sprintf("s-%06d", m.nextID)
+	id := spec.ID
+	var closing chan struct{}
+	if id != "" {
+		if err := validateProposedID(id); err != nil {
+			m.mu.Unlock()
+			return SessionInfo{}, err
+		}
+		if _, live := m.sessions[id]; live {
+			m.mu.Unlock()
+			return SessionInfo{}, fmt.Errorf("%w: %s", ErrSessionLive, id)
+		}
+		closing = m.closing[id]
+		// A fresh create supersedes any old migration redirect.
+		delete(m.tombstones, id)
+	} else {
+		m.nextID++
+		id = fmt.Sprintf("s-%06d", m.nextID)
+	}
 	m.sessions[id] = nil // reserved: counts toward the cap, not yet steppable
 	m.mu.Unlock()
+	if closing != nil {
+		// A prior holder of this ID is mid-teardown; its persisted files
+		// must not be touched until the teardown finishes.
+		<-closing
+	}
 
 	stepper, info, err := m.cfg.Build(spec)
 	if err != nil {
@@ -391,14 +437,37 @@ func (m *Manager) Sessions() []SessionStatus {
 			continue
 		}
 		out = append(out, SessionStatus{
-			SessionInfo: s.info,
-			QueueDepth:  len(s.frames),
-			IdleSeconds: now.Sub(time.Unix(0, s.lastActive.Load())).Seconds(),
+			SessionInfo:   s.info,
+			QueueDepth:    len(s.frames),
+			IdleSeconds:   now.Sub(time.Unix(0, s.lastActive.Load())).Seconds(),
+			FramesApplied: int(s.applied.Load()),
 		})
 	}
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Status reports one live session's occupancy. A migrated session
+// answers ErrMoved (as a *MovedError carrying the target node).
+func (m *Manager) Status(id string) (SessionStatus, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SessionStatus{}, err
+	}
+	return SessionStatus{
+		SessionInfo:   s.info,
+		QueueDepth:    len(s.frames),
+		IdleSeconds:   m.now().Sub(time.Unix(0, s.lastActive.Load())).Seconds(),
+		FramesApplied: int(s.applied.Load()),
+	}, nil
+}
+
+// Ready reports whether the manager accepts work (recovery done, not
+// draining). The /readyz endpoint composes this with the serve-level
+// readiness gate.
+func (m *Manager) Ready() bool {
+	return m.state.Load() == stateRunning
 }
 
 // Submit queues one frame on a session without waiting for its report.
@@ -453,6 +522,8 @@ func (m *Manager) SubmitBatch(id string, frames []BatchFrame) (*PendingBatch, er
 			m.mRejQueueFull.Add(int64(len(frames)))
 		} else if errors.Is(err, ErrClosed) {
 			m.mRejSessionClosed.Add(int64(len(frames)))
+		} else if errors.Is(err, ErrMigrating) {
+			m.mRejMigrating.Add(int64(len(frames)))
 		}
 		return nil, err
 	}
@@ -574,11 +645,35 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 func (m *Manager) lookup(id string) (*session, error) {
 	m.mu.Lock()
 	s := m.sessions[id]
+	target, moved := m.tombstones[id]
 	m.mu.Unlock()
 	if s == nil {
+		if moved {
+			return nil, &MovedError{SessionID: id, Target: target}
+		}
 		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 	}
 	return s, nil
+}
+
+// validateProposedID gates client-proposed session IDs to names that
+// are safe as state-directory entries and unambiguous in URLs.
+func validateProposedID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("fleet: invalid session id %q", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("fleet: invalid session id %q", id)
+		}
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("fleet: invalid session id %q", id)
+	}
+	return nil
 }
 
 // schedule puts a session on the run queue unless it is already there.
@@ -680,9 +775,16 @@ func (m *Manager) process(s *session, job frameJob) {
 			}
 			if err != nil {
 				m.mErrors.Inc()
+			} else {
+				s.applied.Add(1)
 			}
 			m.mStepSeconds.Observe(time.Since(start).Seconds())
 			results[i] = FrameResult{Report: rep, Err: err}
+		}
+		if appended > 0 {
+			// Wake the replication stream before the local commit
+			// barrier: the follower's fsync overlaps ours.
+			m.replNotify()
 		}
 		if s.ds != nil && appended > 0 {
 			if cerr := s.ds.Commit(appended); cerr != nil {
@@ -715,6 +817,16 @@ func (m *Manager) process(s *session, job frameJob) {
 					// frames are already durable; a failed checkpoint only
 					// postpones compaction, so it does not fail the batch.
 					m.persistSnapshot(s)
+				}
+				if werr := m.waitFollowerAck(s); werr != nil {
+					// AckFollower: the follower never confirmed its own
+					// fsync of these frames, so a success reply would
+					// overstate durability — fail them like a commit error.
+					for i := range results {
+						if results[i].Err == nil {
+							results[i] = FrameResult{Err: werr}
+						}
+					}
 				}
 			}
 		}
@@ -884,9 +996,16 @@ type session struct {
 	frames     chan frameJob
 	scheduled  atomic.Bool
 	lastActive atomic.Int64 // UnixNano of last accepted or finished frame
-	closeMu    sync.RWMutex
-	closed     bool
-	stepMu     sync.Mutex
+	// applied counts frames folded into the detector state — the index
+	// the next frame continues from. It equals ds.Applied() for durable
+	// sessions and is what migration exports at.
+	applied atomic.Int64
+	// migrating rejects new pushes (ErrMigrating) while the session
+	// drains for live migration; cleared if the migration aborts.
+	migrating atomic.Bool
+	closeMu   sync.RWMutex
+	closed    bool
+	stepMu    sync.Mutex
 }
 
 func (s *session) isClosed() bool {
@@ -902,6 +1021,9 @@ func (s *session) push(job frameJob, retryAfter time.Duration) error {
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return fmt.Errorf("%w: session %s", ErrClosed, s.info.ID)
+	}
+	if s.migrating.Load() {
+		return fmt.Errorf("%w: session %s", ErrMigrating, s.info.ID)
 	}
 	select {
 	case s.frames <- job:

@@ -10,8 +10,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"roboads/internal/api"
 	"roboads/internal/detect"
 	"roboads/internal/mat"
 	"roboads/internal/telemetry"
@@ -23,32 +25,61 @@ import (
 //	POST   /v1/sessions                  create a session (CreateRequest → SessionInfo),
 //	                                     or restore a persisted one (CreateRequest.Restore)
 //	GET    /v1/sessions                  list sessions ([]SessionStatus)
+//	GET    /v1/sessions/{id}             one session's status (SessionStatus)
 //	POST   /v1/sessions/{id}/step        step one trace.Frame (→ ReplyLine)
 //	POST   /v1/sessions/{id}/frames      stream trace.Frame NDJSON (or binary frame
 //	                                     records, Content-Type ContentTypeBinaryFrames)
 //	                                     in, ReplyLine NDJSON out, batched greedily
 //	POST   /v1/sessions/{id}/checkpoint  snapshot the session now (→ CheckpointInfo)
+//	POST   /v1/sessions/{id}/migrate     live-migrate the session to another node
+//	                                     (MigrateRequest → MigrateResponse)
 //	DELETE /v1/sessions/{id}             close a session (and discard its persisted state)
 //	GET    /v1/debug/trace               frame-lifecycle trace snapshot (telemetry.TraceSnapshot);
 //	                                     {"enabled": false} when Config.Trace is nil
+//	POST   /v1/internal/sessions/import  receive a migrating session (ImportRequest)
+//	POST   /v1/internal/replicate        full-duplex primary→follower WAL stream
 //
 // Frames use the trace wire format (trace.Frame, no header line), so a
 // recorded trace body replays against a live session verbatim. The
 // streaming endpoint steps frames strictly in order, one report line per
 // frame, and absorbs backpressure server-side; the single-frame /step
 // endpoint surfaces backpressure as 429 with a Retry-After header.
+//
+// Every non-2xx response body is the machine-readable api.Error
+// envelope; the sentinel→status→code mapping is pinned by the API
+// contract test.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", m.handleStatus)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", m.handleStep)
 	mux.HandleFunc("POST /v1/sessions/{id}/frames", m.handleFrames)
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", m.handleCheckpoint)
+	mux.HandleFunc("POST /v1/sessions/{id}/migrate", m.handleMigrate)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
+	mux.HandleFunc("POST /v1/internal/sessions/import", m.handleImport)
+	mux.HandleFunc("POST /v1/internal/replicate", m.handleReplicate)
 	// ServeTrace and Snapshot are nil-receiver-safe, so a traceless
 	// manager still answers (with {"enabled": false}).
 	mux.HandleFunc("GET /v1/debug/trace", m.cfg.Trace.ServeTrace)
 	return mux
+}
+
+// GatedHandler wraps a /v1 handler behind a readiness gate: while ready
+// returns false, every request except the internal replication/import
+// endpoints answers 503 not_ready. A follower serves nothing until it
+// promotes; a node that has begun draining stops accepting new work.
+func GatedHandler(h http.Handler, ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready() && !strings.HasPrefix(r.URL.Path, "/v1/internal/") {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				api.Error{Message: "fleet: node not ready", Code: api.CodeNotReady, RetryAfterMs: 1000})
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -62,7 +93,7 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Restore != "" {
 		info, err = m.Restore(req.Restore)
 	} else {
-		info, err = m.Create(Spec{Robot: req.Robot, Workers: req.Workers})
+		info, err = m.Create(Spec{Robot: req.Robot, Workers: req.Workers, ID: req.ID})
 	}
 	switch {
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrClosed):
@@ -90,6 +121,75 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(m.Sessions())
+}
+
+// handleStatus answers one session's live status. 410 with code "moved"
+// (and a location) means the session migrated to another node.
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, lookupStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMigrate drains, exports, and ships one live session to the
+// requested target node, leaving a tombstone redirect behind.
+func (m *Manager) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req api.MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode migrate request: %w", err))
+		return
+	}
+	if req.Target == "" {
+		httpError(w, http.StatusBadRequest, errors.New("migrate: missing target"))
+		return
+	}
+	resp, err := m.Migrate(r.Context(), r.PathValue("id"), req.Target)
+	switch {
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrMoved):
+		httpError(w, lookupStatus(err), err)
+		return
+	case errors.Is(err, ErrMigrating):
+		// A concurrent migration of the same session is already running.
+		httpError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusGone, err)
+		return
+	case err != nil:
+		// The export or the ship to the target failed; the session is
+		// still live here and still serving.
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleImport is the receiving half of a live migration: a snapshot
+// envelope plus the WAL tail becomes a live session, bit-for-bit equal
+// to the exported one.
+func (m *Manager) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req api.ImportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode import request: %w", err))
+		return
+	}
+	info, err := m.ImportSession(req.Snapshot, req.Frames)
+	switch {
+	case errors.Is(err, ErrSessionLive):
+		httpError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 // handleCheckpoint snapshots a live session on demand, rotating its
@@ -156,14 +256,20 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
-			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error(), RetryAfterMs: ms})
-		case errors.Is(err, ErrSessionNotFound):
-			httpError(w, http.StatusNotFound, err)
+			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error(), Code: api.CodeBackpressure, RetryAfterMs: ms})
+		case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrMoved):
+			httpError(w, lookupStatus(err), err)
+		case errors.Is(err, ErrMigrating):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusGone, err)
 		default:
+			// A frame-level step error: the request was fine, the
+			// detector failed on this frame. 200 with an error line,
+			// matching the streaming endpoint's per-frame error replies.
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error()})
+			json.NewEncoder(w).Encode(ReplyLine{K: frame.K, Error: err.Error(), Code: replyCode(err)})
 		}
 		return
 	}
@@ -209,7 +315,7 @@ func (m *Manager) stepSpanned(ctx context.Context, id string, frame *trace.Frame
 func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := m.Info(id); err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpError(w, lookupStatus(err), err)
 		return
 	}
 	rc := http.NewResponseController(w)
@@ -242,7 +348,7 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 				// canceled request): one terminal line, like the
 				// sequential path's first failing frame. Span ownership
 				// was settled inside submitBatchRetrying.
-				enc.Encode(ReplyLine{K: frames[0].K, Error: err.Error(), Closed: errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound)})
+				enc.Encode(ReplyLine{K: frames[0].K, Error: err.Error(), Code: replyCode(err), Closed: terminalErr(err)})
 				rc.Flush()
 				return
 			}
@@ -251,7 +357,8 @@ func (m *Manager) handleFrames(w http.ResponseWriter, r *http.Request) {
 				line := ReplyLine{K: frames[i].K}
 				if res.Err != nil {
 					line.Error = res.Err.Error()
-					line.Closed = errors.Is(res.Err, ErrClosed) || errors.Is(res.Err, ErrSessionNotFound)
+					line.Code = replyCode(res.Err)
+					line.Closed = terminalErr(res.Err)
 				} else {
 					wire := NewWireReport(res.Report)
 					line.K = wire.K
@@ -438,8 +545,91 @@ func frameReadings(frame *trace.Frame) map[string]mat.Vec {
 	return readings
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// errorCode maps a fleet error to its machine-readable api code. The
+// vocabulary (and the status each sentinel travels with, per endpoint)
+// is pinned by the API contract test; clients dispatch on the code
+// instead of string-matching messages.
+func errorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBackpressure):
+		return api.CodeBackpressure
+	case errors.Is(err, ErrMoved):
+		return api.CodeMoved
+	case errors.Is(err, ErrMigrating):
+		return api.CodeMigrating
+	case errors.Is(err, ErrSessionNotFound):
+		return api.CodeNotFound
+	case errors.Is(err, ErrClosed):
+		return api.CodeClosed
+	case errors.Is(err, ErrTooManySessions):
+		return api.CodeSessionCap
+	case errors.Is(err, ErrSessionLive):
+		return api.CodeSessionLive
+	case errors.Is(err, ErrDurabilityDisabled):
+		return api.CodeDurabilityDisabled
+	default:
+		return api.CodeBadRequest
+	}
+}
+
+// replyCode is errorCode for per-frame ReplyLine errors, where an
+// unrecognized error is a detector-side failure, not a bad request.
+func replyCode(err error) string {
+	if code := errorCode(err); code != api.CodeBadRequest {
+		return code
+	}
+	return api.CodeInternal
+}
+
+// terminalErr reports whether a streaming-ingest error ends the session
+// from this node's point of view (ReplyLine.Closed).
+func terminalErr(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionNotFound) || errors.Is(err, ErrMoved)
+}
+
+// lookupStatus is the HTTP status of a failed session lookup: 410 with
+// a redirect envelope when the session migrated away, else 404.
+func lookupStatus(err error) int {
+	if errors.Is(err, ErrMoved) {
+		return http.StatusGone
+	}
+	return http.StatusNotFound
+}
+
+// envelope renders err as the shared machine-readable error envelope,
+// attaching the retry hint (backpressure, migrating) and the redirect
+// location (moved) when the concrete error carries one.
+func envelope(err error) api.Error {
+	e := api.Error{Message: err.Error(), Code: errorCode(err)}
+	var bp *BackpressureError
+	if errors.As(err, &bp) {
+		e.RetryAfterMs = bp.RetryAfter.Milliseconds()
+	}
+	if e.Code == api.CodeMigrating {
+		// The drain+export+ship of a small session takes milliseconds;
+		// a retrying client should come back quickly and be prepared to
+		// chase a "moved" redirect.
+		e.RetryAfterMs = 50
+	}
+	var mv *MovedError
+	if errors.As(err, &mv) {
+		e.Location = mv.Target
+	}
+	return e
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	e := envelope(err)
+	if status >= http.StatusInternalServerError && e.Code == api.CodeBadRequest {
+		e.Code = api.CodeInternal
+	}
+	writeJSON(w, status, e)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }

@@ -1,50 +1,42 @@
 package fleet
 
-import "roboads/internal/detect"
+import (
+	"roboads/internal/api"
+	"roboads/internal/detect"
+)
+
+// The /v1 wire contract lives in internal/api so the router and the
+// typed client speak the same structs without importing the fleet. The
+// aliases below keep the fleet-side names that the rest of the codebase
+// (and its tests) use.
 
 // ContentTypeBinaryFrames selects the binary frame wire on
-// POST /v1/sessions/{id}/frames: the request body is a stream of
-// trace binary frame records (no stream prologue, no header record —
-// exactly the record envelope trace.ReadFrameRecord consumes). Any
-// other Content-Type means trace.Frame NDJSON. Replies are ReplyLine
-// NDJSON either way.
-const ContentTypeBinaryFrames = "application/x-roboads-frames"
+// POST /v1/sessions/{id}/frames. See api.ContentTypeBinaryFrames.
+const ContentTypeBinaryFrames = api.ContentTypeBinaryFrames
 
-// WireReport is the serialized form of one frame's detector report — the
-// decision-relevant subset of detect.Report, flat and JSON-stable.
-// Floats cross the wire through encoding/json, whose shortest-round-trip
-// rendering is exact for float64, so two WireReports are equal if and
-// only if the underlying reports agree bit-for-bit on every included
-// quantity; the remote-replay equivalence tests compare them directly.
-type WireReport struct {
-	// K is the control iteration index.
-	K int `json:"k"`
-	// Mode is the selected hypothesis mode's name.
-	Mode string `json:"mode"`
-	// Condition is the confirmed misbehavior condition, e.g. "S{ips}/A0".
-	Condition string `json:"condition"`
-	// SensorStat/SensorThreshold are the aggregate sensor test statistic
-	// and its chi-square threshold; SensorAlarm is the window-confirmed
-	// alarm.
-	SensorStat      float64 `json:"sensorStat"`
-	SensorThreshold float64 `json:"sensorThreshold"`
-	SensorAlarm     bool    `json:"sensorAlarm,omitempty"`
-	// ActuatorStat/ActuatorThreshold/ActuatorAlarm are the actuator-side
-	// counterparts.
-	ActuatorStat      float64 `json:"actuatorStat"`
-	ActuatorThreshold float64 `json:"actuatorThreshold"`
-	ActuatorAlarm     bool    `json:"actuatorAlarm,omitempty"`
-	// X is the fused state estimate x̂_{k|k}.
-	X []float64 `json:"x"`
-	// Weights are the normalized mode weights μ_k.
-	Weights []float64 `json:"weights"`
-	// Da is the actuator anomaly estimate; omitted when the actuator
-	// anomaly was unobservable this iteration (DaValid false).
-	Da      []float64 `json:"da,omitempty"`
-	DaValid bool      `json:"daValid,omitempty"`
-}
+// WireReport is the serialized form of one frame's detector report.
+type WireReport = api.WireReport
 
-// NewWireReport flattens a detector report for the wire.
+// CreateRequest is the body of POST /v1/sessions.
+type CreateRequest = api.CreateRequest
+
+// ReplyLine is one NDJSON line streamed back per submitted frame.
+type ReplyLine = api.ReplyLine
+
+// SessionInfo identifies a live session.
+type SessionInfo = api.SessionInfo
+
+// SessionStatus is SessionInfo plus live occupancy.
+type SessionStatus = api.SessionStatus
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo = api.CheckpointInfo
+
+// NewWireReport flattens a detector report for the wire. Floats cross
+// the wire through encoding/json, whose shortest-round-trip rendering
+// is exact for float64, so two WireReports are equal if and only if the
+// underlying reports agree bit-for-bit on every included quantity; the
+// remote-replay equivalence tests compare them directly.
 func NewWireReport(rep *detect.Report) WireReport {
 	w := WireReport{
 		K:                 rep.Decision.Iteration,
@@ -64,37 +56,4 @@ func NewWireReport(rep *detect.Report) WireReport {
 		w.Da = rep.Engine.Result.Da
 	}
 	return w
-}
-
-// CreateRequest is the body of POST /v1/sessions.
-type CreateRequest struct {
-	// Robot names the platform profile to host.
-	Robot string `json:"robot"`
-	// Workers optionally overrides the session's mode-bank worker count
-	// (see Spec.Workers).
-	Workers int `json:"workers,omitempty"`
-	// Restore, when set, revives the named persisted session (e.g. one
-	// that was idle-evicted) under its original ID instead of creating
-	// a new one; Robot and Workers are then ignored — the session's
-	// recorded profile wins. Requires a durable manager.
-	Restore string `json:"restore,omitempty"`
-}
-
-// ReplyLine is one NDJSON line streamed back per submitted frame, and
-// the body of a single-frame /step response. Exactly one of Report and
-// Error is set.
-type ReplyLine struct {
-	// K echoes the frame's iteration index.
-	K int `json:"k"`
-	// Report is the frame's detector report.
-	Report *WireReport `json:"report,omitempty"`
-	// Error describes why the frame produced no report.
-	Error string `json:"error,omitempty"`
-	// Closed marks errors that end the session (closed, evicted, or
-	// unknown); the client must stop streaming.
-	Closed bool `json:"closed,omitempty"`
-	// RetryAfterMs is the backpressure retry hint of a rejected frame
-	// (single-frame /step only; the streaming endpoint retries
-	// server-side).
-	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }

@@ -1,0 +1,251 @@
+// Package router fronts N roboads serve nodes as one logical fleet.
+// Placement is rendezvous (highest-random-weight) hashing of the
+// session ID over the static node list: every router instance computes
+// the same owner for an ID with no coordination, and removing a node
+// reassigns only that node's sessions. All /v1 traffic proxies through,
+// including the streaming ingest; idempotent calls retry on the next
+// ranked candidate when a node is down, "moved" redirects from live
+// migration are chased transparently, and "migrating" retry hints are
+// honored — a client of the router never sees the fleet's topology
+// change underneath it.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"roboads/client"
+	"roboads/internal/telemetry"
+)
+
+// Router metric names.
+const (
+	// MetricNodesHealthy gauges nodes currently passing /readyz.
+	MetricNodesHealthy = "roboads_router_nodes_healthy"
+	// MetricProxied counts proxied /v1 requests.
+	MetricProxied = "roboads_router_proxied_total"
+	// MetricRetries counts candidate-advance retries (dead or
+	// not-ready node skipped, session found elsewhere).
+	MetricRetries = "roboads_router_retries_total"
+	// MetricMovedFollows counts chased migration redirects.
+	MetricMovedFollows = "roboads_router_moved_follows_total"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes are the fleet nodes' base URLs, e.g. "http://127.0.0.1:8081".
+	// Order is irrelevant to placement (the hash decides), but must be
+	// the same list on every router for placement to agree.
+	Nodes []string
+	// HealthInterval is the /readyz poll cadence. Default 500ms.
+	HealthInterval time.Duration
+	// Metrics receives the router gauges/counters; nil keeps them private.
+	Metrics *telemetry.Registry
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the proxy's outbound client.
+	HTTPClient *http.Client
+}
+
+// Router is the consistent-hash fleet front. Construct with New; Close
+// stops the health loop.
+type Router struct {
+	nodes []string
+	hc    *http.Client
+	logf  func(string, ...any)
+
+	mu      sync.Mutex
+	healthy map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	interval time.Duration
+
+	mHealthy *telemetry.Gauge
+	mProxied *telemetry.Counter
+	mRetries *telemetry.Counter
+	mMoved   *telemetry.Counter
+}
+
+// New validates the node list, starts the health loop, and returns the
+// router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("router: no nodes")
+	}
+	nodes := make([]string, len(cfg.Nodes))
+	seen := make(map[string]bool)
+	for i, n := range cfg.Nodes {
+		n = strings.TrimSuffix(n, "/")
+		if !strings.Contains(n, "://") {
+			n = "http://" + n
+		}
+		if _, err := url.Parse(n); err != nil {
+			return nil, fmt.Errorf("router: node %q: %w", cfg.Nodes[i], err)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("router: duplicate node %s", n)
+		}
+		seen[n] = true
+		nodes[i] = n
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	interval := cfg.HealthInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		nodes:    nodes,
+		hc:       hc,
+		logf:     logf,
+		healthy:  make(map[string]bool, len(nodes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		interval: interval,
+		mHealthy: reg.Gauge(MetricNodesHealthy, "Nodes currently passing readiness."),
+		mProxied: reg.Counter(MetricProxied, "Proxied /v1 requests."),
+		mRetries: reg.Counter(MetricRetries, "Candidate-advance retries."),
+		mMoved:   reg.Counter(MetricMovedFollows, "Chased migration redirects."),
+	}
+	// Optimistic start: nodes count as healthy until the first probe says
+	// otherwise, so a router started alongside its nodes serves at once.
+	for _, n := range nodes {
+		rt.healthy[n] = true
+	}
+	rt.checkHealth()
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop.
+func (rt *Router) Close() {
+	close(rt.stop)
+	<-rt.done
+}
+
+func (rt *Router) healthLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.checkHealth()
+		}
+	}
+}
+
+// checkHealth probes every node's /readyz concurrently.
+func (rt *Router) checkHealth() {
+	results := make([]bool, len(rt.nodes))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.interval)
+			defer cancel()
+			results[i] = client.New(n, client.WithHTTPClient(rt.hc)).Ready(ctx) == nil
+		}(i, n)
+	}
+	wg.Wait()
+	up := 0
+	rt.mu.Lock()
+	for i, n := range rt.nodes {
+		if rt.healthy[n] != results[i] {
+			rt.logf("router: node %s ready=%v", n, results[i])
+		}
+		rt.healthy[n] = results[i]
+		if results[i] {
+			up++
+		}
+	}
+	rt.mu.Unlock()
+	rt.mHealthy.Set(float64(up))
+}
+
+// Rank orders nodes by rendezvous (HRW) hash for one session ID,
+// highest weight first: Rank(id, nodes)[0] is the ID's owner, the rest
+// are successors in failover order. Every caller with the same node
+// list computes the same order, which is the whole point — tests and
+// operators can predict placement offline.
+func Rank(id string, nodes []string) []string {
+	type weighted struct {
+		node string
+		w    uint64
+	}
+	ws := make([]weighted, len(nodes))
+	for i, n := range nodes {
+		h := fnv.New64a()
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+		io.WriteString(h, id)
+		ws[i] = weighted{n, h.Sum64()}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].node < ws[j].node
+	})
+	out := make([]string, len(nodes))
+	for i, w := range ws {
+		out[i] = w.node
+	}
+	return out
+}
+
+// candidates is Rank with unhealthy nodes moved to the back (not
+// dropped: a health probe can lag reality, so a "down" node is still a
+// last resort rather than invisible).
+func (rt *Router) candidates(id string) []string {
+	ranked := Rank(id, rt.nodes)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	up := make([]string, 0, len(ranked))
+	var down []string
+	for _, n := range ranked {
+		if rt.healthy[n] {
+			up = append(up, n)
+		} else {
+			down = append(down, n)
+		}
+	}
+	return append(up, down...)
+}
+
+// healthyNodes lists nodes currently passing readiness, in list order.
+func (rt *Router) healthyNodes() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		if rt.healthy[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

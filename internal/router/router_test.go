@@ -1,0 +1,322 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"roboads/internal/api"
+)
+
+// TestRankProperties pins the rendezvous-hash placement contract: Rank
+// is deterministic, returns a permutation of the node list, and removing
+// one node reassigns only that node's sessions — every other ID keeps
+// its owner and its failover order (minus the removed node).
+func TestRankProperties(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("sess-%04d", i)
+		ranked := Rank(id, nodes)
+		if !reflect.DeepEqual(ranked, Rank(id, nodes)) {
+			t.Fatalf("Rank(%q) is not deterministic", id)
+		}
+		seen := make(map[string]bool)
+		for _, n := range ranked {
+			seen[n] = true
+		}
+		if len(ranked) != len(nodes) || len(seen) != len(nodes) {
+			t.Fatalf("Rank(%q) = %v is not a permutation of %v", id, ranked, nodes)
+		}
+		// HRW stability: drop one node and the relative order of the
+		// survivors must be unchanged.
+		removed := nodes[i%len(nodes)]
+		shrunk := make([]string, 0, len(nodes)-1)
+		for _, n := range nodes {
+			if n != removed {
+				shrunk = append(shrunk, n)
+			}
+		}
+		want := make([]string, 0, len(shrunk))
+		for _, n := range ranked {
+			if n != removed {
+				want = append(want, n)
+			}
+		}
+		if got := Rank(id, shrunk); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Rank(%q) order changed after removing %s: %v, want %v", id, removed, got, want)
+		}
+	}
+	// Placement must not collapse onto few nodes: over many IDs every
+	// node owns a non-trivial share. The bound guards against a starved
+	// node, not an even split — plain fnv64a over four short names
+	// legitimately skews (observed minimum share here: 12.5%).
+	owners := make(map[string]int)
+	const ids = 4000
+	for i := 0; i < ids; i++ {
+		owners[Rank(fmt.Sprintf("sess-%05d", i), nodes)[0]]++
+	}
+	for _, n := range nodes {
+		if share := float64(owners[n]) / ids; share < 0.08 {
+			t.Fatalf("node %s owns only %.1f%% of %d IDs: %v", n, 100*share, ids, owners)
+		}
+	}
+}
+
+// TestCandidatesHealthOrder pins failover ordering: candidates is Rank
+// with unhealthy nodes moved to the back — demoted, never dropped, and
+// rank order preserved within each group.
+func TestCandidatesHealthOrder(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	rt := &Router{nodes: nodes, healthy: make(map[string]bool)}
+	id := "sess-0007"
+	ranked := Rank(id, nodes)
+
+	for _, n := range nodes {
+		rt.healthy[n] = true
+	}
+	if got := rt.candidates(id); !reflect.DeepEqual(got, ranked) {
+		t.Fatalf("all-healthy candidates = %v, want rank order %v", got, ranked)
+	}
+
+	// The owner goes down: it must drop to the back, successors promote.
+	rt.healthy[ranked[0]] = false
+	want := append(append([]string{}, ranked[1:]...), ranked[0])
+	if got := rt.candidates(id); !reflect.DeepEqual(got, want) {
+		t.Fatalf("owner-down candidates = %v, want %v", got, want)
+	}
+
+	// Everything down: full rank order again (last resorts keep order).
+	for _, n := range nodes {
+		rt.healthy[n] = false
+	}
+	if got := rt.candidates(id); !reflect.DeepEqual(got, ranked) {
+		t.Fatalf("all-down candidates = %v, want %v", got, ranked)
+	}
+}
+
+// TestNewNormalizesNodes pins the node-list hygiene in New: scheme
+// defaulting, trailing-slash trimming, and duplicate rejection.
+func TestNewNormalizesNodes(t *testing.T) {
+	rt, err := New(Config{Nodes: []string{"127.0.0.1:1", "http://127.0.0.1:2/"}, HealthInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	want := []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}
+	if !reflect.DeepEqual(rt.nodes, want) {
+		t.Fatalf("normalized nodes = %v, want %v", rt.nodes, want)
+	}
+	if _, err := New(Config{Nodes: []string{"http://a:1", "a:1"}}); err == nil {
+		t.Fatal("duplicate node (post-normalization) not rejected")
+	}
+	if _, err := New(Config{Nodes: nil}); err == nil {
+		t.Fatal("empty node list not rejected")
+	}
+}
+
+// fakeNode is a scripted fleet node: always ready, with per-route
+// handlers for the /v1 surface under test.
+func fakeNode(t *testing.T, mux *http.ServeMux) *httptest.Server {
+	t.Helper()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// pickOwnedID returns an ID whose rendezvous owner is nodes[want].
+func pickOwnedID(t *testing.T, nodes []string, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("pick-%04d", i)
+		if Rank(id, nodes)[0] == nodes[want] {
+			return id
+		}
+	}
+	t.Fatal("no ID found for wanted owner")
+	return ""
+}
+
+func newTestRouter(t *testing.T, nodes []string) *httptest.Server {
+	t.Helper()
+	rt, err := New(Config{Nodes: nodes, HealthInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRouterCreatePlacement pins that a create with a proposed ID lands
+// on the ID's rendezvous owner, and that a session_cap answer advances
+// to the successor instead of failing the create.
+func TestRouterCreatePlacement(t *testing.T) {
+	var gotCreate [2]int
+	makeNode := func(i int, full bool) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+			gotCreate[i]++
+			if full {
+				writeJSON(w, http.StatusServiceUnavailable,
+					api.Error{Message: "at capacity", Code: api.CodeSessionCap})
+				return
+			}
+			var req api.CreateRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			writeJSON(w, http.StatusCreated, api.SessionInfo{ID: req.ID, Robot: req.Robot})
+		})
+		return fakeNode(t, mux)
+	}
+	a, b := makeNode(0, false), makeNode(1, false)
+	nodes := []string{a.URL, b.URL}
+	front := newTestRouter(t, nodes)
+
+	id := pickOwnedID(t, nodes, 0)
+	body, _ := json.Marshal(api.CreateRequest{Robot: "khepera", ID: id})
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var info api.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != id {
+		t.Fatalf("created ID = %q, want proposed %q", info.ID, id)
+	}
+	if gotCreate[0] != 1 || gotCreate[1] != 0 {
+		t.Fatalf("create hit nodes %v, want owner only", gotCreate)
+	}
+
+	// A full owner is skipped: the successor takes the session.
+	gotCreate = [2]int{}
+	full := makeNode(0, true)
+	ok := makeNode(1, false)
+	nodes2 := []string{full.URL, ok.URL}
+	front2 := newTestRouter(t, nodes2)
+	id2 := pickOwnedID(t, nodes2, 0)
+	body, _ = json.Marshal(api.CreateRequest{Robot: "khepera", ID: id2})
+	resp2, err := http.Post(front2.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("capacity-failover create status = %d", resp2.StatusCode)
+	}
+	if gotCreate[0] != 1 || gotCreate[1] != 1 {
+		t.Fatalf("create hit nodes %v, want owner then successor", gotCreate)
+	}
+}
+
+// TestRouterForwardNotFoundAdvance pins post-failover lookup: when the
+// ranked owner answers not_found, the router keeps probing successors
+// before surfacing the 404.
+func TestRouterForwardNotFoundAdvance(t *testing.T) {
+	empty := http.NewServeMux()
+	empty.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, api.Error{Message: "no such session", Code: api.CodeNotFound})
+	})
+	holder := http.NewServeMux()
+	holder.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}, FramesApplied: 42})
+	})
+	a, b := fakeNode(t, empty), fakeNode(t, holder)
+	nodes := []string{a.URL, b.URL}
+	front := newTestRouter(t, nodes)
+
+	id := pickOwnedID(t, nodes, 0) // owner answers not_found; holder is the successor
+	resp, err := http.Get(front.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 from successor", resp.StatusCode)
+	}
+	var st api.SessionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesApplied != 42 {
+		t.Fatalf("forwarded status = %+v", st)
+	}
+}
+
+// TestRouterForwardMovedChase pins the tombstone chase: a moved answer
+// with a location is followed transparently, and the client sees only
+// the final node's response.
+func TestRouterForwardMovedChase(t *testing.T) {
+	target := http.NewServeMux()
+	target.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}, FramesApplied: 7})
+	})
+	dst := fakeNode(t, target)
+
+	tomb := http.NewServeMux()
+	tomb.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusGone,
+			api.Error{Message: "session moved", Code: api.CodeMoved, Location: dst.URL})
+	})
+	src := fakeNode(t, tomb)
+
+	// Only the tombstone node is in the router's list: reaching the
+	// target proves the redirect was chased, not ranked.
+	front := newTestRouter(t, []string{src.URL})
+	resp, err := http.Get(front.URL + "/v1/sessions/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after chasing moved", resp.StatusCode)
+	}
+	var st api.SessionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesApplied != 7 {
+		t.Fatalf("chased status = %+v", st)
+	}
+}
+
+// TestRouterMigratingRetry pins the migrating hint: the router sleeps
+// out the retryAfterMs and retries the same node instead of surfacing
+// the transient 503.
+func TestRouterMigratingRetry(t *testing.T) {
+	calls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			writeJSON(w, http.StatusServiceUnavailable,
+				api.Error{Message: "mid-migration", Code: api.CodeMigrating, RetryAfterMs: 10})
+			return
+		}
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}})
+	})
+	node := fakeNode(t, mux)
+	front := newTestRouter(t, []string{node.URL})
+
+	resp, err := http.Get(front.URL + "/v1/sessions/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || calls != 2 {
+		t.Fatalf("status = %d after %d calls, want 200 after 2", resp.StatusCode, calls)
+	}
+}

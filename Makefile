@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead loadgensmoke multinodesmoke ci
+.PHONY: build vet staticcheck test race fleetsoak crashsoak fleetbatch fuzz bench benchbatch benchdiff benchoverhead loadgensmoke multinodesmoke scenariosmoke ci
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzFrameRecord -fuzztime 15s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 15s ./internal/fleet/
 	$(GO) test -run xxx -fuzz FuzzFrameBatch -fuzztime 15s ./internal/fleet/
+	$(GO) test -run xxx -fuzz FuzzScenarioDecode -fuzztime 15s ./internal/scenario/
 
 bench:
 	$(GO) test -run xxx -bench 'EngineStepParallel|EngineFleet|FleetStep|NUISEStep' -benchtime=1500x .
@@ -135,5 +136,20 @@ multinodesmoke:
 		-label multinode -out BENCH_serve.json
 	$(GO) run ./cmd/benchdiff -serve BENCH_serve.json -threshold 0.5
 	$(GO) test -count=1 -run TestMultinodeFailoverMigration ./cmd/roboads/
+
+# Detection-quality smoke (DESIGN.md §16): generate the default
+# adversarial suite (all Table II + Tamiya scenarios, the stealthy /
+# coordinated / intermittent / ramp / environment adversaries), run it
+# through the real detector path, append a leaderboard record to
+# BENCH_quality.json, and gate it against the most recent same-shape
+# record via benchdiff -quality — detection delay, per-scenario FPR, and
+# missed detections may not regress. Results are bit-for-bit
+# reproducible from {seed, DSL}, so the gate is authoritative on any
+# machine (the first run of a new suite shape passes informationally).
+scenariosmoke:
+	$(GO) run ./cmd/roboads scenario gen -seed 42 -o /tmp/roboads-suite.json
+	$(GO) run ./cmd/roboads scenario run -i /tmp/roboads-suite.json \
+		-workers 4 -label default -out BENCH_quality.json
+	$(GO) run ./cmd/benchdiff -quality BENCH_quality.json
 
 ci: build vet test race

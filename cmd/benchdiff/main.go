@@ -197,10 +197,14 @@ func run() error {
 	best := flag.Bool("best", false, "with repeated runs (-count > 1), compare the fastest occurrence of each benchmark instead of the last")
 	allocs := flag.Bool("allocs", false, "also gate allocs/op: any count above the baseline's allocs_per_op fails (allocations are deterministic — no threshold)")
 	serve := flag.String("serve", "", "diff the newest record in this BENCH_serve.json against its most recent same-shape predecessor instead of running benchmarks")
+	quality := flag.String("quality", "", "gate the newest record in this BENCH_quality.json against its most recent same-shape predecessor: detection delay, FPR, and missed detections may not regress")
 	flag.Parse()
 
 	if *serve != "" {
 		return runServe(*serve, *threshold, os.Stdout)
+	}
+	if *quality != "" {
+		return runQuality(*quality, *threshold, os.Stdout)
 	}
 
 	raw, err := os.ReadFile(*baselinePath)

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"roboads/internal/benchquality"
+)
+
+// Detection-quality gate slack. Suite execution is deterministic from
+// {seed, DSL}, but the relative threshold alone would flag microscopic
+// rate shifts on near-zero baselines; the absolute terms keep the gate
+// about regressions a person would care about.
+const (
+	// qualityDelaySlackSec is added on top of the relative threshold
+	// when gating per-scenario mean detection delay.
+	qualityDelaySlackSec = 0.1
+	// qualityRateSlack is the absolute FPR slack (0.2 percentage
+	// points) on top of the relative threshold.
+	qualityRateSlack = 0.002
+)
+
+// qualityBaseline picks the comparison baseline for the newest record:
+// the most recent earlier record with the same label and the same
+// workload identity (Config is comparable and includes the suite hash,
+// so an edited DSL or different seed/trials never diffs against the old
+// suite). Env is deliberately ignored — detection quality is
+// deterministic, so any machine's record is a valid baseline.
+func qualityBaseline(f *benchquality.File) (current, baseline *benchquality.Record) {
+	if len(f.Records) == 0 {
+		return nil, nil
+	}
+	cur := f.Records[len(f.Records)-1]
+	for i := len(f.Records) - 2; i >= 0; i-- {
+		r := f.Records[i]
+		if r.Label == cur.Label && r.Config == cur.Config {
+			return cur, r
+		}
+	}
+	return cur, nil
+}
+
+// qualityDiff is one gated comparison outcome (a per-scenario metric or
+// a suite aggregate).
+type qualityDiff struct {
+	Name              string
+	Baseline, Current float64
+	// Regressed means the metric moved in its bad direction beyond the
+	// threshold (+ absolute slack): delay or FPR up, a detection lost.
+	Regressed bool
+	// Info marks rows that are printed but never fail (aggregates, FNR).
+	Info bool
+}
+
+// compareQuality gates the newest record against its baseline,
+// per scenario row (matched by name):
+//
+//   - Missed may not grow: a (target, trial) detection that existed in
+//     the baseline must still exist.
+//   - MeanDelaySec may not rise beyond threshold (+0.1 s absolute), and
+//     a detected scenario (delay ≥ 0) may not become undetected.
+//   - Sensor and actuator FPR may not rise beyond threshold (+0.002
+//     absolute).
+//
+// Suite aggregates and FNRs ride along informationally. Rows present
+// only on one side are reported as info — the suite hash already pins
+// the scenario set, so that can only happen across format versions.
+func compareQuality(cur, base *benchquality.Record, threshold float64) []qualityDiff {
+	baseRows := make(map[string]benchquality.ScenarioRow, len(base.Results.Scenarios))
+	for _, row := range base.Results.Scenarios {
+		baseRows[row.Name] = row
+	}
+	var diffs []qualityDiff
+	for _, row := range cur.Results.Scenarios {
+		b, ok := baseRows[row.Name]
+		if !ok {
+			diffs = append(diffs, qualityDiff{Name: row.Name + ".new-row", Current: 1, Info: true})
+			continue
+		}
+		diffs = append(diffs,
+			qualityDiff{
+				Name:     row.Name + ".missed",
+				Baseline: float64(b.Missed), Current: float64(row.Missed),
+				Regressed: row.Missed > b.Missed,
+			},
+			qualityDiff{
+				Name:     row.Name + ".meanDelaySec",
+				Baseline: b.MeanDelaySec, Current: row.MeanDelaySec,
+				Regressed: b.MeanDelaySec >= 0 &&
+					(row.MeanDelaySec < 0 ||
+						row.MeanDelaySec > b.MeanDelaySec*(1+threshold)+qualityDelaySlackSec),
+			},
+			qualityDiff{
+				Name:     row.Name + ".sensorFPR",
+				Baseline: b.SensorFPR, Current: row.SensorFPR,
+				Regressed: row.SensorFPR > b.SensorFPR*(1+threshold)+qualityRateSlack,
+			},
+			qualityDiff{
+				Name:     row.Name + ".actuatorFPR",
+				Baseline: b.ActuatorFPR, Current: row.ActuatorFPR,
+				Regressed: row.ActuatorFPR > b.ActuatorFPR*(1+threshold)+qualityRateSlack,
+			},
+		)
+	}
+	diffs = append(diffs,
+		qualityDiff{Name: "suite.avgSensorFPR", Baseline: base.Results.AvgSensorFPR, Current: cur.Results.AvgSensorFPR, Info: true},
+		qualityDiff{Name: "suite.avgSensorFNR", Baseline: base.Results.AvgSensorFNR, Current: cur.Results.AvgSensorFNR, Info: true},
+		qualityDiff{Name: "suite.avgActuatorFPR", Baseline: base.Results.AvgActuatorFPR, Current: cur.Results.AvgActuatorFPR, Info: true},
+		qualityDiff{Name: "suite.avgDelaySec", Baseline: base.Results.AvgDelaySec, Current: cur.Results.AvgDelaySec, Info: true},
+		qualityDiff{Name: "suite.missed", Baseline: float64(base.Results.Missed), Current: float64(cur.Results.Missed), Info: true},
+	)
+	return diffs
+}
+
+// runQuality is the -quality entry point: load the leaderboard, gate
+// its newest record against the matching baseline, exit nonzero on a
+// detection-quality regression. A record with no baseline passes
+// informationally — the next run of the same shape will have one.
+func runQuality(path string, threshold float64, w io.Writer) error {
+	f, err := benchquality.Load(path)
+	if err != nil {
+		return err
+	}
+	cur, base := qualityBaseline(f)
+	if cur == nil {
+		return fmt.Errorf("benchdiff: %s has no records", path)
+	}
+	fmt.Fprintf(w, "quality record: %s label=%q suite=%q hash=%s seed=%d trials=%d scenarios=%d\n",
+		cur.RecordedAt, cur.Label, cur.Config.Suite, cur.Config.SuiteHash,
+		cur.Config.Seed, cur.Config.Trials, cur.Config.Scenarios)
+	if base == nil {
+		fmt.Fprintf(w, "ok    no earlier record with this label+config; nothing to gate\n")
+		return nil
+	}
+	fmt.Fprintf(w, "baseline: %s\n", base.RecordedAt)
+	failed := false
+	for _, d := range compareQuality(cur, base, threshold) {
+		status := "ok   "
+		switch {
+		case d.Regressed:
+			status = "FAIL "
+			failed = true
+		case d.Info:
+			status = "info "
+		default:
+			// Unchanged gated rows stay quiet; only print movement so a
+			// 26-scenario suite doesn't drown the verdict.
+			if d.Baseline == d.Current {
+				continue
+			}
+		}
+		fmt.Fprintf(w, "%s %-45s %10.4f -> %10.4f\n", status, d.Name, d.Baseline, d.Current)
+	}
+	if failed {
+		return fmt.Errorf("benchdiff: detection-quality regression beyond %.0f%% (+slack)", 100*threshold)
+	}
+	fmt.Fprintf(w, "ok    detection quality holds against baseline\n")
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"roboads/internal/benchquality"
+)
+
+// qualityRecord builds a two-scenario record whose metrics the tests
+// perturb to inject regressions.
+func qualityRecord(label string) *benchquality.Record {
+	return &benchquality.Record{
+		Label:      label,
+		RecordedAt: "2026-08-08T00:00:00Z",
+		Config: benchquality.Config{
+			Suite: "default", SuiteHash: "9aff2fa76b7cdb3f", Seed: 42, Trials: 1, Scenarios: 2,
+		},
+		Env: benchquality.Env{Go: "go1.22", OS: "linux", Arch: "amd64", NumCPU: 1},
+		Results: benchquality.Results{
+			Scenarios: []benchquality.ScenarioRow{
+				{
+					Name: "clean", Robot: "khepera", Trials: 1,
+					SensorFPR: 0.01, ActuatorFPR: 0.0, MeanDelaySec: -1,
+				},
+				{
+					Name: "ips-bias", Class: "table2", Robot: "khepera", Trials: 1,
+					SensorFPR: 0.02, ActuatorFPR: 0.01, MeanDelaySec: 0.8,
+					DelaySec: map[string]float64{"ips": 0.8}, Missed: 0,
+				},
+			},
+			AvgSensorFPR: 0.015, AvgActuatorFPR: 0.005, AvgDelaySec: 0.8,
+		},
+	}
+}
+
+func TestQualityBaselinePicksSameShape(t *testing.T) {
+	otherSuite := qualityRecord("")
+	otherSuite.Config.SuiteHash = "deadbeefdeadbeef" // edited DSL: never a baseline
+	otherLabel := qualityRecord("nightly")
+	older := qualityRecord("")
+	newer := qualityRecord("")
+	cur := qualityRecord("")
+	f := &benchquality.File{Version: 1, Records: []*benchquality.Record{older, otherSuite, otherLabel, newer, cur}}
+
+	gotCur, gotBase := qualityBaseline(f)
+	if gotCur != cur {
+		t.Fatalf("current = %+v, want newest record", gotCur)
+	}
+	if gotBase != newer {
+		t.Fatalf("baseline = %+v, want most recent same-shape record", gotBase)
+	}
+
+	// A lone record has no baseline.
+	f = &benchquality.File{Records: []*benchquality.Record{cur}}
+	if c, base := qualityBaseline(f); c != cur || base != nil {
+		t.Fatalf("lone record: current=%v baseline=%v", c, base)
+	}
+}
+
+// regressedNames collects the failing diff names.
+func regressedNames(diffs []qualityDiff) []string {
+	var out []string
+	for _, d := range diffs {
+		if d.Regressed {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+func TestCompareQualityInjectedRegressions(t *testing.T) {
+	base := qualityRecord("")
+
+	// Identical record: nothing regresses.
+	if got := regressedNames(compareQuality(qualityRecord(""), base, 0.15)); len(got) != 0 {
+		t.Fatalf("identical record flagged: %v", got)
+	}
+
+	// Detection delay beyond threshold + slack fails.
+	slow := qualityRecord("")
+	slow.Results.Scenarios[1].MeanDelaySec = 1.5
+	got := regressedNames(compareQuality(slow, base, 0.15))
+	if len(got) != 1 || got[0] != "ips-bias.meanDelaySec" {
+		t.Fatalf("2x delay: regressed = %v, want [ips-bias.meanDelaySec]", got)
+	}
+
+	// Delay within threshold + slack passes.
+	okDelay := qualityRecord("")
+	okDelay.Results.Scenarios[1].MeanDelaySec = 0.95 // 0.8*1.15 + 0.1 = 1.02
+	if got := regressedNames(compareQuality(okDelay, base, 0.15)); len(got) != 0 {
+		t.Fatalf("in-threshold delay flagged: %v", got)
+	}
+
+	// A detection that disappears (delay ≥ 0 → −1) fails even though
+	// −1 < baseline numerically.
+	lost := qualityRecord("")
+	lost.Results.Scenarios[1].MeanDelaySec = -1
+	lost.Results.Scenarios[1].Missed = 1
+	got = regressedNames(compareQuality(lost, base, 0.15))
+	want := map[string]bool{"ips-bias.meanDelaySec": true, "ips-bias.missed": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("lost detection: regressed = %v, want delay+missed", got)
+	}
+
+	// Sensor FPR growth beyond threshold + slack fails.
+	noisy := qualityRecord("")
+	noisy.Results.Scenarios[0].SensorFPR = 0.05
+	got = regressedNames(compareQuality(noisy, base, 0.15))
+	if len(got) != 1 || got[0] != "clean.sensorFPR" {
+		t.Fatalf("5x FPR: regressed = %v, want [clean.sensorFPR]", got)
+	}
+
+	// FPR growth inside the absolute slack passes (0 → 0.001 on a
+	// zero baseline would otherwise be an infinite relative jump).
+	tiny := qualityRecord("")
+	tiny.Results.Scenarios[0].ActuatorFPR = 0.001
+	if got := regressedNames(compareQuality(tiny, base, 0.15)); len(got) != 0 {
+		t.Fatalf("sub-slack FPR flagged: %v", got)
+	}
+
+	// An undetected-in-baseline scenario (delay −1, e.g. the stealthy
+	// watermark rows) may stay undetected without failing.
+	if got := regressedNames(compareQuality(qualityRecord(""), base, 0.15)); len(got) != 0 {
+		t.Fatalf("stealthy miss flagged: %v", got)
+	}
+
+	// Aggregates are informational: worsen them all, gate still passes.
+	agg := qualityRecord("")
+	agg.Results.AvgSensorFPR = 0.9
+	agg.Results.AvgDelaySec = 99
+	agg.Results.Missed = 50
+	if got := regressedNames(compareQuality(agg, base, 0.15)); len(got) != 0 {
+		t.Fatalf("informational aggregate failed the gate: %v", got)
+	}
+}
+
+func TestRunQuality(t *testing.T) {
+	path := t.TempDir() + "/BENCH_quality.json"
+
+	// First record of a shape: informational pass.
+	if err := benchquality.Append(path, qualityRecord("smoke")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runQuality(path, 0.15, &out); err != nil {
+		t.Fatalf("no-baseline run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "nothing to gate") {
+		t.Fatalf("no-baseline run not announced:\n%s", out.String())
+	}
+
+	// An identical follow-up passes.
+	if err := benchquality.Append(path, qualityRecord("smoke")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runQuality(path, 0.15, &out); err != nil {
+		t.Fatalf("identical follow-up failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "quality holds") {
+		t.Fatalf("verdict missing:\n%s", out.String())
+	}
+
+	// A follow-up with a missed detection fails.
+	bad := qualityRecord("smoke")
+	bad.Results.Scenarios[1].MeanDelaySec = -1
+	bad.Results.Scenarios[1].Missed = 1
+	if err := benchquality.Append(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runQuality(path, 0.15, &out); err == nil {
+		t.Fatalf("missed detection passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("failure rows missing:\n%s", out.String())
+	}
+}

@@ -17,6 +17,10 @@
 //	tamiya   [-trials N] [-seed S]   reproduce the §V-D RC-car results
 //	linear   [-trials N] [-seed S]   reproduce the §V-G linear-baseline comparison
 //	evasive  [-seed S]               reproduce the §V-H stealthy-attack sweeps
+//	scenario gen|list|run [flags]    adversarial scenario engine: generate or
+//	                                 list a DSL suite, or run one through the
+//	                                 detector and append a BENCH_quality.json
+//	                                 leaderboard record
 //	related  [-trials N] [-seed S]   compare against the §II-C detector families
 //	quality  [-seed S]               §V-E sensor-quality sweep
 //	calibrate [-trials N] [-seed S]  auto-select decision parameters (§V-F as a tool)
@@ -69,6 +73,12 @@ func run(args []string) error {
 		return errors.New("missing subcommand")
 	}
 	sub, rest := args[0], args[1:]
+
+	// The scenario subcommand has its own verb structure (gen/list/run)
+	// and flag set; dispatch it before the shared flags parse.
+	if sub == "scenario" {
+		return scenarioCmd(rest)
+	}
 
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	trials := fs.Int("trials", 1, "missions per scenario")
@@ -247,7 +257,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|related|quality|calibrate|report|record|replay|serve|route|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: roboads <run|table2|table3|table4|fig6|fig7|tamiya|linear|evasive|scenario|related|quality|calibrate|report|record|replay|serve|route|all> [flags]`)
 }
 
 func runScenario(id int, seed int64, workers int, telemetryAddr string) error {

@@ -23,6 +23,12 @@ const (
 	Physical Channel = iota + 1
 	// Cyber covers logic bombs, packet injection, and software defects.
 	Cyber
+	// Environment covers anomalies that originate in the world rather
+	// than in an adversary's channel: occlusions blocking a ranging
+	// sensor, wheel slip on a low-traction surface. The detector sees
+	// them exactly like attacks — the distinction matters only for
+	// ground-truth taxonomy (Ji et al. 2204.01146).
+	Environment
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +38,8 @@ func (c Channel) String() string {
 		return "physical"
 	case Cyber:
 		return "cyber"
+	case Environment:
+		return "environment"
 	default:
 		return fmt.Sprintf("channel(%d)", int(c))
 	}

@@ -6,7 +6,7 @@ import (
 
 	"roboads/internal/attack"
 	"roboads/internal/detect"
-	"roboads/internal/mat"
+	"roboads/internal/scenario"
 )
 
 // EvasivePoint is one magnitude of the §V-H stealthy-attack sweep.
@@ -53,43 +53,37 @@ var EvasiveIPSMagnitudes = []float64{0.001, 0.002, 0.003, 0.005, 0.0075, 0.01, 0
 // Khepera speed units.
 var EvasiveActuatorUnits = []float64{150, 300, 600, 900, 1500, 2250, 3000, 4500, 6000}
 
-// Evasive runs the §V-H sweeps.
+// Evasive runs the §V-H sweeps. Each sweep point is a one-scenario DSL
+// suite driven through the scenario runner — the same mission loop,
+// detector construction, and post-onset accounting as every leaderboard
+// scenario — rather than a bespoke evaluation loop. The runner's
+// per-target alarm fraction and delay replicate this file's historical
+// definitions exactly, so the sweep output is bit-for-bit unchanged.
 func Evasive(seed int64) (*EvasiveResult, error) {
-	cfg := detect.DefaultConfig()
 	out := &EvasiveResult{}
 
 	for _, magnitude := range EvasiveIPSMagnitudes {
-		scenario := attack.Scenario{
-			ID:          200,
-			Name:        fmt.Sprintf("stealthy IPS spoof %.3fm", magnitude),
-			Description: "evasive IPS spoof sweep (§V-H)",
-			SensorAttacks: []attack.SensorAttack{
-				&attack.Bias{
-					Sensor: detect.SensorIPS,
-					Offset: mat.VecOf(magnitude, 0, 0),
-					Win:    attack.Window{Start: 60},
-					Via:    attack.Physical,
-				},
-			},
+		sc := scenario.Scenario{
+			Name:  fmt.Sprintf("stealthy IPS spoof %.3fm", magnitude),
+			Class: "stealthy",
+			Robot: "khepera",
+			Attacks: []scenario.Attack{{
+				Kind:     "bias",
+				Sensor:   detect.SensorIPS,
+				Offset:   []float64{magnitude, 0, 0},
+				Via:      "physical",
+				Envelope: scenario.Envelope{Start: 60},
+			}},
 		}
-		run, err := RunKheperaScenario(scenario, seed, cfg, KheperaDetector)
+		res, err := scenario.RunOne(sc, seed, scenario.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
-		point := EvasivePoint{Magnitude: magnitude, DelaySec: -1}
-		point.AlarmFraction = alarmFraction(run, 60, func(tr IterationTrace) bool {
-			for _, s := range tr.Decision.Condition.Sensors {
-				if s == detect.SensorIPS {
-					return true
-				}
-			}
-			return false
-		})
+		target := res.Targets[detect.SensorIPS]
+		point := EvasivePoint{Magnitude: magnitude, DelaySec: -1, AlarmFraction: target.AlarmFraction}
 		if point.AlarmFraction >= sustainedFraction {
 			point.Detected = true
-			if d, ok := run.SensorDelays()[detect.SensorIPS]; ok {
-				point.DelaySec = d.Seconds(run.Dt)
-			}
+			point.DelaySec = target.DelaySec
 		}
 		if !point.Detected && magnitude > out.MaxStealthyIPSMeters {
 			out.MaxStealthyIPSMeters = magnitude
@@ -99,31 +93,26 @@ func Evasive(seed int64) (*EvasiveResult, error) {
 
 	for _, units := range EvasiveActuatorUnits {
 		offset := units * attack.SpeedUnit
-		scenario := attack.Scenario{
-			ID:          201,
-			Name:        fmt.Sprintf("stealthy wheel bias %.0f units", units),
-			Description: "evasive wheel-controller logic bomb sweep (§V-H)",
-			ActuatorAttacks: []attack.ActuatorAttack{
-				&attack.ActuatorBias{
-					Offset: mat.VecOf(-offset, offset),
-					Win:    attack.Window{Start: 60},
-					Via:    attack.Cyber,
-				},
-			},
+		sc := scenario.Scenario{
+			Name:  fmt.Sprintf("stealthy wheel bias %.0f units", units),
+			Class: "stealthy",
+			Robot: "khepera",
+			Attacks: []scenario.Attack{{
+				Kind:     "actuator-bias",
+				Offset:   []float64{-offset, offset},
+				Via:      "cyber",
+				Envelope: scenario.Envelope{Start: 60},
+			}},
 		}
-		run, err := RunKheperaScenario(scenario, seed, cfg, KheperaDetector)
+		res, err := scenario.RunOne(sc, seed, scenario.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
-		point := EvasivePoint{Magnitude: units, DelaySec: -1}
-		point.AlarmFraction = alarmFraction(run, 60, func(tr IterationTrace) bool {
-			return tr.Decision.ActuatorAlarm
-		})
+		target := res.Targets["actuator"]
+		point := EvasivePoint{Magnitude: units, DelaySec: -1, AlarmFraction: target.AlarmFraction}
 		if point.AlarmFraction >= sustainedFraction {
 			point.Detected = true
-			if d, ok := run.ActuatorDelay(); ok {
-				point.DelaySec = d.Seconds(run.Dt)
-			}
+			point.DelaySec = target.DelaySec
 		}
 		if !point.Detected && units > out.MaxStealthyActuatorUnits {
 			out.MaxStealthyActuatorUnits = units
@@ -131,25 +120,6 @@ func Evasive(seed int64) (*EvasiveResult, error) {
 		out.ActuatorSweep = append(out.ActuatorSweep, point)
 	}
 	return out, nil
-}
-
-// alarmFraction returns the fraction of iterations at or after onset for
-// which flag holds.
-func alarmFraction(run *Run, onset int, flag func(IterationTrace) bool) float64 {
-	total, hits := 0, 0
-	for _, tr := range run.Trace {
-		if tr.K < onset {
-			continue
-		}
-		total++
-		if flag(tr) {
-			hits++
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(hits) / float64(total)
 }
 
 // Write renders both sweeps.

@@ -1,0 +1,52 @@
+package router
+
+// Session-location cache: the router remembers which node last answered
+// definitively for a session, so steady-state traffic skips the
+// rendezvous scan and — after a failover or migration moved a session
+// off its ranked owner — the not_found/moved probe walk that would
+// otherwise repeat on every request. The cache is a hint, never an
+// authority: a stale entry costs one extra probe (the miss paths below
+// invalidate it), and entries are dropped eagerly when a node is
+// demoted by the health loop.
+
+// maxLocations bounds the cache; at the cap an arbitrary entry is
+// evicted per insert (sessions are re-learned on the next request).
+const maxLocations = 4096
+
+// cachedNode returns the node last seen hosting the session.
+func (rt *Router) cachedNode(id string) (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	node, ok := rt.loc[id]
+	return node, ok
+}
+
+// noteLocation records node as the session's current host.
+func (rt *Router) noteLocation(id, node string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.loc[id]; !ok && len(rt.loc) >= maxLocations {
+		for evict := range rt.loc {
+			delete(rt.loc, evict)
+			break
+		}
+	}
+	rt.loc[id] = node
+}
+
+// forgetLocation drops one session's cached location.
+func (rt *Router) forgetLocation(id string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.loc, id)
+}
+
+// dropNodeLocked removes every cached location pointing at node. The
+// caller holds rt.mu (the health loop invalidates inside its sweep).
+func (rt *Router) dropNodeLocked(node string) {
+	for id, n := range rt.loc {
+		if n == node {
+			delete(rt.loc, id)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roboads/internal/api"
+	"roboads/internal/telemetry"
+)
+
+// newCachingRouter builds a router whose internals the cache tests can
+// inspect, fronted by an httptest server.
+func newCachingRouter(t *testing.T, nodes []string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(Config{Nodes: nodes, HealthInterval: time.Hour, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+// TestForwardCacheHit pins the steady-state path: after a session is
+// located off its ranked owner (post-failover), the next request goes
+// straight to the cached holder — the owner is not probed again.
+func TestForwardCacheHit(t *testing.T) {
+	var emptyCalls, holderCalls atomic.Int64
+	empty := http.NewServeMux()
+	empty.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		emptyCalls.Add(1)
+		writeJSON(w, http.StatusNotFound, api.Error{Message: "no such session", Code: api.CodeNotFound})
+	})
+	holder := http.NewServeMux()
+	holder.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		holderCalls.Add(1)
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}})
+	})
+	a, b := fakeNode(t, empty), fakeNode(t, holder)
+	nodes := []string{a.URL, b.URL}
+	rt, front := newCachingRouter(t, nodes)
+
+	id := pickOwnedID(t, nodes, 0) // ranked owner answers not_found
+	get := func() {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+
+	get() // cold: probes owner, finds holder, primes the cache
+	if node, ok := rt.cachedNode(id); !ok || node != b.URL {
+		t.Fatalf("cached = %q, %v; want holder %q", node, ok, b.URL)
+	}
+	if emptyCalls.Load() != 1 {
+		t.Fatalf("owner probed %d times on cold lookup, want 1", emptyCalls.Load())
+	}
+
+	get() // warm: cached holder only
+	if emptyCalls.Load() != 1 {
+		t.Fatalf("owner probed again on warm lookup (%d calls)", emptyCalls.Load())
+	}
+	if holderCalls.Load() != 2 {
+		t.Fatalf("holder calls = %d, want 2", holderCalls.Load())
+	}
+	if hits := rt.mLocHits.Value(); hits != 1 {
+		t.Fatalf("cache-hit metric = %v, want 1", hits)
+	}
+}
+
+// TestForwardCacheInvalidateOnNotFound pins miss recovery: when the
+// cached node stops hosting the session, the entry is dropped and the
+// request falls back to the candidate scan — the client never sees the
+// stale 404.
+func TestForwardCacheInvalidateOnNotFound(t *testing.T) {
+	var aHosts atomic.Bool
+	aHosts.Store(true)
+	sessionNode := func(hosts *atomic.Bool) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+			if !hosts.Load() {
+				writeJSON(w, http.StatusNotFound, api.Error{Message: "no such session", Code: api.CodeNotFound})
+				return
+			}
+			writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}})
+		})
+		return fakeNode(t, mux)
+	}
+	var bHosts atomic.Bool
+	a, b := sessionNode(&aHosts), sessionNode(&bHosts)
+	nodes := []string{a.URL, b.URL}
+	rt, front := newCachingRouter(t, nodes)
+
+	id := pickOwnedID(t, nodes, 0)
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("prime status = %d", code)
+	}
+	if node, _ := rt.cachedNode(id); node != a.URL {
+		t.Fatalf("cached = %q, want %q", node, a.URL)
+	}
+
+	// The session "moves" without a tombstone (crash failover).
+	aHosts.Store(false)
+	bHosts.Store(true)
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("post-move status = %d, want 200 via fallback scan", code)
+	}
+	if node, _ := rt.cachedNode(id); node != b.URL {
+		t.Fatalf("cache not repointed: %q, want %q", node, b.URL)
+	}
+}
+
+// TestForwardCacheInvalidateOnMoved pins the tombstone path: a 410
+// moved answer from the cached node invalidates the entry and the chase
+// re-primes it with the landing node.
+func TestForwardCacheInvalidateOnMoved(t *testing.T) {
+	target := http.NewServeMux()
+	target.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}})
+	})
+	dst := fakeNode(t, target)
+
+	var moved atomic.Bool
+	tomb := http.NewServeMux()
+	tomb.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if moved.Load() {
+			writeJSON(w, http.StatusGone, api.Error{Message: "session moved", Code: api.CodeMoved, Location: dst.URL})
+			return
+		}
+		writeJSON(w, http.StatusOK, api.SessionStatus{SessionInfo: api.SessionInfo{ID: r.PathValue("id")}})
+	})
+	src := fakeNode(t, tomb)
+	rt, front := newCachingRouter(t, []string{src.URL})
+
+	get := func() {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/v1/sessions/s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+
+	get() // primes cache with src
+	if node, _ := rt.cachedNode("s1"); node != src.URL {
+		t.Fatalf("cached = %q, want %q", node, src.URL)
+	}
+	moved.Store(true)
+	get() // tombstone chased; cache must repoint at the landing node
+	if node, _ := rt.cachedNode("s1"); node != dst.URL {
+		t.Fatalf("cache after moved = %q, want landing node %q", node, dst.URL)
+	}
+}
+
+// TestCacheInvalidateOnHealthDemotion pins the health-loop hook: when a
+// node is demoted by readiness probing, every cached location pointing
+// at it is dropped.
+func TestCacheInvalidateOnHealthDemotion(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	other := fakeNode(t, http.NewServeMux())
+
+	rt, err := New(Config{Nodes: []string{srv.URL, other.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	rt.noteLocation("s1", srv.URL)
+	rt.noteLocation("s2", other.URL)
+	ready.Store(false)
+	rt.checkHealth()
+	if _, ok := rt.cachedNode("s1"); ok {
+		t.Fatal("demoted node's cached session not invalidated")
+	}
+	if node, ok := rt.cachedNode("s2"); !ok || node != other.URL {
+		t.Fatal("healthy node's cached session dropped too")
+	}
+}
+
+// TestCreateAndDeletePrimeCache pins the lifecycle edges: a create
+// primes the cache with the landing node, a delete evicts it.
+func TestCreateAndDeletePrimeCache(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CreateRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		writeJSON(w, http.StatusCreated, api.SessionInfo{ID: req.ID, Robot: req.Robot})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	node := fakeNode(t, mux)
+	rt, front := newCachingRouter(t, []string{node.URL})
+
+	body := []byte(`{"robot":"khepera","id":"s-life"}`)
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	if n, ok := rt.cachedNode("s-life"); !ok || n != node.URL {
+		t.Fatalf("create did not prime cache: %q, %v", n, ok)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, front.URL+"/v1/sessions/s-life", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, ok := rt.cachedNode("s-life"); ok {
+		t.Fatal("delete did not evict cached location")
+	}
+}
+
+// TestCacheBounded pins the eviction cap.
+func TestCacheBounded(t *testing.T) {
+	rt := &Router{healthy: map[string]bool{}, loc: make(map[string]string)}
+	for i := 0; i < maxLocations+100; i++ {
+		rt.noteLocation(fmt.Sprintf("s-%05d", i), "http://a:1")
+	}
+	if len(rt.loc) > maxLocations {
+		t.Fatalf("cache grew to %d entries, cap %d", len(rt.loc), maxLocations)
+	}
+	// Re-noting an existing ID must not evict anything.
+	before := len(rt.loc)
+	for id := range rt.loc {
+		rt.noteLocation(id, "http://b:1")
+		break
+	}
+	if len(rt.loc) != before {
+		t.Fatalf("re-note changed size %d -> %d", before, len(rt.loc))
+	}
+}

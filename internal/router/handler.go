@@ -89,6 +89,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	for _, node := range rt.candidates(placeID) {
 		info, err := client.New(node, client.WithHTTPClient(rt.hc)).Create(r.Context(), req)
 		if err == nil {
+			rt.noteLocation(placeID, node)
 			writeJSON(w, http.StatusCreated, info)
 			return
 		}
@@ -145,7 +146,27 @@ func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	deadline := time.Now().Add(retryBudget)
-	queue := rt.candidates(id)
+	// The cached node (when present) is probed first, alone; the full
+	// rendezvous scan is computed lazily, only when the hint misses.
+	cached, hit := rt.cachedNode(id)
+	var queue []string
+	ensured := false
+	ensureFull := func() {
+		if ensured {
+			return
+		}
+		ensured = true
+		for _, n := range rt.candidates(id) {
+			if n != cached {
+				queue = append(queue, n)
+			}
+		}
+	}
+	if hit {
+		queue = []string{cached}
+	} else {
+		ensureFull()
+	}
 	hops := 0
 	var last *proxiedResponse
 	var lastErr error
@@ -159,7 +180,11 @@ func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
 			if dialError(err) {
 				// The connection never opened, so the request never ran —
 				// safe to advance even for non-idempotent step calls.
+				if node == cached {
+					rt.forgetLocation(id)
+				}
 				rt.mRetries.Inc()
+				ensureFull()
 				continue
 			}
 			writeJSON(w, http.StatusBadGateway, api.Error{Message: fmt.Sprintf("router: %s: %v", node, err), Code: api.CodeInternal})
@@ -170,14 +195,24 @@ func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
 		case resp.code == api.CodeNotFound:
 			// Not on this node; after a failover the session lives on a
 			// successor, so keep looking before answering 404.
+			if node == cached {
+				rt.forgetLocation(id)
+			}
 			rt.mRetries.Inc()
+			ensureFull()
 			continue
 		case resp.code == api.CodeNotReady:
 			rt.mRetries.Inc()
+			ensureFull()
 			continue
 		case resp.code == api.CodeMoved && resp.envelope.Location != "" && hops < maxMovedHops:
 			hops++
 			rt.mMoved.Inc()
+			if node == cached {
+				// Tombstone (410) on the cached node: the entry is stale;
+				// the chase's landing node re-primes it below.
+				rt.forgetLocation(id)
+			}
 			node = resp.envelope.Location
 			goto retrySameNode
 		case resp.code == api.CodeMigrating && time.Now().Before(deadline):
@@ -192,6 +227,16 @@ func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
 			}
 			goto retrySameNode
 		default:
+			if resp.status < 400 {
+				if r.Method == http.MethodDelete {
+					rt.forgetLocation(id)
+				} else {
+					if hit && node == cached {
+						rt.mLocHits.Inc()
+					}
+					rt.noteLocation(id, node)
+				}
+			}
 			resp.writeTo(w)
 			return
 		}
@@ -301,12 +346,14 @@ func (f *headerFlushingWriter) WriteHeader(code int) {
 // writer's Flush for the per-write streaming flushes.
 func (f *headerFlushingWriter) Unwrap() http.ResponseWriter { return f.ResponseWriter }
 
-// locate finds the node currently hosting a session by probing
-// candidates in rank order and chasing migration redirects.
+// locate finds the node currently hosting a session: the cached
+// location first, then candidates in rank order, chasing migration
+// redirects either way.
 func (rt *Router) locate(ctx context.Context, id string) (string, error) {
-	var lastErr error
-	for _, node := range rt.candidates(id) {
+	cached, hit := rt.cachedNode(id)
+	probe := func(node string) (string, error) {
 		target := node
+		var lastErr error
 		for hops := 0; hops <= maxMovedHops; hops++ {
 			_, err := client.New(target, client.WithHTTPClient(rt.hc)).Status(ctx, id)
 			if err == nil {
@@ -321,6 +368,29 @@ func (rt *Router) locate(ctx context.Context, id string) (string, error) {
 			}
 			break
 		}
+		return "", lastErr
+	}
+	if hit {
+		if target, err := probe(cached); err == nil {
+			if target == cached {
+				rt.mLocHits.Inc()
+			}
+			rt.noteLocation(id, target)
+			return target, nil
+		}
+		rt.forgetLocation(id)
+	}
+	var lastErr error
+	for _, node := range rt.candidates(id) {
+		if node == cached {
+			continue // already probed and invalidated above
+		}
+		target, err := probe(node)
+		if err == nil {
+			rt.noteLocation(id, target)
+			return target, nil
+		}
+		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = &api.Error{Message: "router: session " + id + " not found on any node", Code: api.CodeNotFound, Status: http.StatusNotFound}

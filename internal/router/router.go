@@ -38,6 +38,9 @@ const (
 	MetricRetries = "roboads_router_retries_total"
 	// MetricMovedFollows counts chased migration redirects.
 	MetricMovedFollows = "roboads_router_moved_follows_total"
+	// MetricLocationHits counts requests answered by the session's
+	// cached node without a candidate scan.
+	MetricLocationHits = "roboads_router_location_cache_hits_total"
 )
 
 // Config parameterizes a Router.
@@ -65,6 +68,8 @@ type Router struct {
 
 	mu      sync.Mutex
 	healthy map[string]bool
+	// loc caches session ID → node last seen hosting it (see cache.go).
+	loc map[string]string
 
 	stop chan struct{}
 	done chan struct{}
@@ -75,6 +80,7 @@ type Router struct {
 	mProxied *telemetry.Counter
 	mRetries *telemetry.Counter
 	mMoved   *telemetry.Counter
+	mLocHits *telemetry.Counter
 }
 
 // New validates the node list, starts the health loop, and returns the
@@ -120,6 +126,7 @@ func New(cfg Config) (*Router, error) {
 		hc:       hc,
 		logf:     logf,
 		healthy:  make(map[string]bool, len(nodes)),
+		loc:      make(map[string]string),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		interval: interval,
@@ -127,6 +134,7 @@ func New(cfg Config) (*Router, error) {
 		mProxied: reg.Counter(MetricProxied, "Proxied /v1 requests."),
 		mRetries: reg.Counter(MetricRetries, "Candidate-advance retries."),
 		mMoved:   reg.Counter(MetricMovedFollows, "Chased migration redirects."),
+		mLocHits: reg.Counter(MetricLocationHits, "Requests served via the session-location cache."),
 	}
 	// Optimistic start: nodes count as healthy until the first probe says
 	// otherwise, so a router started alongside its nodes serves at once.
@@ -177,6 +185,11 @@ func (rt *Router) checkHealth() {
 	for i, n := range rt.nodes {
 		if rt.healthy[n] != results[i] {
 			rt.logf("router: node %s ready=%v", n, results[i])
+		}
+		if rt.healthy[n] && !results[i] {
+			// Demoted: its sessions will fail over, so cached locations
+			// pointing at it are stale hints now.
+			rt.dropNodeLocked(n)
 		}
 		rt.healthy[n] = results[i]
 		if results[i] {

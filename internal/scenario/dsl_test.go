@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"roboads/internal/attack"
+)
+
+func TestDefaultSuiteCoverage(t *testing.T) {
+	s, err := Default(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	names := map[string]bool{}
+	for _, sc := range s.Scenarios {
+		classes[sc.Class]++
+		names[sc.Name] = true
+	}
+	// All Table II rows plus tire blowout, the Tamiya §V-D suite, the
+	// clean baseline, and the new adversary classes.
+	if classes["table2"] != 12 {
+		t.Errorf("table2 scenarios = %d, want 12", classes["table2"])
+	}
+	if classes["tamiya"] != 5 {
+		t.Errorf("tamiya scenarios = %d, want 5", classes["tamiya"])
+	}
+	if classes["clean"] != 1 {
+		t.Errorf("clean scenarios = %d, want 1", classes["clean"])
+	}
+	newAdversaries := classes["stealthy"] + classes["coordinated"] +
+		classes["intermittent"] + classes["ramp"] + classes["environment"]
+	if newAdversaries < 6 {
+		t.Errorf("new adversary scenarios = %d, want ≥ 6", newAdversaries)
+	}
+	for _, want := range []string{
+		"stealthy-ips-subthreshold", "stealthy-actuator-subthreshold",
+		"coordinated-campaign", "intermittent-ips", "ramp-ips",
+		"occlusion-lidar", "wheel-slip-left", "wheel-slip-warehouse",
+	} {
+		if !names[want] {
+			t.Errorf("default suite missing %q", want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s, err := Default(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fuzz(s, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatal("decode(encode(suite)) != suite")
+	}
+	h1, _ := s.Hash()
+	h2, _ := back.Hash()
+	if h1 != h2 || h1 == "" {
+		t.Fatalf("hash mismatch: %q vs %q", h1, h2)
+	}
+}
+
+func TestFuzzGeneratorDeterministic(t *testing.T) {
+	a, err := Default(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fuzz(a, 20); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Default(11)
+	if err := Fuzz(b, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fuzz sweep is not deterministic in the seed")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad version":      `{"version":9,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera"}]}`,
+		"empty suite":      `{"version":1,"name":"x","seed":1,"scenarios":[]}`,
+		"unknown field":    `{"version":1,"name":"x","seed":1,"bogus":3,"scenarios":[{"name":"a","robot":"khepera"}]}`,
+		"unknown robot":    `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"roomba"}]}`,
+		"unknown world":    `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","world":"moon"}]}`,
+		"duplicate name":   `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera"},{"name":"a","robot":"khepera"}]}`,
+		"unknown kind":     `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"teleport","envelope":{"start":1}}]}]}`,
+		"wrong sensor":     `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"tamiya","attacks":[{"kind":"bias","sensor":"wheel-encoder","offset":[1],"envelope":{"start":1}}]}]}`,
+		"end before start": `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"bias","sensor":"ips","offset":[1],"envelope":{"start":10,"end":5}}]}]}`,
+		"duty no period":   `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"bias","sensor":"ips","offset":[1],"envelope":{"start":1,"duty":0.5}}]}]}`,
+		"period duty 0":    `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"bias","sensor":"ips","offset":[1],"envelope":{"start":1,"period":10}}]}]}`,
+		"ramp on zero":     `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"zero","sensor":"lidar","envelope":{"start":1,"ramp":20}}]}]}`,
+		"ramp occlusion":   `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"occlusion","sensor":"lidar","distance":0.1,"beams":[0],"envelope":{"start":1,"ramp":20}}]}]}`,
+		"slip over 1":      `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"wheel-slip","slip":1.5,"wheels":[0],"envelope":{"start":1}}]}]}`,
+		"bad channel":      `{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera","attacks":[{"kind":"zero","sensor":"lidar","via":"psychic","envelope":{"start":1}}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestCompileMatchesTable2Primitives pins that lifting a hardcoded
+// scenario into the DSL and compiling it back reproduces the exact
+// primitive values — the guarantee that DSL-driven Table II runs are the
+// canonical ones.
+func TestCompileMatchesTable2Primitives(t *testing.T) {
+	for _, orig := range append(attack.KheperaScenarios(), attack.TireBlowoutScenario()) {
+		dsl, err := FromScenario(orig, "khepera", "table2")
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		compiled, err := dsl.Compile(orig.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if len(compiled.SensorAttacks) != len(orig.SensorAttacks) ||
+			len(compiled.ActuatorAttacks) != len(orig.ActuatorAttacks) {
+			t.Fatalf("%s: attack count mismatch", orig.Name)
+		}
+		for i, a := range compiled.SensorAttacks {
+			if !reflect.DeepEqual(a, orig.SensorAttacks[i]) {
+				t.Errorf("%s sensor attack %d: %#v != %#v", orig.Name, i, a, orig.SensorAttacks[i])
+			}
+		}
+		for i, a := range compiled.ActuatorAttacks {
+			if !reflect.DeepEqual(a, orig.ActuatorAttacks[i]) {
+				t.Errorf("%s actuator attack %d: %#v != %#v", orig.Name, i, a, orig.ActuatorAttacks[i])
+			}
+		}
+	}
+}
+
+func FuzzScenarioDecode(f *testing.F) {
+	s, err := Default(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"version":1,"name":"x","seed":1,"scenarios":[{"name":"a","robot":"khepera"}]}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		suite, err := Decode(doc)
+		if err != nil {
+			return
+		}
+		// A document that decodes must re-encode, round-trip, and
+		// compile without panicking.
+		out, err := suite.Encode()
+		if err != nil {
+			t.Fatalf("encode after decode: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if _, err := back.Hash(); err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		for i := range back.Scenarios {
+			if _, err := back.Scenarios[i].Compile(i); err != nil {
+				t.Fatalf("compile %d: %v", i, err)
+			}
+		}
+	})
+}
+
+// TestSuiteJSONStable pins the wire shape of one scenario so DSL edits
+// stay deliberate.
+func TestSuiteJSONStable(t *testing.T) {
+	s := Suite{Version: 1, Name: "pin", Seed: 5, Scenarios: []Scenario{{
+		Name: "a", Class: "stealthy", Robot: "khepera",
+		Attacks: []Attack{{
+			Kind: "bias", Sensor: "ips", Offset: []float64{0.01, 0, 0},
+			Via: "physical", Envelope: Envelope{Start: 60, Ramp: 50},
+		}},
+	}}}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":1,"name":"pin","seed":5,"scenarios":[{"name":"a","class":"stealthy","robot":"khepera","attacks":[{"kind":"bias","sensor":"ips","offset":[0.01,0,0],"via":"physical","envelope":{"start":60,"ramp":50}}]}]}`
+	if string(data) != want {
+		t.Fatalf("wire shape changed:\n got %s\nwant %s", data, want)
+	}
+	if !strings.Contains(string(data), `"envelope"`) {
+		t.Fatal("envelope missing")
+	}
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"runtime"
+	"time"
+
+	"roboads/internal/benchquality"
+)
+
+// Record converts a suite run into a BENCH_quality.json leaderboard
+// record. The Config embeds the suite hash, so the record is only ever
+// compared against baselines produced from the identical DSL document.
+func (r *SuiteResult) Record(s *Suite, label string, wallSeconds float64) (*benchquality.Record, error) {
+	hash, err := s.Hash()
+	if err != nil {
+		return nil, err
+	}
+	rec := &benchquality.Record{
+		Label:      label,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Config: benchquality.Config{
+			Suite:     s.Name,
+			SuiteHash: hash,
+			Seed:      s.Seed,
+			Trials:    r.Trials,
+			Scenarios: len(s.Scenarios),
+		},
+		Env: benchquality.Env{
+			Go:     runtime.Version(),
+			OS:     runtime.GOOS,
+			Arch:   runtime.GOARCH,
+			NumCPU: runtime.NumCPU(),
+		},
+		Results: benchquality.Results{
+			AvgSensorFPR:   r.SensorConfusion.FPR(),
+			AvgSensorFNR:   r.SensorConfusion.FNR(),
+			AvgActuatorFPR: r.ActuatorConfusion.FPR(),
+			AvgActuatorFNR: r.ActuatorConfusion.FNR(),
+			AvgDelaySec:    r.AvgDelaySec,
+			Missed:         r.Missed,
+			WallSeconds:    wallSeconds,
+		},
+	}
+	for i := range r.Results {
+		res := &r.Results[i]
+		row := benchquality.ScenarioRow{
+			Name:         res.Name,
+			Class:        res.Class,
+			Robot:        res.Robot,
+			Trials:       res.Trials,
+			SensorFPR:    res.SensorConfusion.FPR(),
+			SensorFNR:    res.SensorConfusion.FNR(),
+			ActuatorFPR:  res.ActuatorConfusion.FPR(),
+			ActuatorFNR:  res.ActuatorConfusion.FNR(),
+			MeanDelaySec: res.MeanDelaySec,
+			Missed:       res.Missed,
+		}
+		if len(res.Targets) > 0 {
+			row.DelaySec = make(map[string]float64, len(res.Targets))
+			row.AlarmFraction = make(map[string]float64, len(res.Targets))
+			for target, ts := range res.Targets {
+				row.DelaySec[target] = ts.DelaySec
+				row.AlarmFraction[target] = ts.AlarmFraction
+			}
+		}
+		rec.Results.Scenarios = append(rec.Results.Scenarios, row)
+	}
+	return rec, nil
+}
